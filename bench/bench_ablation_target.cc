@@ -1,0 +1,49 @@
+// Extension study: minimal budget to reach a target expected quality (the
+// paper's Section VII future work, "use minimal cost to attain a given
+// quality score"). Sweeps quality targets toward 0 and reports the budget
+// the binary search settles on, the expected post-cleaning quality, and
+// how many x-tuples the optimal plan touches.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "clean/target.h"
+#include "quality/tp.h"
+#include "workload/cleaning_profile_gen.h"
+#include "workload/synthetic.h"
+
+int main() {
+  using namespace uclean;
+
+  SyntheticOptions opts;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  if (!db.ok()) {
+    std::printf("generation failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const size_t k = 15;
+  Result<CleaningProfile> profile = GenerateCleaningProfile(db->num_xtuples());
+  Result<TpOutput> tp = ComputeTpQuality(*db, k);
+  const double s = tp->quality;
+
+  bench::Banner("Extension: minimal budget for a quality target",
+                "binary search over the optimal-DP improvement curve "
+                "(synthetic default, k = 15); S = " + std::to_string(s));
+  bench::Header("target_quality,attainable,minimal_budget,expected_quality,"
+                "xtuples_probed,search_ms");
+  for (double fraction : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double target = s * (1.0 - fraction);  // recover `fraction` of |S|
+    Result<BudgetSearchReport> report(Status::OK());
+    const double ms = bench::MedianMillis(
+        [&] {
+          report = MinimalBudgetForTarget(*db, k, *profile, target,
+                                          /*max_budget=*/100000);
+        },
+        1);
+    std::printf("%.4f,%s,%lld,%.4f,%zu,%.1f\n", target,
+                report->attainable ? "yes" : "no",
+                static_cast<long long>(report->minimal_budget),
+                report->expected_quality, report->plan.num_selected(), ms);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Regenerates the quality-effectiveness panels of Figure 4:
+//   4(a) PWS-quality vs k on the default synthetic dataset,
+//   4(b) PWS-quality vs uncertainty pdf (G10/G30/G50/G100/Uniform),
+//   4(c) PWS-quality vs k on MOV.
+// Paper shapes to reproduce: quality degrades as k grows; tighter Gaussians
+// score higher and the uniform pdf scores lowest; MOV (2 alternatives per
+// x-tuple) scores higher than the synthetic data (10 alternatives).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "quality/tp.h"
+#include "workload/mov.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+void QualityVsK(const char* figure, const ProbabilisticDatabase& db,
+                const char* dataset) {
+  bench::Banner(figure, std::string("PWS-quality vs k (") + dataset + ")");
+  bench::Header("k,quality,nonzero_topk_tuples");
+  for (size_t k : {1u, 2u, 5u, 10u, 15u, 20u, 25u, 30u}) {
+    Result<PsrOutput> psr = ComputePsr(db, k);
+    Result<TpOutput> tp = ComputeTpQuality(db, *psr);
+    std::printf("%zu,%.4f,%zu\n", k, tp->quality, psr->num_nonzero);
+  }
+}
+
+}  // namespace
+}  // namespace uclean
+
+int main() {
+  using namespace uclean;
+
+  SyntheticOptions synthetic;  // paper defaults: 5K x-tuples x 10 tuples
+  Result<ProbabilisticDatabase> default_db = GenerateSynthetic(synthetic);
+  if (!default_db.ok()) {
+    std::printf("generation failed: %s\n",
+                default_db.status().ToString().c_str());
+    return 1;
+  }
+  QualityVsK("Figure 4(a)", *default_db, "synthetic default, 50K tuples");
+
+  bench::Banner("Figure 4(b)",
+                "PWS-quality vs uncertainty pdf (k = 15, synthetic)");
+  bench::Header("pdf,quality");
+  for (double sigma : {10.0, 30.0, 50.0, 100.0}) {
+    SyntheticOptions opts;
+    opts.sigma = sigma;
+    Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+    Result<TpOutput> tp = ComputeTpQuality(*db, 15);
+    std::printf("G%.0f,%.4f\n", sigma, tp->quality);
+  }
+  {
+    SyntheticOptions opts;
+    opts.pdf = UncertaintyPdf::kUniform;
+    Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+    Result<TpOutput> tp = ComputeTpQuality(*db, 15);
+    std::printf("Uniform,%.4f\n", tp->quality);
+  }
+
+  MovOptions mov;  // 4999 x-tuples, ~2 alternatives each
+  Result<ProbabilisticDatabase> mov_db = GenerateMov(mov);
+  QualityVsK("Figure 4(c)", *mov_db, "MOV, 4999 x-tuples");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Regenerates the quality-efficiency panels of Figure 4:
+//   4(d) quality computation time vs database size, small databases, k = 5:
+//        PW (exponential) vs PWR vs TP;
+//   4(e) quality computation time vs database size, large databases, k = 15:
+//        PWR (blows up) vs TP;
+//   4(f) quality computation time vs k on the default dataset: PWR vs TP.
+// Paper shapes: PW is hopeless beyond a handful of x-tuples (36 minutes at
+// 10 x-tuples on the authors' hardware); PWR is polynomial in n but
+// exponential in k and stops returning in reasonable time; TP stays flat.
+// Points where an algorithm exceeds its guard are printed as DNF, matching
+// how the paper's curves simply end.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "pworld/pw_quality.h"
+#include "quality/pwr.h"
+#include "quality/tp.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+constexpr double kPwWorldLimit = 2e7;     // ~seconds of world enumeration
+constexpr double kPwrTimeLimitSec = 5.0;  // per point
+
+Result<ProbabilisticDatabase> MakeDb(size_t num_xtuples) {
+  SyntheticOptions opts;
+  opts.num_xtuples = num_xtuples;
+  return GenerateSynthetic(opts);
+}
+
+std::string TimePw(const ProbabilisticDatabase& db, size_t k) {
+  PwOptions options;
+  options.max_worlds = kPwWorldLimit;
+  double ms = 0.0;
+  Result<PwOutput> out(Status::OK());
+  ms = bench::MedianMillis([&] { out = ComputePwQuality(db, k, options); },
+                           1);
+  if (!out.ok()) return "DNF";
+  return std::to_string(ms);
+}
+
+std::string TimePwr(const ProbabilisticDatabase& db, size_t k) {
+  PwrOptions options;
+  options.collect_results = false;
+  options.time_limit_seconds = kPwrTimeLimitSec;
+  Result<PwrOutput> out(Status::OK());
+  double ms =
+      bench::MedianMillis([&] { out = ComputePwrQuality(db, k, options); },
+                          1);
+  if (!out.ok()) return "DNF";
+  return std::to_string(ms);
+}
+
+std::string TimeTp(const ProbabilisticDatabase& db, size_t k) {
+  Result<TpOutput> out(Status::OK());
+  double ms = bench::MedianMillis([&] { out = ComputeTpQuality(db, k); }, 3);
+  if (!out.ok()) return "DNF";
+  return std::to_string(ms);
+}
+
+}  // namespace
+}  // namespace uclean
+
+int main() {
+  using namespace uclean;
+
+  bench::Banner("Figure 4(d)",
+                "quality time (ms) vs database size, small DBs, k = 5 "
+                "[PW capped at 2e7 worlds; paper's PW point at 100 tuples "
+                "took 36 minutes]");
+  bench::Header("tuples,PW,PWR,TP");
+  for (size_t m : {5u, 7u, 10u, 30u, 100u, 300u, 1000u}) {
+    Result<ProbabilisticDatabase> db = MakeDb(m);
+    std::printf("%zu,%s,%s,%s\n", db->num_tuples(),
+                TimePw(*db, 5).c_str(), TimePwr(*db, 5).c_str(),
+                TimeTp(*db, 5).c_str());
+  }
+
+  bench::Banner("Figure 4(e)",
+                "quality time (ms) vs database size, large DBs, k = 15 "
+                "[PWR limited to 5 s per point]");
+  bench::Header("tuples,PWR,TP");
+  for (size_t m : {100u, 1000u, 10000u, 100000u}) {
+    Result<ProbabilisticDatabase> db = MakeDb(m);
+    std::printf("%zu,%s,%s\n", db->num_tuples(), TimePwr(*db, 15).c_str(),
+                TimeTp(*db, 15).c_str());
+  }
+
+  bench::Banner("Figure 4(f)",
+                "quality time (ms) vs k, default synthetic dataset "
+                "[PWR limited to 5 s per point]");
+  bench::Header("k,PWR,TP");
+  Result<ProbabilisticDatabase> db = MakeDb(5000);
+  for (size_t k : {1u, 2u, 5u, 10u, 100u, 1000u}) {
+    std::printf("%zu,%s,%s\n", k, TimePwr(*db, k).c_str(),
+                TimeTp(*db, k).c_str());
+  }
+  return 0;
+}

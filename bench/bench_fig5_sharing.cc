@@ -1,0 +1,113 @@
+// Regenerates Figure 5: the computation-sharing study (Section IV-C).
+//   5(a) total query+quality time, sharing vs non-sharing, vs k;
+//   5(b) PT-k evaluation time vs the incremental quality time, vs k;
+//   5(c) U-kRanks / Global-topk / PT-k evaluation time and quality time;
+//   5(d) panel (b) on MOV.
+// Paper shapes: sharing cuts the total to about half at large k (one PSR
+// pass instead of two); the quality share of the total shrinks from ~33%
+// at k = 15 to ~6% at k = 100; MOV is much faster end to end because far
+// fewer tuples carry nonzero top-k probability.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "quality/tp.h"
+#include "query/topk_queries.h"
+#include "rank/psr.h"
+#include "workload/mov.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+constexpr int kReps = 7;
+
+struct SharingRow {
+  double psr_ms = 0.0;       // shared rank-probability pass
+  double ukranks_ms = 0.0;   // deriving U-kRanks from PSR
+  double ptk_ms = 0.0;       // deriving PT-k from PSR
+  double gtopk_ms = 0.0;     // deriving Global-topk from PSR
+  double quality_ms = 0.0;   // TP pass on top of PSR
+  size_t nonzero = 0;
+};
+
+SharingRow Measure(const ProbabilisticDatabase& db, size_t k) {
+  SharingRow row;
+  Result<PsrOutput> psr(Status::OK());
+  row.psr_ms = bench::MedianMillis([&] { psr = ComputePsr(db, k); }, kReps);
+  row.nonzero = psr->num_nonzero;
+  row.ukranks_ms =
+      bench::MedianMillis([&] { EvaluateUkRanks(db, *psr); }, kReps);
+  row.ptk_ms =
+      bench::MedianMillis([&] { (void)EvaluatePtk(db, *psr, 0.1); }, kReps);
+  row.gtopk_ms =
+      bench::MedianMillis([&] { EvaluateGlobalTopk(db, *psr); }, kReps);
+  row.quality_ms =
+      bench::MedianMillis([&] { (void)ComputeTpQuality(db, *psr); }, kReps);
+  return row;
+}
+
+void SharingPanel(const char* figure, const ProbabilisticDatabase& db,
+                  const char* dataset) {
+  bench::Banner(figure,
+                std::string("PT-k time vs incremental quality time (") +
+                    dataset + ")");
+  bench::Header("k,ptk_total_ms,quality_extra_ms,quality_share_percent,"
+                "nonzero_topk_tuples");
+  for (size_t k : {15u, 30u, 50u, 80u, 100u}) {
+    SharingRow row = Measure(db, k);
+    const double ptk_total = row.psr_ms + row.ptk_ms;
+    const double share =
+        100.0 * row.quality_ms / (ptk_total + row.quality_ms);
+    std::printf("%zu,%.4f,%.4f,%.1f,%zu\n", k, ptk_total, row.quality_ms,
+                share, row.nonzero);
+  }
+}
+
+}  // namespace
+}  // namespace uclean
+
+int main() {
+  using namespace uclean;
+
+  SyntheticOptions synthetic;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(synthetic);
+  if (!db.ok()) {
+    std::printf("generation failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::Banner("Figure 5(a)",
+                "query+quality total time vs k: non-sharing runs PSR twice "
+                "(once for the query, once for quality); sharing reuses one "
+                "pass (synthetic default)");
+  bench::Header("k,non_sharing_ms,sharing_ms,sharing_ratio");
+  for (size_t k : {5u, 15u, 30u, 50u, 80u, 100u}) {
+    SharingRow row = Measure(*db, k);
+    const double query_part = row.ptk_ms;
+    const double non_sharing =
+        2.0 * row.psr_ms + query_part + row.quality_ms;
+    const double sharing = row.psr_ms + query_part + row.quality_ms;
+    std::printf("%zu,%.4f,%.4f,%.2f\n", k, non_sharing, sharing,
+                sharing / non_sharing);
+  }
+
+  SharingPanel("Figure 5(b)", *db, "synthetic default");
+
+  bench::Banner("Figure 5(c)",
+                "evaluation time of the three queries and of quality vs k "
+                "(synthetic default; each query includes its shared PSR "
+                "pass)");
+  bench::Header("k,UkRanks_ms,GlobalTopk_ms,PTk_ms,quality_extra_ms");
+  for (size_t k : {5u, 15u, 30u, 50u, 80u, 100u}) {
+    SharingRow row = Measure(*db, k);
+    std::printf("%zu,%.4f,%.4f,%.4f,%.4f\n", k, row.psr_ms + row.ukranks_ms,
+                row.psr_ms + row.gtopk_ms, row.psr_ms + row.ptk_ms,
+                row.quality_ms);
+  }
+
+  MovOptions mov;
+  Result<ProbabilisticDatabase> mov_db = GenerateMov(mov);
+  SharingPanel("Figure 5(d)", *mov_db, "MOV");
+  return 0;
+}

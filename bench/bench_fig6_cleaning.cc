@@ -1,0 +1,144 @@
+// Regenerates the cleaning-effectiveness panels of Figure 6:
+//   6(a) expected quality improvement I vs budget C (synthetic),
+//   6(b) I vs sc-pdf shape (truncated normals of growing spread + uniform),
+//   6(c) I vs average sc-probability (uniform [x, 1] sweeps),
+//   6(f) I vs C on MOV,
+//   6(g) I vs average sc-probability on MOV.
+// Paper shapes: DP is best and Greedy is nearly indistinguishable; RandP
+// beats RandU (it at least favours x-tuples with top-k mass); I approaches
+// |S| as the budget grows; DP/Greedy benefit from more spread in the
+// sc-pdf while the random planners are insensitive; everything improves
+// with the average sc-probability.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "clean/planners.h"
+#include "quality/tp.h"
+#include "workload/cleaning_profile_gen.h"
+#include "workload/mov.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+constexpr size_t kTopK = 15;
+constexpr int kRandSeeds = 5;
+
+/// Average expected improvement of a random planner over kRandSeeds seeds.
+double AverageRandom(PlannerKind kind, const CleaningProblem& problem,
+                     uint64_t seed_base) {
+  double total = 0.0;
+  for (int s = 0; s < kRandSeeds; ++s) {
+    Rng rng(seed_base + s);
+    Result<CleaningPlan> plan = RunPlanner(kind, problem, &rng);
+    total += plan->expected_improvement;
+  }
+  return total / kRandSeeds;
+}
+
+void ImprovementVsBudget(const char* figure, const ProbabilisticDatabase& db,
+                         const char* dataset) {
+  Result<TpOutput> tp = ComputeTpQuality(db, kTopK);
+  Result<CleaningProfile> profile = GenerateCleaningProfile(db.num_xtuples());
+  Result<CleaningProblem> base =
+      MakeCleaningProblem(db, kTopK, *profile, /*budget=*/1);
+  bench::Banner(figure, std::string("expected improvement I vs budget C (") +
+                            dataset + "); |S| = " +
+                            std::to_string(-tp->quality));
+  bench::Header("C,DP,Greedy,RandP,RandU");
+  for (int64_t budget : {1, 10, 100, 1000, 10000, 100000}) {
+    CleaningProblem problem = *base;
+    problem.budget = budget;
+    Result<CleaningPlan> dp = PlanDp(problem);
+    Result<CleaningPlan> greedy = PlanGreedy(problem);
+    std::printf("%lld,%.4f,%.4f,%.4f,%.4f\n",
+                static_cast<long long>(budget), dp->expected_improvement,
+                greedy->expected_improvement,
+                AverageRandom(PlannerKind::kRandP, problem, 7000),
+                AverageRandom(PlannerKind::kRandU, problem, 8000));
+  }
+}
+
+void ImprovementVsAvgSc(const char* figure, const ProbabilisticDatabase& db,
+                        const char* dataset) {
+  bench::Banner(figure,
+                std::string("I vs average sc-probability, C = 100, sc-pdf "
+                            "uniform [x, 1] (") +
+                    dataset + ")");
+  bench::Header("avg_sc,DP,Greedy,RandP,RandU");
+  for (double lo : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    CleaningProfileOptions popts;
+    popts.sc_pdf = ScPdf::Uniform(lo, 1.0);
+    Result<CleaningProfile> profile =
+        GenerateCleaningProfile(db.num_xtuples(), popts);
+    Result<CleaningProblem> problem =
+        MakeCleaningProblem(db, kTopK, *profile, /*budget=*/100);
+    Result<CleaningPlan> dp = PlanDp(*problem);
+    Result<CleaningPlan> greedy = PlanGreedy(*problem);
+    std::printf("%.1f,%.4f,%.4f,%.4f,%.4f\n", (1.0 + lo) / 2.0,
+                dp->expected_improvement, greedy->expected_improvement,
+                AverageRandom(PlannerKind::kRandP, *problem, 9000),
+                AverageRandom(PlannerKind::kRandU, *problem, 9500));
+  }
+}
+
+}  // namespace
+}  // namespace uclean
+
+int main() {
+  using namespace uclean;
+
+  SyntheticOptions synthetic;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(synthetic);
+  if (!db.ok()) {
+    std::printf("generation failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  ImprovementVsBudget("Figure 6(a)", *db, "synthetic default, k = 15");
+
+  bench::Banner("Figure 6(b)",
+                "I vs sc-pdf shape, C = 100 (synthetic; truncated normals "
+                "with mean 0.5 and growing sigma, then uniform [0,1]; "
+                "averaged over 5 profile draws)");
+  bench::Header("sc_pdf,DP,Greedy,RandP,RandU");
+  struct PdfCase {
+    const char* name;
+    ScPdf pdf;
+  };
+  const PdfCase cases[] = {
+      {"normal(0.13)", ScPdf::TruncatedNormal(0.5, 0.13)},
+      {"normal(0.167)", ScPdf::TruncatedNormal(0.5, 0.167)},
+      {"normal(0.3)", ScPdf::TruncatedNormal(0.5, 0.3)},
+      {"uniform", ScPdf::Uniform(0.0, 1.0)},
+  };
+  for (const PdfCase& c : cases) {
+    const int profile_draws = 5;
+    double dp_sum = 0.0, greedy_sum = 0.0, randp_sum = 0.0, randu_sum = 0.0;
+    for (int draw = 0; draw < profile_draws; ++draw) {
+      CleaningProfileOptions popts;
+      popts.sc_pdf = c.pdf;
+      popts.seed = 99 + draw;
+      Result<CleaningProfile> profile =
+          GenerateCleaningProfile(db->num_xtuples(), popts);
+      Result<CleaningProblem> problem =
+          MakeCleaningProblem(*db, kTopK, *profile, /*budget=*/100);
+      dp_sum += PlanDp(*problem)->expected_improvement;
+      greedy_sum += PlanGreedy(*problem)->expected_improvement;
+      randp_sum += AverageRandom(PlannerKind::kRandP, *problem, 6000 + draw);
+      randu_sum += AverageRandom(PlannerKind::kRandU, *problem, 6500 + draw);
+    }
+    std::printf("%s,%.4f,%.4f,%.4f,%.4f\n", c.name, dp_sum / profile_draws,
+                greedy_sum / profile_draws, randp_sum / profile_draws,
+                randu_sum / profile_draws);
+  }
+
+  ImprovementVsAvgSc("Figure 6(c)", *db, "synthetic default");
+
+  MovOptions mov;
+  Result<ProbabilisticDatabase> mov_db = GenerateMov(mov);
+  ImprovementVsBudget("Figure 6(f)", *mov_db, "MOV, k = 15");
+  ImprovementVsAvgSc("Figure 6(g)", *mov_db, "MOV");
+  return 0;
+}

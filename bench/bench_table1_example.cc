@@ -1,0 +1,84 @@
+// Regenerates the paper's running example: Tables I-II (databases udb1 and
+// udb2), Figures 2-3 (the pw-result distributions of a top-2 query and
+// their PWS-qualities -2.55 / -1.85), and the Section I PT-2 answer
+// {t1, t2, t5} at threshold T = 0.4.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "model/paper_example.h"
+#include "pworld/pw_quality.h"
+#include "quality/pwr.h"
+#include "quality/tp.h"
+#include "query/topk_queries.h"
+#include "rank/psr.h"
+
+namespace uclean {
+namespace {
+
+void PrintDatabase(const char* name, const ProbabilisticDatabase& db) {
+  std::printf("\n# %s\n", name);
+  bench::Header("sensor,tuple,temperature,prob");
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    for (int32_t idx : db.xtuple_members(static_cast<XTupleId>(l))) {
+      const Tuple& t = db.tuple(idx);
+      if (t.is_null) continue;
+      std::printf("S%zu,%s,%.0f,%.1f\n", l + 1, t.label.c_str(), t.score,
+                  t.prob);
+    }
+  }
+}
+
+void PrintDistribution(const char* figure, const ProbabilisticDatabase& db,
+                       size_t k) {
+  Result<PwOutput> pw = ComputePwQuality(db, k);
+  if (!pw.ok()) {
+    std::printf("error: %s\n", pw.status().ToString().c_str());
+    return;
+  }
+  bench::Banner(figure, "pw-result distribution of the top-2 query");
+  bench::Header("pw_result,probability");
+  std::vector<std::pair<PwResult, double>> rows(pw->results.begin(),
+                                                pw->results.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  for (const auto& [result, prob] : rows) {
+    std::printf("%s,%.4f\n", PwResultToString(db, result).c_str(), prob);
+  }
+  Result<PwrOutput> pwr = ComputePwrQuality(db, k);
+  Result<TpOutput> tp = ComputeTpQuality(db, k);
+  std::printf("quality: PW=%.6f PWR=%.6f TP=%.6f (paper: %.2f)\n",
+              pw->quality, pwr->quality, tp->quality,
+              pw->quality < -2.0 ? -2.55 : -1.85);
+}
+
+}  // namespace
+}  // namespace uclean
+
+int main() {
+  using namespace uclean;
+  ProbabilisticDatabase udb1 = MakeUdb1();
+  ProbabilisticDatabase udb2 = MakeUdb2();
+
+  PrintDatabase("Table I: database udb1", udb1);
+  PrintDatabase("Table II: database udb2 (after successful pclean(S3))",
+                udb2);
+  PrintDistribution("Figure 2 (udb1)", udb1, 2);
+  PrintDistribution("Figure 3 (udb2)", udb2, 2);
+
+  // Section I: PT-2 query with threshold 0.4 on udb1.
+  Result<PsrOutput> psr = ComputePsr(udb1, 2);
+  Result<PtkAnswer> answer = EvaluatePtk(udb1, *psr, 0.4);
+  bench::Banner("Section I", "PT-2 answer on udb1 at threshold 0.4");
+  bench::Header("tuple,topk_probability");
+  for (const AnswerEntry& e : answer->tuples) {
+    std::printf("%s,%.4f\n", udb1.tuple(e.rank_index).label.c_str(),
+                e.probability);
+  }
+  std::printf("answer set: %s (paper: {t1, t2, t5})\n",
+              AnswerToString(udb1, answer->tuples).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure-regeneration harnesses: repetition-median
+// timing and uniform series printing, so every bench emits the same
+// machine-readable table format.
+
+#ifndef UCLEAN_BENCH_BENCH_UTIL_H_
+#define UCLEAN_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace uclean {
+namespace bench {
+
+/// Median wall-clock milliseconds of `fn` over `reps` runs (after one
+/// untimed warm-up when cheap enough to afford it).
+inline double MedianMillis(const std::function<void()>& fn, int reps = 3) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    fn();
+    samples.push_back(timer.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Prints a figure banner: "# Figure 4(a): ...".
+inline void Banner(const std::string& figure, const std::string& caption) {
+  std::printf("\n# %s: %s\n", figure.c_str(), caption.c_str());
+}
+
+/// Prints a CSV header row.
+inline void Header(const std::string& columns) {
+  std::printf("%s\n", columns.c_str());
+}
+
+}  // namespace bench
+}  // namespace uclean
+
+#endif  // UCLEAN_BENCH_BENCH_UTIL_H_

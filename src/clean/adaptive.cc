@@ -1,0 +1,55 @@
+#include "clean/adaptive.h"
+
+#include "quality/tp.h"
+
+namespace uclean {
+
+Result<AdaptiveReport> RunAdaptiveCleaning(const ProbabilisticDatabase& db,
+                                           const CleaningProfile& profile,
+                                           int64_t budget,
+                                           const AdaptiveOptions& options,
+                                           Rng* rng) {
+  AdaptiveReport report;
+  Result<TpOutput> initial = ComputeTpQuality(db, options.k);
+  if (!initial.ok()) return initial.status();
+  report.initial_quality = initial->quality;
+  report.final_quality = initial->quality;
+
+  ProbabilisticDatabase current = db;
+  int64_t remaining = budget;
+  for (size_t round = 0; round < options.max_rounds && remaining > 0;
+       ++round) {
+    Result<CleaningProblem> problem =
+        MakeCleaningProblem(current, options.k, profile, remaining);
+    if (!problem.ok()) return problem.status();
+    Result<CleaningPlan> plan =
+        RunPlanner(options.planner, *problem, rng, options.dp_options);
+    if (!plan.ok()) return plan.status();
+    if (plan->total_cost == 0 || plan->expected_improvement <= 0.0) break;
+
+    Result<ExecutionReport> executed =
+        ExecutePlan(current, profile, plan->probes, rng);
+    if (!executed.ok()) return executed.status();
+    if (executed->spent == 0) break;  // nothing was affordable after all
+
+    current = std::move(executed->cleaned_db);
+    remaining -= executed->spent;
+    report.total_spent += executed->spent;
+
+    Result<TpOutput> quality = ComputeTpQuality(current, options.k);
+    if (!quality.ok()) return quality.status();
+    report.final_quality = quality->quality;
+
+    AdaptiveRound summary;
+    summary.budget_before = remaining + executed->spent;
+    summary.predicted_improvement = plan->expected_improvement;
+    summary.spent = executed->spent;
+    summary.successes = executed->successes;
+    summary.quality_after = quality->quality;
+    report.rounds.push_back(summary);
+  }
+  report.final_db = std::move(current);
+  return report;
+}
+
+}  // namespace uclean

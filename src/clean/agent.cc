@@ -1,0 +1,58 @@
+#include "clean/agent.h"
+
+namespace uclean {
+
+Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
+                                    const CleaningProfile& profile,
+                                    const std::vector<int64_t>& probes,
+                                    Rng* rng) {
+  UCLEAN_RETURN_IF_ERROR(profile.Validate(db.num_xtuples()));
+  if (probes.size() != db.num_xtuples()) {
+    return Status::InvalidArgument("probes vector size mismatch");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("ExecutePlan requires an Rng");
+  }
+
+  ExecutionReport report;
+  int64_t planned_cost = 0;
+  DatabaseBuilder builder = DatabaseBuilder::FromDatabase(db);
+  for (size_t l = 0; l < probes.size(); ++l) {
+    if (probes[l] <= 0) continue;
+    planned_cost += probes[l] * profile.costs[l];
+
+    ProbeRecord record;
+    record.xtuple = static_cast<XTupleId>(l);
+    for (int64_t attempt = 0; attempt < probes[l]; ++attempt) {
+      ++record.attempts;
+      record.spent += profile.costs[l];
+      if (rng->Bernoulli(profile.sc_probs[l])) {
+        record.success = true;
+        break;  // the agent stops probing once the entity is cleaned
+      }
+    }
+    if (record.success) {
+      // Reveal the true state: one alternative (possibly the null outcome),
+      // drawn with its existential probability.
+      const auto& members = db.xtuple_members(static_cast<XTupleId>(l));
+      std::vector<double> weights;
+      weights.reserve(members.size());
+      for (int32_t idx : members) weights.push_back(db.tuple(idx).prob);
+      const Tuple& revealed = db.tuple(members[rng->Discrete(weights)]);
+      record.resolved_id = revealed.id;
+      UCLEAN_RETURN_IF_ERROR(builder.ReplaceWithCertain(
+          static_cast<XTupleId>(l), revealed.is_null ? nullptr : &revealed));
+      ++report.successes;
+    }
+    report.spent += record.spent;
+    report.log.push_back(record);
+  }
+
+  Result<ProbabilisticDatabase> cleaned = std::move(builder).Finish();
+  if (!cleaned.ok()) return cleaned.status();
+  report.cleaned_db = std::move(cleaned).value();
+  report.leftover = planned_cost - report.spent;
+  return report;
+}
+
+}  // namespace uclean

@@ -1,0 +1,52 @@
+// CleaningAgent: executes a cleaning plan against a database.
+//
+// The planners decide *what to probe*; the agent models what the paper's
+// "cleaning agent" then does in the field (Section V-A): probe each
+// selected x-tuple up to its assigned count, where every probe spends its
+// cost and succeeds with the x-tuple's sc-probability. On success the
+// entity's true state is revealed -- drawn from its existential
+// distribution (Definition 5), possibly the null outcome -- the x-tuple
+// collapses to that certain state, and remaining probes for it are skipped,
+// leaving budget unspent (the leftovers adaptive re-planning reinvests).
+
+#ifndef UCLEAN_CLEAN_AGENT_H_
+#define UCLEAN_CLEAN_AGENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clean/problem.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+
+/// What happened to one selected x-tuple during plan execution.
+struct ProbeRecord {
+  XTupleId xtuple = 0;
+  int64_t attempts = 0;      ///< probes actually performed (<= planned)
+  int64_t spent = 0;         ///< attempts * cost
+  bool success = false;
+  TupleId resolved_id = -1;  ///< the revealed tuple (negative: null outcome)
+};
+
+/// Outcome of executing a plan.
+struct ExecutionReport {
+  ProbabilisticDatabase cleaned_db;
+  int64_t spent = 0;          ///< total budget consumed
+  int64_t leftover = 0;       ///< plan cost minus spent (early successes)
+  size_t successes = 0;       ///< x-tuples actually cleaned
+  std::vector<ProbeRecord> log;
+};
+
+/// Executes `plan.probes` on `db` with per-x-tuple costs/sc-probabilities
+/// from `profile`, drawing success and revealed values from `rng`.
+Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
+                                    const CleaningProfile& profile,
+                                    const std::vector<int64_t>& probes,
+                                    Rng* rng);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_CLEAN_AGENT_H_

@@ -1,0 +1,153 @@
+#include "clean/brute_force.h"
+
+#include <cmath>
+
+#include "quality/tp.h"
+
+namespace uclean {
+
+namespace {
+
+/// One selected x-tuple's outcome space: "cleaning failed" plus one entry
+/// per alternative the x-tuple could collapse to.
+struct OutcomeSpace {
+  XTupleId xtuple = 0;
+  double fail_prob = 0.0;               // (1 - P_l)^{M_l}
+  std::vector<int32_t> members;         // rank indices (includes null)
+  std::vector<double> member_probs;     // e_i * (1 - fail_prob)
+};
+
+}  // namespace
+
+Result<double> ExpectedImprovementBruteForce(const ProbabilisticDatabase& db,
+                                             size_t k,
+                                             const CleaningProfile& profile,
+                                             const std::vector<int64_t>& probes,
+                                             uint64_t max_outcomes) {
+  UCLEAN_RETURN_IF_ERROR(profile.Validate(db.num_xtuples()));
+  if (probes.size() != db.num_xtuples()) {
+    return Status::InvalidArgument("probes vector size mismatch");
+  }
+
+  std::vector<OutcomeSpace> spaces;
+  double total_outcomes = 1.0;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    if (probes[l] <= 0) continue;
+    OutcomeSpace space;
+    space.xtuple = static_cast<XTupleId>(l);
+    space.fail_prob = std::pow(1.0 - profile.sc_probs[l],
+                               static_cast<double>(probes[l]));
+    for (int32_t idx : db.xtuple_members(static_cast<XTupleId>(l))) {
+      space.members.push_back(idx);
+      space.member_probs.push_back(db.tuple(idx).prob *
+                                   (1.0 - space.fail_prob));
+    }
+    total_outcomes *= static_cast<double>(space.members.size() + 1);
+    spaces.push_back(std::move(space));
+  }
+  if (total_outcomes > static_cast<double>(max_outcomes)) {
+    return Status::ResourceExhausted(
+        "brute-force improvement would enumerate " +
+        std::to_string(total_outcomes) + " outcome databases");
+  }
+
+  Result<TpOutput> base = ComputeTpQuality(db, k);
+  if (!base.ok()) return base.status();
+  if (spaces.empty()) return 0.0;
+
+  // Odometer over outcomes; position 0 of each space means "clean failed".
+  std::vector<size_t> odometer(spaces.size(), 0);
+  double expected_quality = 0.0;
+  while (true) {
+    double outcome_prob = 1.0;
+    DatabaseBuilder builder = DatabaseBuilder::FromDatabase(db);
+    for (size_t s = 0; s < spaces.size(); ++s) {
+      const OutcomeSpace& space = spaces[s];
+      if (odometer[s] == 0) {
+        outcome_prob *= space.fail_prob;
+      } else {
+        const size_t member = odometer[s] - 1;
+        outcome_prob *= space.member_probs[member];
+        const Tuple& chosen = db.tuple(space.members[member]);
+        UCLEAN_RETURN_IF_ERROR(
+            builder.ReplaceWithCertain(space.xtuple, &chosen));
+      }
+    }
+    if (outcome_prob > 0.0) {
+      Result<ProbabilisticDatabase> cleaned = std::move(builder).Finish();
+      if (!cleaned.ok()) return cleaned.status();
+      Result<TpOutput> quality = ComputeTpQuality(*cleaned, k);
+      if (!quality.ok()) return quality.status();
+      expected_quality += outcome_prob * quality->quality;
+    }
+
+    size_t s = 0;
+    for (; s < spaces.size(); ++s) {
+      if (++odometer[s] <= spaces[s].members.size()) break;
+      odometer[s] = 0;
+    }
+    if (s == spaces.size()) break;
+  }
+  return expected_quality - base->quality;
+}
+
+namespace {
+
+struct ExhaustiveSearch {
+  const CleaningProblem& problem;
+  uint64_t max_states;
+  uint64_t states = 0;
+  std::vector<int64_t> current;
+  std::vector<int64_t> best;
+  double best_value = 0.0;
+  bool exhausted_states = false;
+
+  explicit ExhaustiveSearch(const CleaningProblem& p, uint64_t max)
+      : problem(p), max_states(max) {
+    current.assign(p.num_xtuples(), 0);
+    best = current;
+  }
+
+  void Recurse(size_t l, int64_t remaining, double value) {
+    if (exhausted_states) return;
+    if (++states > max_states) {
+      exhausted_states = true;
+      return;
+    }
+    if (value > best_value) {
+      best_value = value;
+      best = current;
+    }
+    if (l == problem.num_xtuples()) return;
+    // Probe count 0 first, then every affordable count.
+    Recurse(l + 1, remaining, value);
+    const int64_t cost = problem.cost[l];
+    for (int64_t m = 1; m * cost <= remaining; ++m) {
+      current[l] = m;
+      Recurse(l + 1, remaining - m * cost,
+              value - problem.XTupleImprovement(l, 0) +
+                  problem.XTupleImprovement(l, m));
+      current[l] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+Result<CleaningPlan> PlanExhaustive(const CleaningProblem& problem,
+                                    uint64_t max_states) {
+  UCLEAN_RETURN_IF_ERROR(problem.Validate());
+  ExhaustiveSearch search(problem, max_states);
+  search.Recurse(0, problem.budget, 0.0);
+  if (search.exhausted_states) {
+    return Status::ResourceExhausted(
+        "exhaustive plan search exceeded its state limit");
+  }
+  CleaningPlan plan;
+  plan.probes = search.best;
+  plan.total_cost = PlanCost(problem, plan.probes);
+  plan.expected_improvement = ExpectedImprovement(problem, plan.probes);
+  return plan;
+}
+
+}  // namespace uclean

@@ -1,0 +1,40 @@
+// Brute-force reference implementations for the cleaning machinery.
+//
+// These evaluate the *definitions* (Eq. 14-18 and Definition 7) directly,
+// with exponential cost. They exist as ground-truth oracles for the
+// closed-form Theorem-2 evaluator and the DP/Greedy planners, and are only
+// usable on small instances.
+
+#ifndef UCLEAN_CLEAN_BRUTE_FORCE_H_
+#define UCLEAN_CLEAN_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clean/problem.h"
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+
+/// Expected quality improvement of probing x-tuple l `probes[l]` times, by
+/// the definition: enumerate every cleaned-database outcome x0 in
+/// z_1 x ... x z_|X| with its probability (Eq. 14-16), evaluate the quality
+/// of each outcome database exactly, and take the expectation (Eq. 17-18).
+///
+/// Cost is exponential in the number of selected x-tuples; refuses to run
+/// past `max_outcomes` combinations.
+Result<double> ExpectedImprovementBruteForce(const ProbabilisticDatabase& db,
+                                             size_t k,
+                                             const CleaningProfile& profile,
+                                             const std::vector<int64_t>& probes,
+                                             uint64_t max_outcomes = 1000000);
+
+/// Exhaustive search over every feasible (X, M) assignment (Definition 7).
+/// Exponential; refuses to run past `max_states` search states.
+Result<CleaningPlan> PlanExhaustive(const CleaningProblem& problem,
+                                    uint64_t max_states = 50000000);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_CLEAN_BRUTE_FORCE_H_

@@ -1,0 +1,198 @@
+// Exact dynamic-programming planner (Section V-D.1) with two engines:
+// the paper's item-by-item knapsack and a concave-group divide-and-conquer
+// optimization (see planners.h).
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "clean/planners.h"
+#include "common/check.h"
+
+namespace uclean {
+
+namespace {
+
+/// Budgets beyond this would allocate unreasonable DP tables; the paper's
+/// largest sweep point is 10^5.
+constexpr int64_t kMaxDpBudget = 10'000'000;
+
+/// An x-tuple that can contribute value: probe count cap and the concave
+/// cumulative-value table G[M] (Section V-B).
+struct Group {
+  int32_t xtuple = 0;
+  int64_t cost = 1;
+  std::vector<double> cumulative;  // cumulative[M] = G(l, M), M = 0..J
+};
+
+/// Builds the per-x-tuple groups, applying the Lemma-5 exclusion (zero-gain
+/// x-tuples cannot help) and the optional value-epsilon tail truncation.
+std::vector<Group> BuildGroups(const CleaningProblem& problem,
+                               const DpOptions& options) {
+  std::vector<Group> groups;
+  const int64_t budget = problem.budget;
+  for (size_t l = 0; l < problem.num_xtuples(); ++l) {
+    const double value_base = -problem.gain[l];  // >= 0
+    const double p = problem.sc_prob[l];
+    const int64_t c = problem.cost[l];
+    if (value_base <= 0.0 || p <= 0.0 || c > budget) continue;
+
+    int64_t max_probes = budget / c;
+    if (p >= 1.0) {
+      max_probes = std::min<int64_t>(max_probes, 1);
+    } else if (options.value_epsilon > 0.0) {
+      // b(l,j) = value_base * p * (1-p)^{j-1} < eps  for
+      // j > 1 + log(eps / (value_base * p)) / log(1-p).
+      const double first = value_base * p;
+      if (first < options.value_epsilon) continue;
+      const double tail =
+          1.0 + std::log(options.value_epsilon / first) / std::log1p(-p);
+      if (tail < static_cast<double>(max_probes)) {
+        max_probes = std::max<int64_t>(1, static_cast<int64_t>(tail) + 1);
+      }
+    }
+    if (max_probes <= 0) continue;
+
+    Group g;
+    g.xtuple = static_cast<int32_t>(l);
+    g.cost = c;
+    g.cumulative.resize(max_probes + 1);
+    g.cumulative[0] = 0.0;
+    double marginal = value_base * p;  // b(l,1)
+    for (int64_t j = 1; j <= max_probes; ++j) {
+      g.cumulative[j] = g.cumulative[j - 1] + marginal;
+      marginal *= 1.0 - p;
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+/// The paper's engine: try every probe count for the group at every budget.
+/// O(C * J_l) per group, i.e. O(C^2 |Z| / c) overall.
+void SweepGroupItems(const Group& g, const std::vector<double>& dp,
+                     std::vector<double>* new_dp,
+                     std::vector<int32_t>* choice) {
+  const int64_t budget = static_cast<int64_t>(dp.size()) - 1;
+  const int64_t max_probes = static_cast<int64_t>(g.cumulative.size()) - 1;
+  for (int64_t b = 0; b <= budget; ++b) {
+    double best = dp[b];
+    int32_t best_m = 0;
+    const int64_t cap = std::min(max_probes, b / g.cost);
+    for (int64_t m = 1; m <= cap; ++m) {
+      const double v = dp[b - m * g.cost] + g.cumulative[m];
+      if (v > best) {
+        best = v;
+        best_m = static_cast<int32_t>(m);
+      }
+    }
+    (*new_dp)[b] = best;
+    (*choice)[b] = best_m;
+  }
+}
+
+/// Concave engine: per residue class modulo the group's cost, the update is
+/// a (max,+) convolution of dp with the concave sequence G, whose row-wise
+/// argmax is monotone (inverse Monge). Divide-and-conquer recovers every
+/// argmax in O(len log len) per residue.
+class ConcaveSweep {
+ public:
+  ConcaveSweep(const Group& g, const std::vector<double>& dp,
+               std::vector<double>* new_dp, std::vector<int32_t>* choice)
+      : g_(g), dp_(dp), new_dp_(new_dp), choice_(choice) {}
+
+  void Run() {
+    const int64_t budget = static_cast<int64_t>(dp_.size()) - 1;
+    for (int64_t residue = 0; residue < g_.cost && residue <= budget;
+         ++residue) {
+      residue_ = residue;
+      const int64_t len = (budget - residue) / g_.cost + 1;  // rows 0..len-1
+      Solve(0, len - 1, 0, len - 1);
+    }
+  }
+
+ private:
+  int64_t Position(int64_t i) const { return residue_ + i * g_.cost; }
+
+  /// Value of filling row i from source column j (taking i-j probes).
+  double Value(int64_t i, int64_t j) const {
+    return dp_[Position(j)] + g_.cumulative[i - j];
+  }
+
+  void Solve(int64_t row_lo, int64_t row_hi, int64_t col_lo, int64_t col_hi) {
+    if (row_lo > row_hi) return;
+    const int64_t mid = row_lo + (row_hi - row_lo) / 2;
+    const int64_t max_probes = static_cast<int64_t>(g_.cumulative.size()) - 1;
+    const int64_t j_lo = std::max(col_lo, mid - max_probes);
+    const int64_t j_hi = std::min(col_hi, mid);
+    UCLEAN_DCHECK(j_lo <= j_hi);
+    double best = -std::numeric_limits<double>::infinity();
+    int64_t best_j = j_lo;
+    for (int64_t j = j_lo; j <= j_hi; ++j) {
+      const double v = Value(mid, j);
+      if (v >= best) {  // rightmost argmax: fewest probes on value ties
+        best = v;
+        best_j = j;
+      }
+    }
+    (*new_dp_)[Position(mid)] = best;
+    (*choice_)[Position(mid)] = static_cast<int32_t>(mid - best_j);
+    Solve(row_lo, mid - 1, col_lo, best_j);
+    Solve(mid + 1, row_hi, best_j, col_hi);
+  }
+
+  const Group& g_;
+  const std::vector<double>& dp_;
+  std::vector<double>* new_dp_;
+  std::vector<int32_t>* choice_;
+  int64_t residue_ = 0;
+};
+
+}  // namespace
+
+Result<CleaningPlan> PlanDp(const CleaningProblem& problem,
+                            const DpOptions& options) {
+  UCLEAN_RETURN_IF_ERROR(problem.Validate());
+  if (problem.budget > kMaxDpBudget) {
+    return Status::ResourceExhausted(
+        "budget " + std::to_string(problem.budget) +
+        " exceeds the DP planner limit of " + std::to_string(kMaxDpBudget));
+  }
+
+  CleaningPlan plan;
+  plan.probes.assign(problem.num_xtuples(), 0);
+
+  std::vector<Group> groups = BuildGroups(problem, options);
+  const int64_t budget = problem.budget;
+  std::vector<double> dp(budget + 1, 0.0);
+  std::vector<double> new_dp(budget + 1, 0.0);
+  // choices[g][b]: probes of group g in the optimum over groups 0..g at
+  // budget b.
+  std::vector<std::vector<int32_t>> choices(groups.size());
+
+  for (size_t gi = 0; gi < groups.size(); ++gi) {
+    choices[gi].assign(budget + 1, 0);
+    if (options.mode == DpMode::kItems) {
+      SweepGroupItems(groups[gi], dp, &new_dp, &choices[gi]);
+    } else {
+      ConcaveSweep(groups[gi], dp, &new_dp, &choices[gi]).Run();
+    }
+    dp.swap(new_dp);
+  }
+
+  // Reconstruct the per-x-tuple probe counts from the choice tables.
+  int64_t b = budget;
+  for (size_t gi = groups.size(); gi-- > 0;) {
+    const int32_t m = choices[gi][b];
+    plan.probes[groups[gi].xtuple] = m;
+    b -= static_cast<int64_t>(m) * groups[gi].cost;
+    UCLEAN_DCHECK(b >= 0);
+  }
+
+  plan.total_cost = PlanCost(problem, plan.probes);
+  plan.expected_improvement = ExpectedImprovement(problem, plan.probes);
+  return plan;
+}
+
+}  // namespace uclean

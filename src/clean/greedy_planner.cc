@@ -1,0 +1,66 @@
+// Greedy value-per-cost planner (Section V-D.4): a heap of the next
+// marginal probe of every x-tuple, ordered by gamma_{l,j} = b(l,j) / c_l.
+// Because b(l,j) decreases in j (Lemma 4), pushing probe j+1 only after
+// taking probe j keeps the heap's top the globally best remaining item.
+
+#include <queue>
+#include <vector>
+
+#include "clean/planners.h"
+
+namespace uclean {
+
+namespace {
+
+struct HeapItem {
+  double score = 0.0;     // gamma_{l,j}
+  double marginal = 0.0;  // b(l,j)
+  int32_t xtuple = 0;
+  int64_t probe = 1;      // j
+
+  bool operator<(const HeapItem& other) const {
+    return score < other.score;  // max-heap on gamma
+  }
+};
+
+}  // namespace
+
+Result<CleaningPlan> PlanGreedy(const CleaningProblem& problem) {
+  UCLEAN_RETURN_IF_ERROR(problem.Validate());
+
+  CleaningPlan plan;
+  plan.probes.assign(problem.num_xtuples(), 0);
+
+  std::priority_queue<HeapItem> heap;
+  for (size_t l = 0; l < problem.num_xtuples(); ++l) {
+    if (problem.cost[l] > problem.budget) continue;
+    const double b1 = problem.MarginalValue(l, 1);
+    if (b1 <= 0.0) continue;  // Lemma 5: zero-gain x-tuples cannot help
+    heap.push(HeapItem{b1 / static_cast<double>(problem.cost[l]), b1,
+                       static_cast<int32_t>(l), 1});
+  }
+
+  int64_t remaining = problem.budget;
+  while (!heap.empty() && remaining > 0) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    const int64_t cost = problem.cost[item.xtuple];
+    if (cost > remaining) continue;  // never affordable again: drop for good
+    remaining -= cost;
+    plan.probes[item.xtuple] = item.probe;
+    plan.expected_improvement += item.marginal;
+
+    const double next = item.marginal * (1.0 - problem.sc_prob[item.xtuple]);
+    if (next > 0.0) {
+      heap.push(HeapItem{next / static_cast<double>(cost), next, item.xtuple,
+                         item.probe + 1});
+    }
+  }
+
+  plan.total_cost = problem.budget - remaining;
+  // Recompute through the closed form for a drift-free report.
+  plan.expected_improvement = ExpectedImprovement(problem, plan.probes);
+  return plan;
+}
+
+}  // namespace uclean

@@ -1,0 +1,35 @@
+#include "clean/planners.h"
+
+namespace uclean {
+
+const char* PlannerKindName(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kDp:
+      return "DP";
+    case PlannerKind::kGreedy:
+      return "Greedy";
+    case PlannerKind::kRandP:
+      return "RandP";
+    case PlannerKind::kRandU:
+      return "RandU";
+  }
+  return "Unknown";
+}
+
+Result<CleaningPlan> RunPlanner(PlannerKind kind,
+                                const CleaningProblem& problem, Rng* rng,
+                                const DpOptions& dp_options) {
+  switch (kind) {
+    case PlannerKind::kDp:
+      return PlanDp(problem, dp_options);
+    case PlannerKind::kGreedy:
+      return PlanGreedy(problem);
+    case PlannerKind::kRandP:
+      return PlanRandP(problem, rng);
+    case PlannerKind::kRandU:
+      return PlanRandU(problem, rng);
+  }
+  return Status::InvalidArgument("unknown planner kind");
+}
+
+}  // namespace uclean

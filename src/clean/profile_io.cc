@@ -1,0 +1,111 @@
+#include "clean/profile_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace uclean {
+
+namespace {
+constexpr char kHeader[] = "xtuple,cost,sc_prob";
+}  // namespace
+
+Status WriteProfileCsv(const CleaningProfile& profile, std::ostream* os) {
+  if (profile.costs.size() != profile.sc_probs.size()) {
+    return Status::InvalidArgument("profile vectors disagree on size");
+  }
+  *os << kHeader << "\n";
+  for (size_t l = 0; l < profile.costs.size(); ++l) {
+    *os << l << ',' << profile.costs[l] << ','
+        << FormatDouble(profile.sc_probs[l]) << "\n";
+  }
+  if (!*os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteProfileCsvFile(const CleaningProfile& profile,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteProfileCsv(profile, &out);
+}
+
+Result<CleaningProfile> ReadProfileCsv(std::istream* is) {
+  std::string line;
+  bool saw_header = false;
+  size_t line_no = 0;
+  struct Row {
+    int64_t cost;
+    double sc;
+  };
+  std::vector<Row> rows;
+  std::vector<bool> seen;
+  while (std::getline(*is, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (!saw_header) {
+      if (stripped != kHeader) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": expected header '" + kHeader + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> fields = SplitString(stripped, ',');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 3 fields");
+    }
+    Result<int64_t> xtuple = ParseInt(fields[0]);
+    Result<int64_t> cost = ParseInt(fields[1]);
+    Result<double> sc = ParseDouble(fields[2]);
+    for (const Status& s : {xtuple.status(), cost.status(), sc.status()}) {
+      if (!s.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": " + s.message());
+      }
+    }
+    if (*xtuple < 0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": negative x-tuple id");
+    }
+    const size_t l = static_cast<size_t>(*xtuple);
+    if (l >= rows.size()) {
+      rows.resize(l + 1, Row{0, 0.0});
+      seen.resize(l + 1, false);
+    }
+    if (seen[l]) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": duplicate x-tuple " +
+                                     std::to_string(l));
+    }
+    seen[l] = true;
+    rows[l] = Row{*cost, *sc};
+  }
+  if (!saw_header) return Status::InvalidArgument("empty CSV: no header");
+  for (size_t l = 0; l < seen.size(); ++l) {
+    if (!seen[l]) {
+      return Status::InvalidArgument("missing row for x-tuple " +
+                                     std::to_string(l));
+    }
+  }
+  CleaningProfile profile;
+  for (const Row& row : rows) {
+    profile.costs.push_back(row.cost);
+    profile.sc_probs.push_back(row.sc);
+  }
+  UCLEAN_RETURN_IF_ERROR(profile.Validate(profile.costs.size()));
+  return profile;
+}
+
+Result<CleaningProfile> ReadProfileCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadProfileCsv(&in);
+}
+
+}  // namespace uclean

@@ -1,0 +1,121 @@
+// RandU and RandP (Sections V-D.2 / V-D.3): draw x-tuples from the
+// candidate set Z with replacement -- uniformly, or weighted by top-k
+// probability mass -- spending one probe per draw until the budget cannot
+// afford any further x-tuple.
+//
+// Draws are restricted to currently affordable x-tuples. X-tuples are
+// bucketed by cost with per-bucket cumulative weights, so each draw costs
+// O(log n) and the affordable set shrinks at most (#distinct costs) times.
+
+#include <algorithm>
+#include <vector>
+
+#include "clean/planners.h"
+#include "common/check.h"
+
+namespace uclean {
+
+namespace {
+
+struct CostBucket {
+  int64_t cost = 0;
+  std::vector<int32_t> xtuples;
+  std::vector<double> cumulative;  // inclusive prefix sums of weights
+  double total = 0.0;
+};
+
+/// Groups x-tuples with positive weight by cost and builds per-bucket
+/// cumulative weight tables.
+std::vector<CostBucket> BuildBuckets(const CleaningProblem& problem,
+                                     const std::vector<double>& weights) {
+  std::vector<std::pair<int64_t, int32_t>> by_cost;  // (cost, xtuple)
+  for (size_t l = 0; l < problem.num_xtuples(); ++l) {
+    if (weights[l] > 0.0) {
+      by_cost.emplace_back(problem.cost[l], static_cast<int32_t>(l));
+    }
+  }
+  std::sort(by_cost.begin(), by_cost.end());
+  std::vector<CostBucket> buckets;
+  for (const auto& [cost, l] : by_cost) {
+    if (buckets.empty() || buckets.back().cost != cost) {
+      buckets.push_back(CostBucket{cost, {}, {}, 0.0});
+    }
+    CostBucket& bucket = buckets.back();
+    bucket.xtuples.push_back(l);
+    bucket.total += weights[l];
+    bucket.cumulative.push_back(bucket.total);
+  }
+  return buckets;
+}
+
+Result<CleaningPlan> PlanRandom(const CleaningProblem& problem,
+                                const std::vector<double>& weights, Rng* rng) {
+  UCLEAN_RETURN_IF_ERROR(problem.Validate());
+  if (rng == nullptr) {
+    return Status::InvalidArgument("random planners require an Rng");
+  }
+
+  CleaningPlan plan;
+  plan.probes.assign(problem.num_xtuples(), 0);
+
+  std::vector<CostBucket> buckets = BuildBuckets(problem, weights);
+  // Buckets are sorted by ascending cost; `live` marks how many are
+  // affordable (a prefix, since budget only decreases).
+  size_t live = buckets.size();
+  int64_t remaining = problem.budget;
+
+  while (remaining > 0) {
+    while (live > 0 && buckets[live - 1].cost > remaining) --live;
+    if (live == 0) break;
+    double affordable_weight = 0.0;
+    for (size_t b = 0; b < live; ++b) affordable_weight += buckets[b].total;
+    UCLEAN_DCHECK(affordable_weight > 0.0);
+
+    double target = rng->Uniform(0.0, affordable_weight);
+    size_t chosen_bucket = live - 1;
+    for (size_t b = 0; b < live; ++b) {
+      if (target < buckets[b].total) {
+        chosen_bucket = b;
+        break;
+      }
+      target -= buckets[b].total;
+    }
+    const CostBucket& bucket = buckets[chosen_bucket];
+    const size_t pos =
+        std::lower_bound(bucket.cumulative.begin(), bucket.cumulative.end(),
+                         std::min(target, bucket.total)) -
+        bucket.cumulative.begin();
+    const int32_t l = bucket.xtuples[std::min(pos, bucket.xtuples.size() - 1)];
+
+    ++plan.probes[l];
+    remaining -= bucket.cost;
+  }
+
+  plan.total_cost = problem.budget - remaining;
+  plan.expected_improvement = ExpectedImprovement(problem, plan.probes);
+  return plan;
+}
+
+}  // namespace
+
+Result<CleaningPlan> PlanRandU(const CleaningProblem& problem, Rng* rng) {
+  // Uniform over the candidate set Z (Section V-C: x-tuples with nonzero
+  // g(l,D); the others provably cannot improve the query, Lemma 5). Beyond
+  // membership in Z, RandU ignores every signal -- the paper's fairness
+  // baseline.
+  std::vector<double> weights(problem.num_xtuples(), 0.0);
+  for (size_t l = 0; l < problem.num_xtuples(); ++l) {
+    if (problem.gain[l] < 0.0) weights[l] = 1.0;
+  }
+  return PlanRandom(problem, weights, rng);
+}
+
+Result<CleaningPlan> PlanRandP(const CleaningProblem& problem, Rng* rng) {
+  if (problem.topk_mass.size() != problem.num_xtuples()) {
+    return Status::InvalidArgument(
+        "RandP requires per-x-tuple top-k probability masses");
+  }
+  return PlanRandom(problem, problem.topk_mass, rng);
+}
+
+}  // namespace uclean

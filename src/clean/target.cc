@@ -1,0 +1,84 @@
+#include "clean/target.h"
+
+#include <utility>
+
+#include "clean/problem.h"
+#include "quality/tp.h"
+
+namespace uclean {
+
+Result<BudgetSearchReport> MinimalBudgetForTarget(
+    const ProbabilisticDatabase& db, size_t k, const CleaningProfile& profile,
+    double target_quality, int64_t max_budget, const DpOptions& dp_options) {
+  if (max_budget < 0) {
+    return Status::InvalidArgument("max_budget must be >= 0");
+  }
+  if (target_quality > 0.0) {
+    return Status::InvalidArgument("a PWS-quality target must be <= 0");
+  }
+
+  // One expensive pass: the g(l,D) table does not depend on the budget, so
+  // build the problem once at max_budget and re-scope it per probe.
+  Result<CleaningProblem> base =
+      MakeCleaningProblem(db, k, profile, max_budget);
+  if (!base.ok()) return base.status();
+
+  Result<TpOutput> tp = ComputeTpQuality(db, k);
+  if (!tp.ok()) return tp.status();
+
+  BudgetSearchReport report;
+  report.current_quality = tp->quality;
+
+  auto expected_quality_at = [&](int64_t budget) -> Result<CleaningPlan> {
+    CleaningProblem scoped = *base;
+    scoped.budget = budget;
+    return PlanDp(scoped, dp_options);
+  };
+
+  if (report.current_quality >= target_quality) {
+    // Already satisfied without cleaning.
+    report.attainable = true;
+    report.minimal_budget = 0;
+    report.expected_quality = report.current_quality;
+    Result<CleaningPlan> empty = expected_quality_at(0);
+    if (!empty.ok()) return empty.status();
+    report.plan = std::move(empty).value();
+    return report;
+  }
+
+  Result<CleaningPlan> at_max = expected_quality_at(max_budget);
+  if (!at_max.ok()) return at_max.status();
+  const double best_quality =
+      report.current_quality + at_max->expected_improvement;
+  if (best_quality < target_quality) {
+    report.attainable = false;
+    report.minimal_budget = max_budget;
+    report.expected_quality = best_quality;
+    report.plan = std::move(at_max).value();
+    return report;
+  }
+
+  // I*(C) is nondecreasing in C: binary search the threshold.
+  int64_t lo = 0, hi = max_budget;  // invariant: hi attains, lo does not
+  CleaningPlan plan_at_hi = std::move(at_max).value();
+  while (lo + 1 < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    Result<CleaningPlan> plan = expected_quality_at(mid);
+    if (!plan.ok()) return plan.status();
+    if (report.current_quality + plan->expected_improvement >=
+        target_quality) {
+      hi = mid;
+      plan_at_hi = std::move(plan).value();
+    } else {
+      lo = mid;
+    }
+  }
+  report.attainable = true;
+  report.minimal_budget = hi;
+  report.expected_quality =
+      report.current_quality + plan_at_hi.expected_improvement;
+  report.plan = std::move(plan_at_hi);
+  return report;
+}
+
+}  // namespace uclean

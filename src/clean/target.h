@@ -1,0 +1,40 @@
+// Minimal-budget search: the inverse of the paper's cleaning problem.
+//
+// The conclusion lists "use minimal cost to attain a given quality score"
+// as future work (Section VII). Because the DP planner's optimal expected
+// improvement I*(C) is nondecreasing in the budget C (a larger budget can
+// always replay a smaller budget's plan), the smallest budget whose
+// expected post-cleaning quality S(D,Q) + I*(C) reaches a target is found
+// by binary search over C.
+
+#ifndef UCLEAN_CLEAN_TARGET_H_
+#define UCLEAN_CLEAN_TARGET_H_
+
+#include <cstdint>
+
+#include "clean/planners.h"
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+
+/// Result of the minimal-budget search.
+struct BudgetSearchReport {
+  bool attainable = false;        ///< target reachable within max_budget
+  int64_t minimal_budget = 0;     ///< smallest sufficient C (if attainable)
+  double current_quality = 0.0;   ///< S(D,Q) before cleaning
+  double expected_quality = 0.0;  ///< S + I*(C) at the reported budget
+  CleaningPlan plan;              ///< the optimal plan at that budget
+};
+
+/// Finds the smallest budget C <= max_budget whose optimal expected
+/// post-cleaning quality reaches `target_quality` (a PWS-quality, <= 0).
+/// When unattainable, reports the best expected quality at max_budget.
+Result<BudgetSearchReport> MinimalBudgetForTarget(
+    const ProbabilisticDatabase& db, size_t k, const CleaningProfile& profile,
+    double target_quality, int64_t max_budget,
+    const DpOptions& dp_options = {});
+
+}  // namespace uclean
+
+#endif  // UCLEAN_CLEAN_TARGET_H_

@@ -1,0 +1,31 @@
+// Internal invariant-checking macros.
+//
+// UCLEAN_CHECK fires in all build types and is reserved for invariants whose
+// violation would make further execution meaningless (programming errors,
+// not data errors -- data errors surface as Status). UCLEAN_DCHECK compiles
+// away in release builds.
+
+#ifndef UCLEAN_COMMON_CHECK_H_
+#define UCLEAN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define UCLEAN_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "UCLEAN_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifndef NDEBUG
+#define UCLEAN_DCHECK(cond) UCLEAN_CHECK(cond)
+#else
+#define UCLEAN_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#endif
+
+#endif  // UCLEAN_COMMON_CHECK_H_

@@ -1,0 +1,42 @@
+// Numerically safe entropy helpers shared by all quality algorithms.
+//
+// The PWS-quality metric (Definition 4 of the paper) is the negated Shannon
+// entropy of the pw-result distribution, using base-2 logarithms. The
+// tuple-form weights (Theorem 1 / Eq. 6) use the function Y(x) = x*log2(x)
+// with the information-theoretic convention Y(0) = 0.
+
+#ifndef UCLEAN_COMMON_ENTROPY_MATH_H_
+#define UCLEAN_COMMON_ENTROPY_MATH_H_
+
+#include <cmath>
+
+namespace uclean {
+
+/// Y(x) = x * log2(x), with Y(0) = 0 (the limit as x -> 0+).
+///
+/// Negative inputs can appear only through floating-point cancellation of
+/// quantities that are mathematically >= 0; they are clamped to 0.
+inline double YLog2(double x) {
+  if (x <= 0.0) return 0.0;
+  return x * std::log2(x);
+}
+
+/// log2(x) guarded against the x == 0 case, used for per-tuple weights
+/// where the multiplying factor is known to vanish with x.
+inline double Log2Safe(double x) {
+  if (x <= 0.0) return 0.0;
+  return std::log2(x);
+}
+
+/// Entropy contribution -p*log2(p) of one outcome probability.
+inline double EntropyTerm(double p) { return -YLog2(p); }
+
+/// True if |a - b| <= abs_tol, the comparison used throughout tests that
+/// mirror the paper's own 1e-8 cross-validation bar (Section VI).
+inline bool ApproxEqual(double a, double b, double abs_tol = 1e-8) {
+  return std::fabs(a - b) <= abs_tol;
+}
+
+}  // namespace uclean
+
+#endif  // UCLEAN_COMMON_ENTROPY_MATH_H_

@@ -1,0 +1,157 @@
+// Status and Result<T>: exception-free error handling for the uclean library.
+//
+// Follows the RocksDB/absl idiom: every fallible public operation returns a
+// Status (or a Result<T> when it also produces a value). Exceptions are not
+// used across library boundaries.
+
+#ifndef UCLEAN_COMMON_STATUS_H_
+#define UCLEAN_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace uclean {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller-supplied input violates a precondition.
+  kNotFound = 2,          ///< A referenced entity (tuple, x-tuple) is missing.
+  kOutOfRange = 3,        ///< An index/parameter is outside its legal domain.
+  kFailedPrecondition = 4,///< The object is not in a state that allows the call.
+  kResourceExhausted = 5, ///< A configured limit (worlds, budget) was exceeded.
+  kInternal = 6,          ///< An invariant inside the library was violated.
+  kIOError = 7,           ///< File/stream input or output failed.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation: success (ok) or an error code plus message.
+///
+/// Statuses are cheap to copy for the ok case and carry an explanatory
+/// message otherwise. Typical use:
+///
+///     Status s = builder.Finish(&db);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an ok status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an ok status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk on success).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value or an error: the return type of fallible value-producing calls.
+///
+/// Accessing the value of a failed Result aborts in debug builds; callers
+/// must check ok() first (or use value_or()).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs a failed result from a non-ok status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-ok status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (ok iff a value is present).
+  const Status& status() const { return status_; }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The held value, or `fallback` if this result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace uclean
+
+/// Propagates a non-ok Status out of the current function.
+#define UCLEAN_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::uclean::Status _uclean_status = (expr);       \
+    if (!_uclean_status.ok()) return _uclean_status;\
+  } while (false)
+
+#endif  // UCLEAN_COMMON_STATUS_H_

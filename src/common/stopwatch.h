@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by the benchmark harnesses that report the
+// paper's time-vs-parameter series.
+
+#ifndef UCLEAN_COMMON_STOPWATCH_H_
+#define UCLEAN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace uclean {
+
+/// Measures elapsed wall-clock time with steady_clock resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uclean
+
+#endif  // UCLEAN_COMMON_STOPWATCH_H_

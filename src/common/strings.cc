@@ -1,0 +1,90 @@
+#include "common/strings.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace uclean {
+
+std::vector<std::string> SplitString(std::string_view line, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = line.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(line.substr(start));
+      break;
+    }
+    out.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         (s[begin] == ' ' || s[begin] == '\t' || s[begin] == '\r' ||
+          s[begin] == '\n')) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin &&
+         (s[end - 1] == ' ' || s[end - 1] == '\t' || s[end - 1] == '\r' ||
+          s[end - 1] == '\n')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  s = StripWhitespace(s);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  // std::from_chars for double is not available on all libstdc++ versions;
+  // strtod on a NUL-terminated copy is portable and strict enough once we
+  // verify full consumption.
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("not a double: '" + buf + "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(std::string_view s) {
+  s = StripWhitespace(s);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not an integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+std::string FormatDouble(double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+}  // namespace uclean

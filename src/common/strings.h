@@ -1,0 +1,36 @@
+// Small string utilities for CSV serialization and report formatting.
+
+#ifndef UCLEAN_COMMON_STRINGS_H_
+#define UCLEAN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uclean {
+
+/// Splits `line` on `delim`, preserving empty fields.
+std::vector<std::string> SplitString(std::string_view line, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a double, rejecting trailing garbage and empty input.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a 64-bit signed integer, rejecting trailing garbage and
+/// empty input.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Formats a double with enough digits to round-trip (max_digits10).
+std::string FormatDouble(double value);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_COMMON_STRINGS_H_

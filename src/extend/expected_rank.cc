@@ -1,0 +1,81 @@
+#include "extend/expected_rank.h"
+
+#include <algorithm>
+
+#include "rank/psr.h"
+
+namespace uclean {
+
+Result<ExpectedRankOutput> ComputeExpectedRanks(
+    const ProbabilisticDatabase& db, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  const size_t n = db.num_tuples();
+  ExpectedRankOutput out;
+  out.expected_rank.assign(n, 0.0);
+  if (n == 0) return out;
+
+  // Full-depth PSR: rho_i(h) for every achievable rank h = 1..m. Early
+  // termination must stay off -- expected ranks need the whole database.
+  PsrOptions options;
+  options.store_rank_probabilities = true;
+  options.early_termination = false;
+  const size_t full_depth = db.num_xtuples();
+  Result<PsrOutput> psr = ComputePsr(db, full_depth, options);
+  if (!psr.ok()) return psr.status();
+
+  // Expected number of real tuples in a world (the bottom rank for an
+  // absent tuple, per Cormode et al.).
+  double expected_world_size = 0.0;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    expected_world_size += db.xtuple_real_mass(static_cast<XTupleId>(l));
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const Tuple& t = db.tuple(i);
+    // Present case: sum over h of (h - 1) * rho_i(h) counts the tuples
+    // ranked above t_i (nulls sort below every real tuple, so for real
+    // tuples this is exactly the real-tuples-above count). Ranks are
+    // 0-based in Cormode et al.; we keep that convention.
+    double present = 0.0;
+    for (size_t h = 1; h <= full_depth; ++h) {
+      present += static_cast<double>(h - 1) * psr->rank_probability(i, h);
+    }
+    // Absent case: the bottom rank is the number of real tuples in the
+    // world *conditioned on t_i being absent* -- t_i's own x-tuple then
+    // produces a real tuple with probability (s_l - e_i) / (1 - e_i)
+    // (uniformly correct for the null alternative too, where e_i = 1-s_l).
+    double absent = 0.0;
+    if (t.prob < 1.0) {
+      const double s_l = db.xtuple_real_mass(t.xtuple);
+      const double own_real = t.is_null ? 0.0 : t.prob;
+      const double conditional_world = expected_world_size - s_l +
+                                       (s_l - own_real) / (1.0 - t.prob);
+      absent = (1.0 - t.prob) * conditional_world;
+    }
+    out.expected_rank[i] = present + absent;
+  }
+
+  // Expected-rank top-k: k smallest expected ranks among real tuples,
+  // ties toward the higher-ranked tuple.
+  std::vector<int32_t> candidates;
+  candidates.reserve(db.num_real_tuples());
+  for (size_t i = 0; i < n; ++i) {
+    if (!db.tuple(i).is_null) candidates.push_back(static_cast<int32_t>(i));
+  }
+  const size_t take = std::min(k, candidates.size());
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(), [&](int32_t a, int32_t b) {
+                      if (out.expected_rank[a] != out.expected_rank[b]) {
+                        return out.expected_rank[a] < out.expected_rank[b];
+                      }
+                      return a < b;
+                    });
+  for (size_t j = 0; j < take; ++j) {
+    const int32_t i = candidates[j];
+    out.topk.push_back(
+        AnswerEntry{db.tuple(i).id, i, out.expected_rank[i]});
+  }
+  return out;
+}
+
+}  // namespace uclean

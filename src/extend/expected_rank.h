@@ -1,0 +1,50 @@
+// Expected-rank semantics (Cormode, Li, Yi -- ICDE 2009).
+//
+// Another classic the paper lists for future study (Section II). The
+// expected rank of tuple t_i is
+//
+//   er(t_i) = sum over worlds W of Pr(W) * rank_W(t_i),
+//
+// where rank_W counts the real tuples of W ranked above t_i when t_i is
+// present, and is the bottom rank (the number of real tuples in W) when
+// t_i is absent -- Cormode et al.'s convention that missing tuples sit at
+// the bottom of the world. An expected-rank top-k query returns the k
+// tuples with the smallest expected ranks.
+//
+// Everything derives from one full-depth PSR pass: rank-h probabilities
+// give the present-case expectation (nulls rank below every real tuple,
+// so "tuples above" counts reals only), and the absent case contributes
+// (1 - e_i) times the expected number of real tuples in a world, which is
+// the sum of the x-tuple masses.
+
+#ifndef UCLEAN_EXTEND_EXPECTED_RANK_H_
+#define UCLEAN_EXTEND_EXPECTED_RANK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+#include "query/topk_queries.h"
+
+namespace uclean {
+
+/// Expected ranks of every tuple, plus the induced top-k answer.
+struct ExpectedRankOutput {
+  /// Expected rank per rank index (1-based ranks; includes null tuples,
+  /// whose values are only meaningful as world-size ballast).
+  std::vector<double> expected_rank;
+
+  /// The k real tuples with the smallest expected ranks, ascending.
+  std::vector<AnswerEntry> topk;
+};
+
+/// Computes expected ranks on `db` and the expected-rank top-k answer.
+/// Cost: one PSR pass at full depth, O(n * min(n, overlap) + n^2-ish) in
+/// the worst case; intended for the moderate database sizes the semantics
+/// is used at.
+Result<ExpectedRankOutput> ComputeExpectedRanks(
+    const ProbabilisticDatabase& db, size_t k);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_EXTEND_EXPECTED_RANK_H_

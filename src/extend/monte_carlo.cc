@@ -1,0 +1,64 @@
+#include "extend/monte_carlo.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/entropy_math.h"
+#include "common/rng.h"
+#include "pworld/world_iterator.h"
+
+namespace uclean {
+
+Result<MonteCarloOutput> EstimateQualityMonteCarlo(
+    const ProbabilisticDatabase& db, size_t k,
+    const MonteCarloOptions& options) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (options.samples == 0) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+
+  // Per-x-tuple cumulative alternative masses for O(log) world sampling.
+  const size_t m = db.num_xtuples();
+  std::vector<std::vector<double>> cumulative(m);
+  for (size_t l = 0; l < m; ++l) {
+    double acc = 0.0;
+    for (int32_t idx : db.xtuple_members(static_cast<XTupleId>(l))) {
+      acc += db.tuple(idx).prob;
+      cumulative[l].push_back(acc);
+    }
+  }
+
+  Rng rng(options.seed);
+  std::unordered_map<PwResult, uint64_t, PwResultHash> counts;
+  std::vector<int32_t> chosen(m);
+  for (uint64_t s = 0; s < options.samples; ++s) {
+    for (size_t l = 0; l < m; ++l) {
+      const auto& cum = cumulative[l];
+      const double u = rng.Uniform(0.0, cum.back());
+      const size_t pick =
+          std::lower_bound(cum.begin(), cum.end(), u) - cum.begin();
+      chosen[l] = db.xtuple_members(static_cast<XTupleId>(l))
+          [std::min(pick, cum.size() - 1)];
+    }
+    ++counts[DeterministicTopK(chosen, k)];
+  }
+
+  MonteCarloOutput out;
+  out.distinct_results = counts.size();
+  const double n = static_cast<double>(options.samples);
+  double entropy_bits = 0.0;
+  for (const auto& [result, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    entropy_bits += EntropyTerm(p);
+    if (options.collect_results) out.results[result] = p;
+  }
+  if (options.miller_madow_correction && counts.size() > 1) {
+    entropy_bits +=
+        (static_cast<double>(counts.size()) - 1.0) / (2.0 * n * std::log(2.0));
+  }
+  out.quality_estimate = -entropy_bits;
+  return out;
+}
+
+}  // namespace uclean

@@ -1,0 +1,47 @@
+#include "extend/range_max_quality.h"
+
+#include <cmath>
+
+#include "common/entropy_math.h"
+#include "quality/tp.h"
+
+namespace uclean {
+
+Result<RangeQualityOutput> ComputeRangeQuality(const ProbabilisticDatabase& db,
+                                               double lo, double hi) {
+  if (!(lo <= hi) || std::isnan(lo) || std::isnan(hi)) {
+    return Status::InvalidArgument("range query requires lo <= hi");
+  }
+  RangeQualityOutput out;
+  out.xtuple_entropy.assign(db.num_xtuples(), 0.0);
+
+  // Per x-tuple: outcomes are "alternative t (in range)" with probability
+  // e_t, plus one lumped "contributes nothing" outcome whose probability
+  // is the total mass of out-of-range alternatives (null included).
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    double nothing = 0.0;
+    double entropy = 0.0;
+    for (int32_t idx : db.xtuple_members(static_cast<XTupleId>(l))) {
+      const Tuple& t = db.tuple(idx);
+      const bool in_range = !t.is_null && t.score >= lo && t.score <= hi;
+      if (in_range) {
+        entropy += EntropyTerm(t.prob);
+        ++out.tuples_in_range;
+      } else {
+        nothing += t.prob;
+      }
+    }
+    entropy += EntropyTerm(nothing);
+    out.xtuple_entropy[l] = entropy;
+    out.quality -= entropy;  // independence: entropies add up
+  }
+  return out;
+}
+
+Result<double> ComputeMaxQuality(const ProbabilisticDatabase& db) {
+  Result<TpOutput> tp = ComputeTpQuality(db, /*k=*/1);
+  if (!tp.ok()) return tp.status();
+  return tp->quality;
+}
+
+}  // namespace uclean

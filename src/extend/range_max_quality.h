@@ -1,0 +1,50 @@
+// PWS-quality for range and max queries -- the Cheng/Chen/Xie [16]
+// setting the paper generalizes to top-k.
+//
+// The paper's related work contrasts itself with [16], which computes
+// PWS-quality for range and max queries; implementing both here gives the
+// library the combined query surface and lets the two papers' settings be
+// compared on the same data.
+//
+// * Range query Q[lo, hi]: in each world the answer is the set of present
+//   tuples with score in [lo, hi]. Because x-tuples are independent and an
+//   answer decomposes per x-tuple (each contributes its chosen in-range
+//   alternative or nothing), the answer distribution is a product
+//   distribution and its entropy is the SUM of per-x-tuple entropies --
+//   an O(n) closed form, mirroring [16]'s efficient range score.
+// * Max query: the answer is the single highest-ranked present tuple,
+//   which is exactly a top-1 query: its quality is TP at k = 1.
+
+#ifndef UCLEAN_EXTEND_RANGE_MAX_QUALITY_H_
+#define UCLEAN_EXTEND_RANGE_MAX_QUALITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+
+/// Quality report for a range query.
+struct RangeQualityOutput {
+  /// PWS-quality of the range answer distribution (<= 0).
+  double quality = 0.0;
+
+  /// Per-x-tuple entropy contribution (quality = -sum of these).
+  std::vector<double> xtuple_entropy;
+
+  /// Number of tuples whose score lies in [lo, hi].
+  size_t tuples_in_range = 0;
+};
+
+/// PWS-quality of the range query [lo, hi] on `db` (requires lo <= hi).
+Result<RangeQualityOutput> ComputeRangeQuality(const ProbabilisticDatabase& db,
+                                               double lo, double hi);
+
+/// PWS-quality of the max query on `db` (top-1 by the ranking function);
+/// computed through the paper's TP algorithm at k = 1.
+Result<double> ComputeMaxQuality(const ProbabilisticDatabase& db);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_EXTEND_RANGE_MAX_QUALITY_H_

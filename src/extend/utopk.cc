@@ -1,0 +1,38 @@
+#include "extend/utopk.h"
+
+#include <algorithm>
+
+namespace uclean {
+
+Result<UTopkAnswer> EvaluateUTopk(const ProbabilisticDatabase& db, size_t k,
+                                  size_t top_results,
+                                  const PwrOptions& options) {
+  PwrOptions pwr_options = options;
+  pwr_options.collect_results = true;  // U-Topk needs the distribution
+  Result<PwrOutput> pwr = ComputePwrQuality(db, k, pwr_options);
+  if (!pwr.ok()) return pwr.status();
+
+  UTopkAnswer answer;
+  answer.quality = pwr->quality;
+  answer.num_results = pwr->num_results;
+
+  std::vector<RankedResult> all;
+  all.reserve(pwr->results.size());
+  for (const auto& [result, prob] : pwr->results) {
+    all.push_back(RankedResult{result, prob});
+  }
+  const size_t take = std::min(top_results, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const RankedResult& a, const RankedResult& b) {
+                      if (a.probability != b.probability) {
+                        return a.probability > b.probability;
+                      }
+                      return a.result < b.result;  // deterministic ties
+                    });
+  all.resize(take);
+  if (!all.empty()) answer.best = all.front();
+  answer.top = std::move(all);
+  return answer;
+}
+
+}  // namespace uclean

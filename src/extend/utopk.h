@@ -1,0 +1,55 @@
+// U-Topk query semantics (Soliman et al., ICDE 2007).
+//
+// The paper's quality algorithms cover U-kRanks, PT-k and Global-topk and
+// leave the remaining classic semantics as future study (Section II). This
+// module adds U-Topk: the most probable *complete top-k answer sequence*,
+// i.e. the pw-result r maximizing Pr(r) (Definition 1). Because PWR
+// already enumerates the pw-result distribution exactly, U-Topk falls out
+// of the same machinery -- including its quality score, which is the same
+// PWS-quality (the metric depends on the pw-result distribution only, not
+// on the aggregation semantics).
+
+#ifndef UCLEAN_EXTEND_UTOPK_H_
+#define UCLEAN_EXTEND_UTOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+#include "pworld/pw_result.h"
+#include "quality/pwr.h"
+
+namespace uclean {
+
+/// One candidate answer sequence with its probability.
+struct RankedResult {
+  PwResult result;
+  double probability = 0.0;
+};
+
+/// U-Topk output: the best sequences in descending probability.
+struct UTopkAnswer {
+  /// The winner (empty only for an empty database).
+  RankedResult best;
+
+  /// The `top_results` most probable sequences, winner first.
+  std::vector<RankedResult> top;
+
+  /// PWS-quality of the underlying pw-result distribution.
+  double quality = 0.0;
+
+  /// Total number of distinct pw-results.
+  uint64_t num_results = 0;
+};
+
+/// Evaluates U-Topk for a top-k query on `db`, returning the
+/// `top_results` most probable complete answers. Inherits PWR's cost
+/// profile and guards (`options`).
+Result<UTopkAnswer> EvaluateUTopk(const ProbabilisticDatabase& db, size_t k,
+                                  size_t top_results = 1,
+                                  const PwrOptions& options = {});
+
+}  // namespace uclean
+
+#endif  // UCLEAN_EXTEND_UTOPK_H_

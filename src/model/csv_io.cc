@@ -1,0 +1,95 @@
+#include "model/csv_io.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace uclean {
+
+namespace {
+constexpr char kHeader[] = "xtuple,tuple_id,score,prob,label";
+}  // namespace
+
+Status WriteDatabaseCsv(const ProbabilisticDatabase& db, std::ostream* os) {
+  *os << kHeader << "\n";
+  // Emit grouped by x-tuple for human readability; rank order within.
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    for (int32_t idx : db.xtuple_members(static_cast<XTupleId>(l))) {
+      const Tuple& t = db.tuple(static_cast<size_t>(idx));
+      if (t.is_null) continue;
+      *os << t.xtuple << ',' << t.id << ',' << FormatDouble(t.score) << ','
+          << FormatDouble(t.prob) << ',' << t.label << "\n";
+    }
+  }
+  if (!*os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteDatabaseCsvFile(const ProbabilisticDatabase& db,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteDatabaseCsv(db, &out);
+}
+
+Result<ProbabilisticDatabase> ReadDatabaseCsv(std::istream* is) {
+  std::string line;
+  bool saw_header = false;
+  // x-tuple keys in the file may be sparse/unordered; remap densely in
+  // order of first appearance.
+  std::map<int64_t, XTupleId> xtuple_remap;
+  DatabaseBuilder builder;
+  size_t line_no = 0;
+  while (std::getline(*is, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    if (!saw_header) {
+      if (stripped != kHeader) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected header '" + kHeader + "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string> fields = SplitString(stripped, ',');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 5 fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    Result<int64_t> xkey = ParseInt(fields[0]);
+    Result<int64_t> id = ParseInt(fields[1]);
+    Result<double> score = ParseDouble(fields[2]);
+    Result<double> prob = ParseDouble(fields[3]);
+    for (const Status& s :
+         {xkey.status(), id.status(), score.status(), prob.status()}) {
+      if (!s.ok()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": " + s.message());
+      }
+    }
+    auto [it, inserted] = xtuple_remap.try_emplace(*xkey, XTupleId{0});
+    if (inserted) it->second = builder.AddXTuple();
+    Status s =
+        builder.AddAlternative(it->second, *id, *score, *prob, fields[4]);
+    if (!s.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     s.message());
+    }
+  }
+  if (!saw_header) return Status::InvalidArgument("empty CSV: no header");
+  return std::move(builder).Finish();
+}
+
+Result<ProbabilisticDatabase> ReadDatabaseCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadDatabaseCsv(&in);
+}
+
+}  // namespace uclean

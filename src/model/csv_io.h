@@ -1,0 +1,36 @@
+// CSV (de)serialization of probabilistic databases.
+//
+// Format (header required, comments with '#' allowed):
+//
+//     xtuple,tuple_id,score,prob,label
+//     0,0,21,0.6,S1-reading-a
+//
+// Null-completion tuples are never written; they are re-derived on load.
+
+#ifndef UCLEAN_MODEL_CSV_IO_H_
+#define UCLEAN_MODEL_CSV_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+
+/// Writes `db`'s real tuples as CSV to `os`.
+Status WriteDatabaseCsv(const ProbabilisticDatabase& db, std::ostream* os);
+
+/// Writes `db` to the file at `path`.
+Status WriteDatabaseCsvFile(const ProbabilisticDatabase& db,
+                            const std::string& path);
+
+/// Parses a database from CSV text on `is`.
+Result<ProbabilisticDatabase> ReadDatabaseCsv(std::istream* is);
+
+/// Reads a database from the file at `path`.
+Result<ProbabilisticDatabase> ReadDatabaseCsvFile(const std::string& path);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_MODEL_CSV_IO_H_

@@ -1,0 +1,37 @@
+#include "model/paper_example.h"
+
+#include "common/check.h"
+
+namespace uclean {
+
+namespace {
+
+ProbabilisticDatabase BuildUdb(bool cleaned_s3) {
+  DatabaseBuilder b;
+  XTupleId s1 = b.AddXTuple("S1");
+  XTupleId s2 = b.AddXTuple("S2");
+  XTupleId s3 = b.AddXTuple("S3");
+  XTupleId s4 = b.AddXTuple("S4");
+  UCLEAN_CHECK(b.AddAlternative(s1, 0, 21.0, 0.6, "t0").ok());
+  UCLEAN_CHECK(b.AddAlternative(s1, 1, 32.0, 0.4, "t1").ok());
+  UCLEAN_CHECK(b.AddAlternative(s2, 2, 30.0, 0.7, "t2").ok());
+  UCLEAN_CHECK(b.AddAlternative(s2, 3, 22.0, 0.3, "t3").ok());
+  if (cleaned_s3) {
+    UCLEAN_CHECK(b.AddAlternative(s3, 5, 27.0, 1.0, "t5").ok());
+  } else {
+    UCLEAN_CHECK(b.AddAlternative(s3, 4, 25.0, 0.4, "t4").ok());
+    UCLEAN_CHECK(b.AddAlternative(s3, 5, 27.0, 0.6, "t5").ok());
+  }
+  UCLEAN_CHECK(b.AddAlternative(s4, 6, 26.0, 1.0, "t6").ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  UCLEAN_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+}  // namespace
+
+ProbabilisticDatabase MakeUdb1() { return BuildUdb(/*cleaned_s3=*/false); }
+
+ProbabilisticDatabase MakeUdb2() { return BuildUdb(/*cleaned_s3=*/true); }
+
+}  // namespace uclean

@@ -1,0 +1,51 @@
+// Core value types of the x-tuple probabilistic data model (Section III-A of
+// the paper): tuples with existential probabilities, grouped into mutually
+// exclusive x-tuples.
+
+#ifndef UCLEAN_MODEL_TUPLE_H_
+#define UCLEAN_MODEL_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace uclean {
+
+/// User-assigned unique tuple key (the paper's ID_i). Null-completion tuples
+/// receive synthetic negative ids.
+using TupleId = int64_t;
+
+/// Dense 0-based index of an x-tuple within a database (the paper's l for
+/// x-tuple tau_l).
+using XTupleId = int32_t;
+
+/// One probabilistic alternative of an entity.
+///
+/// A tuple t_i = (ID_i, x_i, v_i, e_i): key, owning x-tuple, ranking value
+/// and existential probability. Tuples in the same x-tuple are mutually
+/// exclusive; tuples across x-tuples are independent.
+struct Tuple {
+  /// Unique key. Negative for materialized null-completion tuples.
+  TupleId id = 0;
+
+  /// Owning x-tuple.
+  XTupleId xtuple = 0;
+
+  /// Ranking attribute value v_i; the ranking function prefers larger
+  /// scores, breaking ties toward smaller ids (Section VI convention).
+  double score = 0.0;
+
+  /// Existential probability e_i in (0, 1].
+  double prob = 0.0;
+
+  /// True for the conceptual null tuple inserted when an x-tuple's
+  /// existential mass is below 1 (Section III-A). Null tuples rank below
+  /// every real tuple and never appear in query answers.
+  bool is_null = false;
+
+  /// Optional human-readable label carried through reports and examples.
+  std::string label;
+};
+
+}  // namespace uclean
+
+#endif  // UCLEAN_MODEL_TUPLE_H_

@@ -1,0 +1,35 @@
+#include "pworld/mass_index.h"
+
+#include <algorithm>
+
+namespace uclean {
+
+XTupleMassIndex::XTupleMassIndex(const ProbabilisticDatabase& db) : db_(db) {
+  prefix_.resize(db.num_xtuples());
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    const auto& members = db.xtuple_members(static_cast<XTupleId>(l));
+    prefix_[l].resize(members.size() + 1);
+    prefix_[l][0] = 0.0;
+    for (size_t j = 0; j < members.size(); ++j) {
+      prefix_[l][j + 1] = prefix_[l][j] + db.tuple(members[j]).prob;
+    }
+  }
+}
+
+double XTupleMassIndex::MassRankedAbove(XTupleId l, int32_t rank_index) const {
+  const auto& members = db_.xtuple_members(l);
+  // Members are stored in ascending rank-index order; count those < rank_index.
+  size_t j = std::lower_bound(members.begin(), members.end(), rank_index) -
+             members.begin();
+  return prefix_[l][j];
+}
+
+double XTupleMassIndex::MassRankedAtOrAbove(XTupleId l,
+                                            int32_t rank_index) const {
+  const auto& members = db_.xtuple_members(l);
+  size_t j = std::upper_bound(members.begin(), members.end(), rank_index) -
+             members.begin();
+  return prefix_[l][j];
+}
+
+}  // namespace uclean

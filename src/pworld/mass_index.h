@@ -1,0 +1,40 @@
+// Per-x-tuple prefix masses over the global rank order.
+//
+// Several algorithms need, for an x-tuple tau_l and a rank position,
+// "the total existential probability of tau_l's tuples ranked strictly
+// higher" (the inner sums of Lemma 1 and Eqs. 6-7). This index answers that
+// in O(log |tau_l|) after O(n) construction.
+
+#ifndef UCLEAN_PWORLD_MASS_INDEX_H_
+#define UCLEAN_PWORLD_MASS_INDEX_H_
+
+#include <vector>
+
+#include "model/database.h"
+
+namespace uclean {
+
+/// Prefix-mass index over a database's rank order.
+class XTupleMassIndex {
+ public:
+  /// Builds the index for `db`. The database must outlive the index.
+  explicit XTupleMassIndex(const ProbabilisticDatabase& db);
+
+  /// Total existential mass of tuples of x-tuple `l` whose rank index is
+  /// strictly smaller than `rank_index` (i.e., ranked strictly higher).
+  double MassRankedAbove(XTupleId l, int32_t rank_index) const;
+
+  /// Mass of tuples of `l` ranked at or above `rank_index` (the paper's
+  /// E_{i,l} of Eq. 7 when rank_index holds a member of tau_l).
+  double MassRankedAtOrAbove(XTupleId l, int32_t rank_index) const;
+
+ private:
+  const ProbabilisticDatabase& db_;
+  // For x-tuple l: prefix_[l][j] = sum of probs of its first j members in
+  // rank order (prefix_[l][0] = 0).
+  std::vector<std::vector<double>> prefix_;
+};
+
+}  // namespace uclean
+
+#endif  // UCLEAN_PWORLD_MASS_INDEX_H_

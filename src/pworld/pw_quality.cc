@@ -1,0 +1,31 @@
+#include "pworld/pw_quality.h"
+
+#include <string>
+
+#include "pworld/world_iterator.h"
+
+namespace uclean {
+
+Result<PwOutput> ComputePwQuality(const ProbabilisticDatabase& db, size_t k,
+                                  const PwOptions& options) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  const double worlds = db.NumPossibleWorlds();
+  if (options.max_worlds > 0 && worlds > options.max_worlds) {
+    return Status::ResourceExhausted(
+        "database has " + std::to_string(worlds) +
+        " possible worlds, above the configured PW limit of " +
+        std::to_string(options.max_worlds));
+  }
+  PwOutput out;
+  out.num_worlds = worlds;
+  for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+    PwResult r = DeterministicTopK(it.chosen_rank_indices(), k);
+    out.results[r] += it.probability();
+  }
+  out.quality = PwsQualityFromResults(out.results);
+  return out;
+}
+
+}  // namespace uclean

@@ -1,0 +1,45 @@
+// PW: the naive PWS-quality baseline (Section III-C).
+//
+// Expands every possible world, evaluates the deterministic top-k query in
+// each, aggregates identical pw-results, and applies Definition 4. Runtime
+// is exponential in the number of x-tuples; the paper measures 36 minutes at
+// just 10 x-tuples. PW exists as the ground-truth oracle that PWR and TP are
+// validated against (the paper's own 1e-8 cross-check) and as the slowest
+// series of Figure 4(d).
+
+#ifndef UCLEAN_PWORLD_PW_QUALITY_H_
+#define UCLEAN_PWORLD_PW_QUALITY_H_
+
+#include "common/status.h"
+#include "model/database.h"
+#include "pworld/pw_result.h"
+
+namespace uclean {
+
+/// Tuning knobs for the PW baseline.
+struct PwOptions {
+  /// Refuse to run when the world count exceeds this bound (the run would
+  /// not terminate in practical time). 0 disables the guard.
+  double max_worlds = 1e8;
+};
+
+/// Output of the PW baseline.
+struct PwOutput {
+  /// PWS-quality score S(D,Q) (Definition 4).
+  double quality = 0.0;
+  /// The full pw-result distribution (Figures 2-3 of the paper).
+  PwResultSet results;
+  /// Number of possible worlds expanded.
+  double num_worlds = 0.0;
+};
+
+/// Runs the PW baseline for a top-k query on `db`.
+///
+/// Returns ResourceExhausted without running when the database's world count
+/// exceeds `options.max_worlds`.
+Result<PwOutput> ComputePwQuality(const ProbabilisticDatabase& db, size_t k,
+                                  const PwOptions& options = {});
+
+}  // namespace uclean
+
+#endif  // UCLEAN_PWORLD_PW_QUALITY_H_

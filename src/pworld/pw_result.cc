@@ -1,0 +1,63 @@
+#include "pworld/pw_result.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/entropy_math.h"
+
+namespace uclean {
+
+double PwsQualityFromResults(const PwResultSet& results) {
+  double quality = 0.0;
+  for (const auto& [result, prob] : results) {
+    quality += YLog2(prob);
+  }
+  return quality;
+}
+
+double PwResultProbability(const ProbabilisticDatabase& db,
+                           const XTupleMassIndex& mass_index,
+                           const PwResult& result) {
+  if (result.empty()) return 1.0;  // degenerate: no tuples at all
+  double p = 1.0;
+  std::unordered_set<XTupleId> represented;
+  represented.reserve(result.size() * 2);
+  for (int32_t idx : result) {
+    p *= db.tuple(idx).prob;
+    represented.insert(db.tuple(idx).xtuple);
+  }
+  const int32_t last = result.back();
+  // Every x-tuple with no member in the result must contribute nothing
+  // ranked above result.back(). X-tuples whose best member already ranks
+  // below `last` contribute factor 1; only x-tuples with a member ranked
+  // above `last` matter, and all such members have rank index < last, so it
+  // suffices to scan rank positions 0..last-1 for distinct x-tuples.
+  std::unordered_set<XTupleId> handled;
+  for (int32_t i = 0; i < last; ++i) {
+    XTupleId l = db.tuple(i).xtuple;
+    if (represented.count(l) || !handled.insert(l).second) continue;
+    p *= 1.0 - mass_index.MassRankedAbove(l, last);
+  }
+  return p;
+}
+
+std::string PwResultToString(const ProbabilisticDatabase& db,
+                             const PwResult& result) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Tuple& t = db.tuple(result[i]);
+    if (t.is_null) {
+      os << "null[" << t.xtuple << "]";
+    } else if (!t.label.empty()) {
+      os << t.label;
+    } else {
+      os << "t" << t.id;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace uclean

@@ -1,0 +1,62 @@
+// pw-results (Definition 1) and their probability distribution.
+//
+// A pw-result is the ordered top-k answer some possible world produces:
+// here, ascending rank indices (best rank first). The distribution over
+// pw-results is what the PWS-quality metric takes the entropy of
+// (Definition 4), and Lemma 1 gives each pw-result's probability in closed
+// form without touching possible worlds.
+
+#ifndef UCLEAN_PWORLD_PW_RESULT_H_
+#define UCLEAN_PWORLD_PW_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/database.h"
+#include "pworld/mass_index.h"
+
+namespace uclean {
+
+/// One pw-result: rank indices of the returned tuples, ascending (the list
+/// is ordered by the ranking function as Definition 1 requires).
+using PwResult = std::vector<int32_t>;
+
+/// Hash functor so pw-results can key an unordered_map.
+struct PwResultHash {
+  size_t operator()(const PwResult& r) const {
+    // FNV-1a over the index words.
+    uint64_t h = 1469598103934665603ull;
+    for (int32_t v : r) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// The distribution R(D,Q): pw-result -> probability.
+using PwResultSet = std::unordered_map<PwResult, double, PwResultHash>;
+
+/// PWS-quality of a pw-result distribution (Definition 4):
+/// sum over results of Pr(r) * log2 Pr(r). Always <= 0; 0 iff the
+/// distribution is a point mass.
+double PwsQualityFromResults(const PwResultSet& results);
+
+/// Closed-form probability of one pw-result (Lemma 1): the product of the
+/// result members' existential probabilities times, for every unrepresented
+/// x-tuple, the probability that it contributes nothing ranked above the
+/// result's last tuple.
+double PwResultProbability(const ProbabilisticDatabase& db,
+                           const XTupleMassIndex& mass_index,
+                           const PwResult& result);
+
+/// Pretty-prints a pw-result as "(t1, t2, ...)" using tuple labels when
+/// present, ids otherwise.
+std::string PwResultToString(const ProbabilisticDatabase& db,
+                             const PwResult& result);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_PWORLD_PW_RESULT_H_

@@ -1,0 +1,52 @@
+#include "pworld/world_iterator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uclean {
+
+PossibleWorldIterator::PossibleWorldIterator(const ProbabilisticDatabase& db)
+    : db_(db),
+      odometer_(db.num_xtuples(), 0),
+      chosen_(db.num_xtuples(), 0),
+      done_(false) {
+  for (size_t l = 0; l < db_.num_xtuples(); ++l) {
+    const auto& members = db_.xtuple_members(static_cast<XTupleId>(l));
+    UCLEAN_CHECK(!members.empty());
+    chosen_[l] = members[0];
+  }
+}
+
+void PossibleWorldIterator::Next() {
+  UCLEAN_DCHECK(!done_);
+  for (size_t l = 0; l < odometer_.size(); ++l) {
+    const auto& members = db_.xtuple_members(static_cast<XTupleId>(l));
+    if (++odometer_[l] < members.size()) {
+      chosen_[l] = members[odometer_[l]];
+      return;
+    }
+    odometer_[l] = 0;
+    chosen_[l] = members[0];
+  }
+  done_ = true;  // odometer wrapped: all worlds visited
+}
+
+double PossibleWorldIterator::probability() const {
+  double p = 1.0;
+  for (int32_t idx : chosen_) p *= db_.tuple(idx).prob;
+  return p;
+}
+
+std::vector<int32_t> DeterministicTopK(const std::vector<int32_t>& chosen,
+                                       size_t k) {
+  std::vector<int32_t> result(chosen);
+  if (result.size() > k) {
+    std::nth_element(result.begin(), result.begin() + k, result.end());
+    result.resize(k);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace uclean

@@ -1,0 +1,59 @@
+// Exhaustive possible-world enumeration (Step 1 of the paper's Figure 1)
+// and deterministic top-k evaluation inside a world (Step 2).
+//
+// A possible world draws exactly one alternative (real or null) from every
+// x-tuple; its probability is the product of the drawn alternatives'
+// existential probabilities. Enumeration is an odometer over the per-x-tuple
+// alternative lists. The world count is exponential, so this machinery only
+// backs the PW baseline, brute-force test oracles, and tiny examples.
+
+#ifndef UCLEAN_PWORLD_WORLD_ITERATOR_H_
+#define UCLEAN_PWORLD_WORLD_ITERATOR_H_
+
+#include <vector>
+
+#include "model/database.h"
+
+namespace uclean {
+
+/// Iterates over every possible world of a database.
+///
+///     for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+///       double p = it.probability();
+///       const std::vector<int32_t>& chosen = it.chosen_rank_indices();
+///     }
+class PossibleWorldIterator {
+ public:
+  /// Positions the iterator at the first world. The database must outlive
+  /// the iterator.
+  explicit PossibleWorldIterator(const ProbabilisticDatabase& db);
+
+  /// True when every world has been visited.
+  bool Done() const { return done_; }
+
+  /// Advances to the next world (odometer increment).
+  void Next();
+
+  /// The rank index drawn from each x-tuple in the current world
+  /// (element l corresponds to x-tuple l).
+  const std::vector<int32_t>& chosen_rank_indices() const { return chosen_; }
+
+  /// Probability of the current world (product of drawn probabilities).
+  double probability() const;
+
+ private:
+  const ProbabilisticDatabase& db_;
+  std::vector<size_t> odometer_;   // per-x-tuple alternative cursor
+  std::vector<int32_t> chosen_;    // chosen_[l] = rank index drawn from l
+  bool done_;
+};
+
+/// Deterministic top-k inside a world: the k highest-ranked of the drawn
+/// tuples, as ascending rank indices (best first). Returns fewer than k
+/// entries only when the world holds fewer than k tuples (m < k).
+std::vector<int32_t> DeterministicTopK(const std::vector<int32_t>& chosen,
+                                       size_t k);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_PWORLD_WORLD_ITERATOR_H_

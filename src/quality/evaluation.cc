@@ -1,0 +1,41 @@
+#include "quality/evaluation.h"
+
+#include "common/stopwatch.h"
+
+namespace uclean {
+
+Result<EvaluationReport> EvaluateTopk(const ProbabilisticDatabase& db,
+                                      const EvaluationOptions& options) {
+  EvaluationReport report;
+  Stopwatch timer;
+
+  Result<PsrOutput> psr = ComputePsr(db, options.k, options.psr);
+  if (!psr.ok()) return psr.status();
+  report.psr = std::move(psr).value();
+  report.psr_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  if (options.ukranks) {
+    report.ukranks = EvaluateUkRanks(db, report.psr);
+  }
+  if (options.ptk) {
+    Result<PtkAnswer> ptk = EvaluatePtk(db, report.psr, options.ptk_threshold);
+    if (!ptk.ok()) return ptk.status();
+    report.ptk = std::move(ptk).value();
+  }
+  if (options.global_topk) {
+    report.global_topk = EvaluateGlobalTopk(db, report.psr);
+  }
+  report.query_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  if (options.quality) {
+    Result<TpOutput> quality = ComputeTpQuality(db, report.psr);
+    if (!quality.ok()) return quality.status();
+    report.quality = std::move(quality).value();
+  }
+  report.quality_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace uclean

@@ -1,0 +1,50 @@
+// One-pass query + quality evaluation (Section IV-C / Figure 1(b)).
+//
+// A single PSR scan yields the rank-probability information from which all
+// three query semantics derive their answers, and TP then turns the same
+// information into the PWS-quality score. The report carries a timing
+// breakdown so callers (and the Figure-5 bench) can quantify how little the
+// quality computation adds on top of query evaluation.
+
+#ifndef UCLEAN_QUALITY_EVALUATION_H_
+#define UCLEAN_QUALITY_EVALUATION_H_
+
+#include "common/status.h"
+#include "model/database.h"
+#include "quality/tp.h"
+#include "query/topk_queries.h"
+#include "rank/psr.h"
+
+namespace uclean {
+
+/// Which artifacts EvaluateTopk should produce.
+struct EvaluationOptions {
+  size_t k = 15;              ///< paper default (Section VI)
+  double ptk_threshold = 0.1; ///< paper default PT-k threshold
+  bool ukranks = true;
+  bool ptk = true;
+  bool global_topk = true;
+  bool quality = true;
+  PsrOptions psr;
+};
+
+/// Answers, quality, and the timing breakdown of one shared evaluation.
+struct EvaluationReport {
+  PsrOutput psr;
+  UkRanksAnswer ukranks;
+  PtkAnswer ptk;
+  GlobalTopkAnswer global_topk;
+  TpOutput quality;
+
+  double psr_seconds = 0.0;      ///< the shared rank-probability pass
+  double query_seconds = 0.0;    ///< deriving the requested answers
+  double quality_seconds = 0.0;  ///< the TP pass (the *extra* cost of quality)
+};
+
+/// Runs the shared pipeline on `db`.
+Result<EvaluationReport> EvaluateTopk(const ProbabilisticDatabase& db,
+                                      const EvaluationOptions& options = {});
+
+}  // namespace uclean
+
+#endif  // UCLEAN_QUALITY_EVALUATION_H_

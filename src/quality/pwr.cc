@@ -1,0 +1,171 @@
+#include "quality/pwr.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/entropy_math.h"
+#include "common/stopwatch.h"
+
+namespace uclean {
+
+namespace {
+
+/// Depth-first enumerator over pw-results with an explicit trail stack, so
+/// recursion depth never depends on the database size (branches can pass
+/// over every tuple once, which would be ~n stack frames if recursive).
+class PwrEnumerator {
+ public:
+  PwrEnumerator(const ProbabilisticDatabase& db, size_t k,
+                const PwrOptions& options)
+      : db_(db),
+        k_(k),
+        options_(options),
+        n_(static_cast<int32_t>(db.num_tuples())),
+        in_result_(db.num_xtuples(), false),
+        mass_above_(db.num_xtuples(), 0.0),
+        is_last_member_(db.num_tuples(), false) {
+    for (size_t l = 0; l < db.num_xtuples(); ++l) {
+      const auto& members = db.xtuple_members(static_cast<XTupleId>(l));
+      is_last_member_[members.back()] = true;
+    }
+  }
+
+  Status Run(PwrOutput* out) {
+    Stopwatch timer;
+    int32_t i = 0;
+    while (true) {
+      // Descend: walk tuples forward, applying Algorithm 1's case analysis,
+      // until the partial result completes (or input is exhausted).
+      while (result_.size() < k_ && i < n_) {
+        const Tuple& t = db_.tuple(i);
+        if (in_result_[t.xtuple]) {
+          Pass(i);  // Step 8: mutual exclusion, t_i cannot exist
+        } else if (is_last_member_[i]) {
+          Include(i, /*decision=*/false);  // Step 10: t_i is forced to exist
+        } else {
+          Include(i, /*decision=*/true);  // Step 12: branch; existence first
+        }
+        ++i;
+      }
+      UCLEAN_RETURN_IF_ERROR(EmitLeaf(out, timer));
+
+      // Backtrack: revisit the deepest open decision and take its
+      // "t_i does not exist" branch.
+      if (decision_points_.empty()) break;
+      const size_t dpos = decision_points_.back();
+      decision_points_.pop_back();
+      while (trail_.size() > dpos + 1) UndoLast();
+      const int32_t j = trail_.back().index;
+      UndoLast();
+      Pass(j);
+      i = j + 1;
+    }
+    out->quality = options_.collect_results
+                       ? PwsQualityFromResults(out->results)
+                       : entropy_accum_;
+    out->num_results = leaves_;
+    return Status::OK();
+  }
+
+ private:
+  struct TrailEntry {
+    int32_t index;
+    bool included;
+    double old_prob;  // product before this step (exact undo, no division)
+    bool first_touch; // this step made the x-tuple's above-mass positive
+  };
+
+  void Pass(int32_t i) {
+    const Tuple& t = db_.tuple(i);
+    const bool first = mass_above_[t.xtuple] == 0.0;
+    if (first) touched_.push_back(t.xtuple);
+    mass_above_[t.xtuple] += t.prob;
+    trail_.push_back(TrailEntry{i, false, prob_, first});
+  }
+
+  void Include(int32_t i, bool decision) {
+    const Tuple& t = db_.tuple(i);
+    const bool first = mass_above_[t.xtuple] == 0.0;
+    if (first) touched_.push_back(t.xtuple);
+    mass_above_[t.xtuple] += t.prob;
+    trail_.push_back(TrailEntry{i, true, prob_, first});
+    if (decision) decision_points_.push_back(trail_.size() - 1);
+    result_.push_back(i);
+    in_result_[t.xtuple] = true;
+    prob_ *= t.prob;
+  }
+
+  void UndoLast() {
+    const TrailEntry& entry = trail_.back();
+    const Tuple& t = db_.tuple(entry.index);
+    mass_above_[t.xtuple] -= t.prob;
+    if (entry.first_touch) {
+      mass_above_[t.xtuple] = 0.0;  // cancel rounding residue exactly
+      UCLEAN_DCHECK(touched_.back() == t.xtuple);
+      touched_.pop_back();
+    }
+    if (entry.included) {
+      UCLEAN_DCHECK(!result_.empty() && result_.back() == entry.index);
+      result_.pop_back();
+      in_result_[t.xtuple] = false;
+    }
+    prob_ = entry.old_prob;
+    trail_.pop_back();
+  }
+
+  Status EmitLeaf(PwrOutput* out, const Stopwatch& timer) {
+    // Lemma 1: multiply in, for every x-tuple with mass ranked above the
+    // result's last tuple but no member in the result, the probability that
+    // it contributes nothing that high.
+    double p = prob_;
+    for (XTupleId l : touched_) {
+      if (!in_result_[l]) p *= 1.0 - mass_above_[l];
+    }
+    ++leaves_;
+    if (options_.collect_results) {
+      out->results[result_] += p;
+    } else {
+      entropy_accum_ += YLog2(p);
+    }
+    if (options_.max_results > 0 && leaves_ > options_.max_results) {
+      return Status::ResourceExhausted(
+          "PWR exceeded max_results = " +
+          std::to_string(options_.max_results));
+    }
+    if (options_.time_limit_seconds > 0.0 && (leaves_ & 0xFFF) == 0 &&
+        timer.ElapsedSeconds() > options_.time_limit_seconds) {
+      return Status::ResourceExhausted("PWR exceeded its time limit");
+    }
+    return Status::OK();
+  }
+
+  const ProbabilisticDatabase& db_;
+  const size_t k_;
+  const PwrOptions& options_;
+  const int32_t n_;
+
+  std::vector<int32_t> result_;         // partial pw-result (rank indices)
+  std::vector<bool> in_result_;         // per x-tuple: has a member in result_
+  std::vector<double> mass_above_;      // per x-tuple: mass of passed tuples
+  std::vector<XTupleId> touched_;       // x-tuples with mass_above_ > 0
+  std::vector<bool> is_last_member_;    // per tuple: lowest-ranked in x-tuple
+  std::vector<TrailEntry> trail_;
+  std::vector<size_t> decision_points_; // trail positions of open branches
+  double prob_ = 1.0;                   // product of included tuples' probs
+
+  double entropy_accum_ = 0.0;
+  uint64_t leaves_ = 0;
+};
+
+}  // namespace
+
+Result<PwrOutput> ComputePwrQuality(const ProbabilisticDatabase& db, size_t k,
+                                    const PwrOptions& options) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  PwrOutput out;
+  PwrEnumerator enumerator(db, k, options);
+  UCLEAN_RETURN_IF_ERROR(enumerator.Run(&out));
+  return out;
+}
+
+}  // namespace uclean

@@ -1,0 +1,62 @@
+// PWR: quality computation by direct pw-result enumeration (Algorithm 1).
+//
+// Scans tuples in descending rank order, enumerating for each tuple whether
+// it exists, with two short-circuit rules: a tuple whose x-tuple already has
+// a member in the partial result cannot exist (mutual exclusion), and the
+// lowest-ranked member of an otherwise-excluded x-tuple must exist (exactly
+// one alternative per x-tuple exists in a world). A branch terminates as
+// soon as k tuples are chosen; the chosen prefix is a pw-result and its
+// probability follows from Lemma 1 without visiting any possible world.
+// Every pw-result is reached on exactly one branch, so the entropy of
+// Definition 4 accumulates leaf by leaf.
+//
+// Complexity O(n^{k+1}) worst case: polynomial in the database size but
+// exponential in k, which is exactly the regime Figure 4(e)/(f) probes; the
+// options provide result-count and wall-clock guards so harnesses can
+// report "did not finish" points the way the paper's plots cut off.
+
+#ifndef UCLEAN_QUALITY_PWR_H_
+#define UCLEAN_QUALITY_PWR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/database.h"
+#include "pworld/pw_result.h"
+
+namespace uclean {
+
+/// Tuning knobs for PWR.
+struct PwrOptions {
+  /// Keep the full pw-result distribution (Figures 2-3). Costs memory
+  /// proportional to the number of pw-results; the quality score itself
+  /// never needs it.
+  bool collect_results = true;
+
+  /// Abort with ResourceExhausted after this many pw-results (0 = no bound).
+  uint64_t max_results = 0;
+
+  /// Abort with ResourceExhausted after this much wall-clock time
+  /// (0 = no bound). Checked every few thousand leaves.
+  double time_limit_seconds = 0.0;
+};
+
+/// Output of PWR.
+struct PwrOutput {
+  /// PWS-quality score S(D,Q).
+  double quality = 0.0;
+
+  /// Number of distinct pw-results enumerated.
+  uint64_t num_results = 0;
+
+  /// The distribution R(D,Q) when PwrOptions::collect_results is set.
+  PwResultSet results;
+};
+
+/// Runs PWR for a top-k query on `db`.
+Result<PwrOutput> ComputePwrQuality(const ProbabilisticDatabase& db, size_t k,
+                                    const PwrOptions& options = {});
+
+}  // namespace uclean
+
+#endif  // UCLEAN_QUALITY_PWR_H_

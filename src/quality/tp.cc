@@ -1,0 +1,52 @@
+#include "quality/tp.h"
+
+#include "common/entropy_math.h"
+
+namespace uclean {
+
+Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
+                                  const PsrOutput& psr) {
+  const size_t n = db.num_tuples();
+  if (psr.topk_prob.size() != n) {
+    return Status::InvalidArgument(
+        "PSR output does not match the database (tuple count mismatch)");
+  }
+  TpOutput out;
+  out.omega.assign(n, 0.0);
+  out.xtuple_gain.assign(db.num_xtuples(), 0.0);
+  out.xtuple_topk_mass.assign(db.num_xtuples(), 0.0);
+
+  // E_run[l] accumulates E_{i,l} (Eq. 9): the mass of tau_l ranked at or
+  // above the scan position.
+  std::vector<double> e_run(db.num_xtuples(), 0.0);
+
+  double quality = 0.0;
+  for (size_t i = 0; i < psr.scan_end; ++i) {
+    const Tuple& t = db.tuple(i);
+    const double e = t.prob;
+    const double e_at_or_above = e_run[t.xtuple] + e;  // E_{i,x_i}
+    e_run[t.xtuple] = e_at_or_above;
+
+    const double p = psr.topk_prob[i];
+    out.xtuple_topk_mass[t.xtuple] += p;
+    if (p <= 0.0) continue;  // omega * 0 contributes nothing (Lemma 5 logic)
+
+    const double omega =
+        Log2Safe(e) +
+        (YLog2(1.0 - e_at_or_above) - YLog2(1.0 - e_at_or_above + e)) / e;
+    out.omega[i] = omega;
+    const double term = omega * p;
+    out.xtuple_gain[t.xtuple] += term;
+    quality += term;
+  }
+  out.quality = quality;
+  return out;
+}
+
+Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k) {
+  Result<PsrOutput> psr = ComputePsr(db, k);
+  if (!psr.ok()) return psr.status();
+  return ComputeTpQuality(db, *psr);
+}
+
+}  // namespace uclean

@@ -1,0 +1,60 @@
+// TP: quality computation via the tuple-form expression (Theorem 1).
+//
+//   S(D,Q) = sum_i omega_i * p_i
+//
+// where p_i is the top-k probability (from PSR) and omega_i depends only on
+// the existential probabilities of t_i's own x-tuple members ranked at or
+// above it (Eq. 6). With Y(x) = x log2 x and E_i the at-or-above mass of
+// t_i's x-tuple (Eq. 7):
+//
+//   omega_i = log2 e_i + (1/e_i) * (Y(1 - E_i) - Y(1 - E_i + e_i))
+//
+// The E_i values follow incrementally from one pass over the rank order
+// (Eq. 9), so given a PSR pass TP adds only O(n) work -- this is the
+// computation-sharing effect Figure 5 measures. Tuples at or after the PSR
+// scan's Lemma-2 stop point have p_i = 0 and contribute nothing.
+//
+// TP also exposes the per-x-tuple aggregates g(l,D) = sum_{t_i in tau_l}
+// omega_i p_i: the quality score is sum_l g(l,D), and -g(l,D) is exactly the
+// expected quality improvement of cleaning tau_l with certainty (Theorem 2),
+// which is what every cleaning planner consumes.
+
+#ifndef UCLEAN_QUALITY_TP_H_
+#define UCLEAN_QUALITY_TP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+#include "rank/psr.h"
+
+namespace uclean {
+
+/// Output of the TP quality computation.
+struct TpOutput {
+  /// PWS-quality score S(D,Q).
+  double quality = 0.0;
+
+  /// omega_i per rank index (zero beyond the PSR scan end).
+  std::vector<double> omega;
+
+  /// g(l,D) per x-tuple: its summed omega_i * p_i contribution (always
+  /// <= 0 up to rounding; sums to `quality`).
+  std::vector<double> xtuple_gain;
+
+  /// Per-x-tuple sum of member top-k probabilities (RandP's selection
+  /// weights; sums to k over the database when every world has >= k tuples).
+  std::vector<double> xtuple_topk_mass;
+};
+
+/// Computes quality from a PSR pass. `psr` must have been produced from
+/// `db` (same tuple order) with the same k.
+Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
+                                  const PsrOutput& psr);
+
+/// Convenience: runs PSR (with default options) and TP in sequence.
+Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_QUALITY_TP_H_

@@ -1,0 +1,93 @@
+#include "query/topk_queries.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace uclean {
+
+UkRanksAnswer EvaluateUkRanks(const ProbabilisticDatabase& db,
+                              const PsrOutput& psr) {
+  UkRanksAnswer answer;
+  answer.per_rank.resize(psr.k);
+  for (size_t h = 1; h <= psr.k; ++h) {
+    AnswerEntry& entry = answer.per_rank[h - 1];
+    entry.rank_index = psr.best_rank_index[h - 1];
+    entry.probability = psr.best_rank_prob[h - 1];
+    entry.tuple_id =
+        entry.rank_index >= 0 ? db.tuple(entry.rank_index).id : -1;
+  }
+  return answer;
+}
+
+Result<PtkAnswer> EvaluatePtk(const ProbabilisticDatabase& db,
+                              const PsrOutput& psr, double threshold) {
+  if (!(threshold > 0.0) || threshold > 1.0) {
+    return Status::InvalidArgument("PT-k threshold must be in (0, 1]");
+  }
+  PtkAnswer answer;
+  answer.threshold = threshold;
+  // Only tuples before the Lemma-2 stop point can qualify; they are already
+  // in descending rank order.
+  for (size_t i = 0; i < psr.scan_end; ++i) {
+    const Tuple& t = db.tuple(i);
+    if (t.is_null) continue;
+    if (psr.topk_prob[i] >= threshold) {
+      answer.tuples.push_back(AnswerEntry{
+          t.id, static_cast<int32_t>(i), psr.topk_prob[i]});
+    }
+  }
+  return answer;
+}
+
+GlobalTopkAnswer EvaluateGlobalTopk(const ProbabilisticDatabase& db,
+                                    const PsrOutput& psr) {
+  GlobalTopkAnswer answer;
+  std::vector<int32_t> candidates;
+  candidates.reserve(psr.num_nonzero);
+  for (size_t i = 0; i < psr.scan_end; ++i) {
+    if (!db.tuple(i).is_null && psr.topk_prob[i] > 0.0) {
+      candidates.push_back(static_cast<int32_t>(i));
+    }
+  }
+  const size_t take = std::min(psr.k, candidates.size());
+  // Descending top-k probability, ties toward the higher-ranked (smaller
+  // rank index) tuple.
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(), [&](int32_t a, int32_t b) {
+                      if (psr.topk_prob[a] != psr.topk_prob[b]) {
+                        return psr.topk_prob[a] > psr.topk_prob[b];
+                      }
+                      return a < b;
+                    });
+  for (size_t j = 0; j < take; ++j) {
+    const int32_t i = candidates[j];
+    answer.tuples.push_back(
+        AnswerEntry{db.tuple(i).id, i, psr.topk_prob[i]});
+  }
+  return answer;
+}
+
+std::string AnswerToString(const ProbabilisticDatabase& db,
+                           const std::vector<AnswerEntry>& entries) {
+  std::ostringstream os;
+  os << "{";
+  for (size_t j = 0; j < entries.size(); ++j) {
+    if (j > 0) os << ", ";
+    if (entries[j].rank_index < 0) {
+      os << "-";
+      continue;
+    }
+    const Tuple& t = db.tuple(entries[j].rank_index);
+    if (!t.label.empty()) {
+      os << t.label;
+    } else {
+      os << "t" << t.id;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace uclean

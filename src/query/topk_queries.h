@@ -1,0 +1,73 @@
+// The three probabilistic top-k query semantics the paper supports
+// (Section III-B), each evaluated from PSR rank-probability information so
+// one scan feeds both the query answer and the quality score (Section IV-C,
+// Figure 1(b)).
+//
+// * U-kRanks (Soliman et al., ICDE 2007): for each rank h = 1..k, the tuple
+//   most likely to occupy exactly rank h.
+// * PT-k (Hua et al., SIGMOD 2008): every tuple whose top-k probability
+//   reaches a threshold T.
+// * Global-topk (Zhang & Chomicki, ICDE workshops 2008): the k tuples with
+//   the highest top-k probabilities.
+//
+// Null-completion tuples never appear in answers (they are not database
+// entities), though they participate in the underlying probability math.
+
+#ifndef UCLEAN_QUERY_TOPK_QUERIES_H_
+#define UCLEAN_QUERY_TOPK_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+#include "rank/psr.h"
+
+namespace uclean {
+
+/// One answer row shared by all three semantics.
+struct AnswerEntry {
+  TupleId tuple_id = 0;       ///< user key of the returned tuple
+  int32_t rank_index = -1;    ///< position in the database's rank order
+  double probability = 0.0;   ///< the probability that earned the spot
+};
+
+/// U-kRanks: entry h-1 answers rank h (tuple_id == -1 when no real tuple
+/// can occupy that rank, e.g. k exceeds the number of entities).
+struct UkRanksAnswer {
+  std::vector<AnswerEntry> per_rank;
+};
+
+/// PT-k: qualifying tuples in descending rank order with their top-k
+/// probabilities.
+struct PtkAnswer {
+  double threshold = 0.0;
+  std::vector<AnswerEntry> tuples;
+};
+
+/// Global-topk: the k best tuples by top-k probability (descending;
+/// probability ties broken toward the higher-ranked tuple).
+struct GlobalTopkAnswer {
+  std::vector<AnswerEntry> tuples;
+};
+
+/// Evaluates U-kRanks from a PSR pass over the same database and k.
+UkRanksAnswer EvaluateUkRanks(const ProbabilisticDatabase& db,
+                              const PsrOutput& psr);
+
+/// Evaluates PT-k with threshold `threshold` (must be in (0, 1]).
+Result<PtkAnswer> EvaluatePtk(const ProbabilisticDatabase& db,
+                              const PsrOutput& psr, double threshold);
+
+/// Evaluates Global-topk.
+GlobalTopkAnswer EvaluateGlobalTopk(const ProbabilisticDatabase& db,
+                                    const PsrOutput& psr);
+
+/// Renders an answer as a one-line set such as "{t1, t2, t5}".
+std::string AnswerToString(const ProbabilisticDatabase& db,
+                           const std::vector<AnswerEntry>& entries);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_QUERY_TOPK_QUERIES_H_

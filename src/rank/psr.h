@@ -1,0 +1,92 @@
+// PSR: rank-probability computation for probabilistic top-k queries.
+//
+// Computes, for every tuple t_i of a rank-sorted x-tuple database, the
+// rank-h probabilities rho_i(h) (Definition 2) and the top-k probability
+// p_i = sum_h rho_i(h) (Definition 3) in O(kn) total time, following the
+// dynamic-programming approach of Bernecker et al. (TKDE 2010) that the
+// paper adopts (Section IV-B).
+//
+// Sketch: scan tuples in descending rank order, maintaining the
+// Poisson-binomial distribution c[j] = Pr[exactly j x-tuples contribute a
+// tuple ranked above the current position], where x-tuple tau_l contributes
+// with probability q_l = (mass of tau_l above the position). For tuple t_i
+// in tau_l, conditioning on t_i's existence excludes the rest of tau_l, so
+// tau_l's Bernoulli factor is divided out of c, giving
+// rho_i(h) = e_i * c_excl[h-1]. After emitting t_i, q_l grows by e_i and
+// the factor is multiplied back in.
+//
+// Numerically, the divide-out is performed in a provably stable direction
+// (forward for q_l <= 1/2, backward from an exact untruncated top seed for
+// q_l > 1/2), and x-tuples whose above-mass reaches 1 are folded into an
+// exact integer shift; see the implementation notes in psr.cc. Results
+// therefore hold to ~ulp precision for arbitrarily skewed alternative
+// masses and arbitrarily large k.
+//
+// Early termination (Lemma 2): once at least k x-tuples are saturated
+// (q_l = 1, i.e. they certainly contribute a higher-ranked tuple), every
+// later tuple has zero top-k probability and the scan stops.
+
+#ifndef UCLEAN_RANK_PSR_H_
+#define UCLEAN_RANK_PSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+
+/// Tuning knobs for the PSR scan.
+struct PsrOptions {
+  /// Apply the Lemma-2 stop rule (on by default; results are identical
+  /// either way, later tuples provably have p_i = 0).
+  bool early_termination = true;
+
+  /// Keep the full n-by-k rank-probability matrix. Costs O(nk) memory;
+  /// only the brute-force validation tests and small examples need it —
+  /// query evaluation uses the incrementally tracked per-rank argmaxes.
+  bool store_rank_probabilities = false;
+};
+
+/// Rank-probability information for one database and one k.
+struct PsrOutput {
+  size_t k = 0;
+
+  /// p_i per rank index (includes materialized null tuples; zero for every
+  /// tuple after the Lemma-2 stop point).
+  std::vector<double> topk_prob;
+
+  /// Number of tuples with strictly positive top-k probability.
+  size_t num_nonzero = 0;
+
+  /// Rank index at which the Lemma-2 rule stopped the scan (== num_tuples
+  /// when the whole database was scanned).
+  size_t scan_end = 0;
+
+  /// For each h in 1..k: the highest rho_i(h) over *real* tuples, and the
+  /// rank index attaining it (-1 if no real tuple can take rank h). This is
+  /// exactly the U-kRanks answer (Section III-B).
+  std::vector<double> best_rank_prob;
+  std::vector<int32_t> best_rank_index;
+
+  /// Flattened n-by-k matrix rho[i*k + (h-1)] when
+  /// PsrOptions::store_rank_probabilities is set; empty otherwise.
+  std::vector<double> rank_prob;
+  bool has_rank_probabilities = false;
+
+  /// rho_i(h) from the stored matrix. Requires has_rank_probabilities.
+  double rank_probability(size_t rank_index, size_t h) const {
+    return rank_prob[rank_index * k + (h - 1)];
+  }
+};
+
+/// Runs the PSR scan for a top-k query over `db`.
+///
+/// Fails with InvalidArgument when k == 0.
+Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
+                             const PsrOptions& options = {});
+
+}  // namespace uclean
+
+#endif  // UCLEAN_RANK_PSR_H_

@@ -1,0 +1,39 @@
+#include "workload/cleaning_profile_gen.h"
+
+#include "common/rng.h"
+
+namespace uclean {
+
+Result<CleaningProfile> GenerateCleaningProfile(
+    size_t num_xtuples, const CleaningProfileOptions& opts) {
+  if (opts.cost_min < 1 || opts.cost_max < opts.cost_min) {
+    return Status::InvalidArgument("costs must satisfy 1 <= min <= max");
+  }
+  const ScPdf& pdf = opts.sc_pdf;
+  if (pdf.lo < 0.0 || pdf.hi > 1.0 || pdf.hi < pdf.lo) {
+    return Status::InvalidArgument("sc-pdf support must be within [0, 1]");
+  }
+  if (pdf.kind == ScPdf::Kind::kTruncatedNormal && !(pdf.sigma > 0.0)) {
+    return Status::InvalidArgument("truncated normal requires sigma > 0");
+  }
+
+  Rng rng(opts.seed);
+  CleaningProfile profile;
+  profile.costs.resize(num_xtuples);
+  profile.sc_probs.resize(num_xtuples);
+  for (size_t l = 0; l < num_xtuples; ++l) {
+    profile.costs[l] = rng.UniformInt(opts.cost_min, opts.cost_max);
+    switch (pdf.kind) {
+      case ScPdf::Kind::kUniform:
+        profile.sc_probs[l] = rng.Uniform(pdf.lo, pdf.hi);
+        break;
+      case ScPdf::Kind::kTruncatedNormal:
+        profile.sc_probs[l] =
+            rng.TruncatedNormal(pdf.mean, pdf.sigma, pdf.lo, pdf.hi);
+        break;
+    }
+  }
+  return profile;
+}
+
+}  // namespace uclean

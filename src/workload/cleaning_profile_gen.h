@@ -1,0 +1,53 @@
+// Cleaning-profile generation for the Section VI cleaning experiments:
+// integer costs uniform in [1, 10] and sc-probabilities drawn from a
+// configurable sc-pdf (uniform [lo, 1] for Figure 6(c)'s average sweep, or
+// a truncated normal around 0.5 for Figure 6(b)'s spread sweep).
+
+#ifndef UCLEAN_WORKLOAD_CLEANING_PROFILE_GEN_H_
+#define UCLEAN_WORKLOAD_CLEANING_PROFILE_GEN_H_
+
+#include <cstdint>
+
+#include "clean/problem.h"
+#include "common/status.h"
+
+namespace uclean {
+
+/// The sc-probability distribution to draw from.
+struct ScPdf {
+  enum class Kind {
+    kUniform,          ///< uniform over [lo, hi]
+    kTruncatedNormal,  ///< N(mean, sigma^2) truncated (rejected) to [lo, hi]
+  };
+  Kind kind = Kind::kUniform;
+  double lo = 0.0;
+  double hi = 1.0;
+  double mean = 0.5;    ///< truncated-normal parameters
+  double sigma = 0.167;
+
+  static ScPdf Uniform(double lo = 0.0, double hi = 1.0) {
+    return ScPdf{Kind::kUniform, lo, hi, 0.0, 0.0};
+  }
+  static ScPdf TruncatedNormal(double mean, double sigma, double lo = 0.0,
+                               double hi = 1.0) {
+    return ScPdf{Kind::kTruncatedNormal, lo, hi, mean, sigma};
+  }
+};
+
+/// Profile generator parameters; defaults reproduce Section VI's setup
+/// (costs uniform integers in [1,10], sc-pdf uniform over [0,1]).
+struct CleaningProfileOptions {
+  int64_t cost_min = 1;
+  int64_t cost_max = 10;
+  ScPdf sc_pdf = ScPdf::Uniform();
+  uint64_t seed = 99;
+};
+
+/// Generates per-x-tuple costs and sc-probabilities for a database with
+/// `num_xtuples` x-tuples. Deterministic in the seed.
+Result<CleaningProfile> GenerateCleaningProfile(
+    size_t num_xtuples, const CleaningProfileOptions& opts = {});
+
+}  // namespace uclean
+
+#endif  // UCLEAN_WORKLOAD_CLEANING_PROFILE_GEN_H_

@@ -1,0 +1,55 @@
+#include "workload/mov.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uclean {
+
+Result<ProbabilisticDatabase> GenerateMov(const MovOptions& opts) {
+  if (opts.num_xtuples == 0 || opts.max_alternatives == 0) {
+    return Status::InvalidArgument("x-tuple and alternative counts must be "
+                                   "positive");
+  }
+  if (!(opts.mass_min > 0.0) || opts.mass_max > 1.0 ||
+      opts.mass_max < opts.mass_min) {
+    return Status::InvalidArgument("confidence mass range must satisfy "
+                                   "0 < mass_min <= mass_max <= 1");
+  }
+
+  Rng rng(opts.seed);
+  DatabaseBuilder builder;
+  TupleId next_id = 0;
+  std::vector<double> raw;
+
+  for (size_t entity = 0; entity < opts.num_xtuples; ++entity) {
+    const XTupleId x = builder.AddXTuple();
+
+    // 1 + Geometric(1/2) alternatives, capped: mean ~= 2 per x-tuple.
+    size_t alternatives = 1;
+    while (alternatives < opts.max_alternatives && rng.Bernoulli(0.5)) {
+      ++alternatives;
+    }
+
+    // Confidences: random proportions scaled to a sub-unit total mass.
+    raw.assign(alternatives, 0.0);
+    double raw_total = 0.0;
+    for (double& r : raw) {
+      r = rng.Uniform(0.1, 1.0);
+      raw_total += r;
+    }
+    const double mass = rng.Uniform(opts.mass_min, opts.mass_max);
+
+    for (size_t a = 0; a < alternatives; ++a) {
+      const double date_norm = rng.UniformUnit();        // 2000..2005 scaled
+      const double rating = rng.UniformInt(1, 5);        // stars
+      const double rating_norm = (rating - 1.0) / 4.0;   // into [0,1]
+      const double score = date_norm + rating_norm;
+      UCLEAN_RETURN_IF_ERROR(builder.AddAlternative(
+          x, next_id++, score, mass * raw[a] / raw_total));
+    }
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace uclean

@@ -1,0 +1,67 @@
+#include "workload/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uclean {
+
+namespace {
+
+/// Standard normal CDF.
+double NormalCdf(double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); }
+
+}  // namespace
+
+Result<ProbabilisticDatabase> GenerateSynthetic(const SyntheticOptions& opts) {
+  if (opts.num_xtuples == 0 || opts.tuples_per_xtuple == 0) {
+    return Status::InvalidArgument("x-tuple and tuple counts must be positive");
+  }
+  if (!(opts.domain_max > opts.domain_min)) {
+    return Status::InvalidArgument("empty attribute domain");
+  }
+  if (opts.pdf == UncertaintyPdf::kGaussian && !(opts.sigma > 0.0)) {
+    return Status::InvalidArgument("Gaussian pdf requires sigma > 0");
+  }
+  if (!(opts.interval_width_min > 0.0) ||
+      opts.interval_width_max < opts.interval_width_min) {
+    return Status::InvalidArgument("invalid uncertainty interval widths");
+  }
+
+  Rng rng(opts.seed);
+  DatabaseBuilder builder;
+  TupleId next_id = 0;
+  const size_t bars = opts.tuples_per_xtuple;
+  std::vector<double> mass(bars);
+
+  for (size_t entity = 0; entity < opts.num_xtuples; ++entity) {
+    const XTupleId x = builder.AddXTuple();
+    const double mu = rng.Uniform(opts.domain_min, opts.domain_max);
+    const double width =
+        rng.Uniform(opts.interval_width_min, opts.interval_width_max);
+    const double lo = mu - width / 2.0;
+    const double bar_width = width / static_cast<double>(bars);
+
+    double total = 0.0;
+    for (size_t b = 0; b < bars; ++b) {
+      if (opts.pdf == UncertaintyPdf::kUniform) {
+        mass[b] = 1.0;
+      } else {
+        const double b_lo = lo + static_cast<double>(b) * bar_width;
+        const double b_hi = b_lo + bar_width;
+        mass[b] = NormalCdf((b_hi - mu) / opts.sigma) -
+                  NormalCdf((b_lo - mu) / opts.sigma);
+      }
+      total += mass[b];
+    }
+    for (size_t b = 0; b < bars; ++b) {
+      const double value = lo + (static_cast<double>(b) + 0.5) * bar_width;
+      UCLEAN_RETURN_IF_ERROR(
+          builder.AddAlternative(x, next_id++, value, mass[b] / total));
+    }
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace uclean

@@ -1,0 +1,48 @@
+// Synthetic dataset generator following Section VI of the paper (which in
+// turn follows Cheng et al. [16]).
+//
+// Each x-tuple models one entity with a 1-D attribute y in [0, 10000]:
+// an uncertainty interval y.L of width uniform in [60, 100] centered at a
+// mean mu uniform in the domain, and an uncertainty pdf y.U -- Gaussian
+// N(mu, sigma^2) (default sigma = 100) or uniform over the interval. The
+// pdf is discretized into equal-width histogram bars over the interval
+// (default 10): each bar becomes one tuple whose value is the bar midpoint
+// and whose existential probability is the pdf mass of the bar, normalized
+// so every x-tuple's mass is exactly 1. The default configuration is the
+// paper's: 5K x-tuples x 10 tuples = 50K tuples.
+
+#ifndef UCLEAN_WORKLOAD_SYNTHETIC_H_
+#define UCLEAN_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+
+/// Shape of the per-entity uncertainty pdf (y.U).
+enum class UncertaintyPdf {
+  kGaussian,  ///< N(mu, sigma^2) truncated to the uncertainty interval
+  kUniform,   ///< uniform over the uncertainty interval
+};
+
+/// Generator parameters; defaults reproduce the paper's default dataset.
+struct SyntheticOptions {
+  size_t num_xtuples = 5000;
+  size_t tuples_per_xtuple = 10;  ///< histogram bars per entity
+  double domain_min = 0.0;
+  double domain_max = 10000.0;
+  UncertaintyPdf pdf = UncertaintyPdf::kGaussian;
+  double sigma = 100.0;           ///< Gaussian std-dev (G10 -> 10, ...)
+  double interval_width_min = 60.0;
+  double interval_width_max = 100.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic probabilistic database. Deterministic in the seed.
+Result<ProbabilisticDatabase> GenerateSynthetic(const SyntheticOptions& opts);
+
+}  // namespace uclean
+
+#endif  // UCLEAN_WORKLOAD_SYNTHETIC_H_

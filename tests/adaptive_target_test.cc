@@ -1,0 +1,208 @@
+// Tests for the two beyond-the-paper extensions: adaptive re-planning
+// (Section V-A future work) and the minimal-budget-for-target-quality
+// search (Section VII future work).
+
+#include <gtest/gtest.h>
+
+#include "clean/adaptive.h"
+#include "clean/target.h"
+#include "common/rng.h"
+#include "model/paper_example.h"
+#include "quality/tp.h"
+#include "tests/test_util.h"
+#include "workload/cleaning_profile_gen.h"
+
+namespace uclean {
+namespace {
+
+CleaningProfile UniformProfile(size_t m, int64_t cost, double sc) {
+  CleaningProfile profile;
+  profile.costs.assign(m, cost);
+  profile.sc_probs.assign(m, sc);
+  return profile;
+}
+
+TEST(Adaptive, StopsWhenNothingToClean) {
+  // A fully certain database has quality 0; no plan should be attempted.
+  DatabaseBuilder b;
+  for (int l = 0; l < 3; ++l) {
+    XTupleId x = b.AddXTuple();
+    ASSERT_TRUE(b.AddAlternative(x, l, 10.0 - l, 1.0).ok());
+  }
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  CleaningProfile profile = UniformProfile(3, 1, 0.9);
+  AdaptiveOptions options;
+  options.k = 2;
+  Rng rng(1);
+  Result<AdaptiveReport> report =
+      RunAdaptiveCleaning(*db, profile, 100, options, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rounds.size(), 0u);
+  EXPECT_EQ(report->total_spent, 0);
+  EXPECT_DOUBLE_EQ(report->initial_quality, 0.0);
+}
+
+TEST(Adaptive, SpendsWithinBudgetAndImprovesQuality) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 2, 0.7);
+  AdaptiveOptions options;
+  options.k = 2;
+  Rng rng(99);
+  Result<AdaptiveReport> report =
+      RunAdaptiveCleaning(db, profile, 20, options, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LE(report->total_spent, 20);
+  EXPECT_GE(report->final_quality, report->initial_quality - 1e-12);
+  // Final quality must match an independent evaluation of the final db.
+  Result<TpOutput> check = ComputeTpQuality(report->final_db, options.k);
+  ASSERT_TRUE(check.ok());
+  EXPECT_NEAR(report->final_quality, check->quality, 1e-12);
+}
+
+TEST(Adaptive, CertainProbesFullyCleanGivenEnoughBudget) {
+  // sc-probability 1 and ample budget: adaptive cleaning should drive the
+  // database to quality 0 (every ambiguous x-tuple cleaned).
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 1.0);
+  AdaptiveOptions options;
+  options.k = 2;
+  Rng rng(5);
+  Result<AdaptiveReport> report =
+      RunAdaptiveCleaning(db, profile, 100, options, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->final_quality, 0.0, 1e-9);
+}
+
+TEST(Adaptive, ReinvestsLeftoverBudget) {
+  // High sc-probability with multi-probe plans leaves budget unspent in
+  // round one; the adaptive loop must run further rounds when ambiguity
+  // remains.
+  Rng maker(777);
+  RandomDbOptions opts;
+  opts.num_xtuples = 8;
+  opts.max_alternatives = 3;
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.5);
+  AdaptiveOptions options;
+  options.k = 3;
+  int multi_round_runs = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Result<AdaptiveReport> report =
+        RunAdaptiveCleaning(db, profile, 30, options, &rng);
+    ASSERT_TRUE(report.ok());
+    if (report->rounds.size() > 1) ++multi_round_runs;
+    EXPECT_LE(report->total_spent, 30);
+  }
+  EXPECT_GT(multi_round_runs, 0);
+}
+
+TEST(Adaptive, BeatsOneShotOnAverage) {
+  // With failures and early successes in play, re-planning should realize
+  // at least as much quality as the paper's one-shot execution on average.
+  Rng maker(31415);
+  RandomDbOptions opts;
+  opts.num_xtuples = 8;
+  opts.max_alternatives = 3;
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+  const size_t k = 3;
+  CleaningProfile profile;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    profile.costs.push_back(1);
+    profile.sc_probs.push_back(maker.Uniform(0.4, 0.95));
+  }
+  const int64_t budget = 8;
+
+  Result<CleaningProblem> problem = MakeCleaningProblem(db, k, profile, budget);
+  ASSERT_TRUE(problem.ok());
+  Result<CleaningPlan> oneshot_plan = PlanGreedy(*problem);
+  ASSERT_TRUE(oneshot_plan.ok());
+  Result<TpOutput> before = ComputeTpQuality(db, k);
+  ASSERT_TRUE(before.ok());
+
+  double oneshot_total = 0.0, adaptive_total = 0.0;
+  const int trials = 120;
+  AdaptiveOptions options;
+  options.k = k;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng_a(5000 + t), rng_b(5000 + t);
+    Result<ExecutionReport> oneshot =
+        ExecutePlan(db, profile, oneshot_plan->probes, &rng_a);
+    ASSERT_TRUE(oneshot.ok());
+    Result<TpOutput> after = ComputeTpQuality(oneshot->cleaned_db, k);
+    ASSERT_TRUE(after.ok());
+    oneshot_total += after->quality - before->quality;
+
+    Result<AdaptiveReport> adaptive =
+        RunAdaptiveCleaning(db, profile, budget, options, &rng_b);
+    ASSERT_TRUE(adaptive.ok());
+    adaptive_total += adaptive->final_quality - adaptive->initial_quality;
+  }
+  // Allow a small noise band: adaptive must not be materially worse.
+  EXPECT_GE(adaptive_total / trials, oneshot_total / trials - 0.02);
+}
+
+TEST(MinimalBudget, ZeroWhenAlreadySatisfied) {
+  ProbabilisticDatabase db = MakeUdb1();  // quality ~ -2.55 at k=2
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.8);
+  Result<BudgetSearchReport> report =
+      MinimalBudgetForTarget(db, 2, profile, -3.0, 100);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->attainable);
+  EXPECT_EQ(report->minimal_budget, 0);
+  EXPECT_NEAR(report->expected_quality, report->current_quality, 1e-12);
+}
+
+TEST(MinimalBudget, FindsExactThreshold) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.8);
+  const double target = -1.0;
+  Result<BudgetSearchReport> report =
+      MinimalBudgetForTarget(db, 2, profile, target, 200);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->attainable);
+  EXPECT_GE(report->expected_quality, target - 1e-9);
+  ASSERT_GT(report->minimal_budget, 0);
+
+  // Minimality: one unit less must miss the target.
+  Result<CleaningProblem> problem = MakeCleaningProblem(
+      db, 2, profile, report->minimal_budget - 1);
+  ASSERT_TRUE(problem.ok());
+  Result<CleaningPlan> smaller = PlanDp(*problem);
+  ASSERT_TRUE(smaller.ok());
+  EXPECT_LT(report->current_quality + smaller->expected_improvement, target);
+}
+
+TEST(MinimalBudget, ReportsUnattainableTargets) {
+  ProbabilisticDatabase db = MakeUdb1();
+  // sc-probability 0: no budget can ever help.
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.0);
+  Result<BudgetSearchReport> report =
+      MinimalBudgetForTarget(db, 2, profile, -0.5, 1000);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->attainable);
+  EXPECT_NEAR(report->expected_quality, report->current_quality, 1e-9);
+}
+
+TEST(MinimalBudget, ValidatesArguments) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.5);
+  EXPECT_FALSE(MinimalBudgetForTarget(db, 2, profile, 0.5, 100).ok());
+  EXPECT_FALSE(MinimalBudgetForTarget(db, 2, profile, -1.0, -5).ok());
+}
+
+TEST(MinimalBudget, MonotoneInTarget) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 2, 0.6);
+  Result<BudgetSearchReport> easy =
+      MinimalBudgetForTarget(db, 2, profile, -2.0, 500);
+  Result<BudgetSearchReport> hard =
+      MinimalBudgetForTarget(db, 2, profile, -0.5, 500);
+  ASSERT_TRUE(easy.ok() && hard.ok());
+  ASSERT_TRUE(easy->attainable && hard->attainable);
+  EXPECT_LE(easy->minimal_budget, hard->minimal_budget);
+}
+
+}  // namespace
+}  // namespace uclean

@@ -1,0 +1,182 @@
+// Tests for the cleaning agent: execution semantics (stop on success,
+// budget accounting, outcome sampling) and the Monte-Carlo integration test
+// that the realized quality improvement matches the Theorem-2 prediction.
+
+#include "clean/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "clean/planners.h"
+#include "common/rng.h"
+#include "model/paper_example.h"
+#include "quality/tp.h"
+#include "tests/test_util.h"
+
+namespace uclean {
+namespace {
+
+CleaningProfile UniformProfile(size_t m, int64_t cost, double sc) {
+  CleaningProfile profile;
+  profile.costs.assign(m, cost);
+  profile.sc_probs.assign(m, sc);
+  return profile;
+}
+
+TEST(Agent, ValidatesInputs) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.5);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  Rng rng(1);
+  EXPECT_FALSE(ExecutePlan(db, profile, probes, nullptr).ok());
+  std::vector<int64_t> short_probes(2, 0);
+  EXPECT_FALSE(ExecutePlan(db, profile, short_probes, &rng).ok());
+  CleaningProfile bad = UniformProfile(2, 1, 0.5);
+  EXPECT_FALSE(ExecutePlan(db, bad, probes, &rng).ok());
+}
+
+TEST(Agent, NoProbesNoChange) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.5);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  Rng rng(2);
+  Result<ExecutionReport> report = ExecutePlan(db, profile, probes, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->spent, 0);
+  EXPECT_EQ(report->successes, 0u);
+  EXPECT_EQ(report->cleaned_db.num_tuples(), db.num_tuples());
+}
+
+TEST(Agent, CertainSuccessCollapsesXTuple) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 3, 1.0);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[2] = 5;  // S3, sc-probability 1: first probe must succeed
+  Rng rng(3);
+  Result<ExecutionReport> report = ExecutePlan(db, profile, probes, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->successes, 1u);
+  EXPECT_EQ(report->spent, 3);          // one probe, cost 3
+  EXPECT_EQ(report->leftover, 4 * 3);   // four skipped probes
+  ASSERT_EQ(report->log.size(), 1u);
+  EXPECT_TRUE(report->log[0].success);
+  EXPECT_EQ(report->log[0].attempts, 1);
+  EXPECT_EQ(report->cleaned_db.xtuple_members(2).size(), 1u);
+}
+
+TEST(Agent, ZeroScProbabilityNeverSucceeds) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 2, 0.0);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[0] = 4;
+  Rng rng(4);
+  Result<ExecutionReport> report = ExecutePlan(db, profile, probes, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->successes, 0u);
+  EXPECT_EQ(report->spent, 8);  // all four probes paid, all failed
+  EXPECT_EQ(report->leftover, 0);
+  EXPECT_EQ(report->cleaned_db.xtuple_members(0).size(),
+            db.xtuple_members(0).size());
+}
+
+TEST(Agent, SuccessRateMatchesScProbability) {
+  ProbabilisticDatabase db = MakeUdb1();
+  const double sc = 0.3;
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, sc);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[1] = 1;  // single probe of S2
+  int successes = 0;
+  const int trials = 5000;
+  Rng rng(5);
+  for (int t = 0; t < trials; ++t) {
+    Result<ExecutionReport> report = ExecutePlan(db, profile, probes, &rng);
+    ASSERT_TRUE(report.ok());
+    successes += static_cast<int>(report->successes);
+  }
+  EXPECT_NEAR(static_cast<double>(successes) / trials, sc, 0.02);
+}
+
+TEST(Agent, RevealedValueFollowsExistentialDistribution) {
+  // S1 = {t0: 0.6, t1: 0.4}; over many successful cleans, t0 should be
+  // revealed ~60% of the time.
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 1.0);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[0] = 1;
+  int t0_revealed = 0;
+  const int trials = 5000;
+  Rng rng(6);
+  for (int t = 0; t < trials; ++t) {
+    Result<ExecutionReport> report = ExecutePlan(db, profile, probes, &rng);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->log.size(), 1u);
+    if (report->log[0].resolved_id == 0) ++t0_revealed;
+  }
+  EXPECT_NEAR(static_cast<double>(t0_revealed) / trials, 0.6, 0.02);
+}
+
+TEST(Agent, NullOutcomePossibleForSubUnitMass) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x, 0, 5.0, 0.2).ok());  // null mass 0.8
+  XTupleId y = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(y, 1, 3.0, 1.0).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  CleaningProfile profile = UniformProfile(2, 1, 1.0);
+  std::vector<int64_t> probes = {1, 0};
+  int null_outcomes = 0;
+  const int trials = 3000;
+  Rng rng(7);
+  for (int t = 0; t < trials; ++t) {
+    Result<ExecutionReport> report = ExecutePlan(*db, profile, probes, &rng);
+    ASSERT_TRUE(report.ok());
+    if (report->log[0].resolved_id < 0) ++null_outcomes;
+  }
+  EXPECT_NEAR(static_cast<double>(null_outcomes) / trials, 0.8, 0.03);
+}
+
+TEST(Agent, MonteCarloRealizedImprovementMatchesTheorem2) {
+  // The heart of the cleaning model: executing a plan many times and
+  // measuring the realized quality improvement must reproduce the
+  // Theorem-2 expectation.
+  Rng maker(1010);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  opts.max_alternatives = 3;
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+  const size_t k = 2;
+
+  CleaningProfile profile;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    profile.costs.push_back(1);
+    profile.sc_probs.push_back(maker.Uniform(0.3, 0.9));
+  }
+  Result<CleaningProblem> problem = MakeCleaningProblem(db, k, profile, 6);
+  ASSERT_TRUE(problem.ok());
+  Result<CleaningPlan> plan = PlanDp(*problem);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_GT(plan->expected_improvement, 0.0);
+
+  Result<TpOutput> before = ComputeTpQuality(db, k);
+  ASSERT_TRUE(before.ok());
+
+  double total_improvement = 0.0;
+  const int trials = 3000;
+  Rng rng(2020);
+  for (int t = 0; t < trials; ++t) {
+    Result<ExecutionReport> report =
+        ExecutePlan(db, profile, plan->probes, &rng);
+    ASSERT_TRUE(report.ok());
+    Result<TpOutput> after = ComputeTpQuality(report->cleaned_db, k);
+    ASSERT_TRUE(after.ok());
+    total_improvement += after->quality - before->quality;
+  }
+  const double realized = total_improvement / trials;
+  // Monte-Carlo noise: the per-trial improvement is bounded by |S|; with
+  // 3000 trials a 5% relative / 0.05 absolute band is comfortable.
+  EXPECT_NEAR(realized, plan->expected_improvement,
+              std::max(0.05, 0.08 * plan->expected_improvement));
+}
+
+}  // namespace
+}  // namespace uclean

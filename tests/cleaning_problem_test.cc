@@ -1,0 +1,221 @@
+// Unit tests for the cleaning problem: the Theorem-2 closed form against
+// the brute-force definition, marginal-value structure (Lemma 4), and
+// problem construction from a database.
+
+#include "clean/problem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clean/brute_force.h"
+#include "common/rng.h"
+#include "model/paper_example.h"
+#include "quality/tp.h"
+#include "tests/test_util.h"
+#include "workload/cleaning_profile_gen.h"
+
+namespace uclean {
+namespace {
+
+CleaningProfile UniformProfile(size_t m, int64_t cost, double sc) {
+  CleaningProfile profile;
+  profile.costs.assign(m, cost);
+  profile.sc_probs.assign(m, sc);
+  return profile;
+}
+
+TEST(CleaningProfile, Validation) {
+  CleaningProfile p = UniformProfile(3, 2, 0.5);
+  EXPECT_TRUE(p.Validate(3).ok());
+  EXPECT_FALSE(p.Validate(4).ok());
+  p.costs[1] = 0;
+  EXPECT_FALSE(p.Validate(3).ok());
+  p.costs[1] = 2;
+  p.sc_probs[2] = 1.5;
+  EXPECT_FALSE(p.Validate(3).ok());
+  p.sc_probs[2] = -0.1;
+  EXPECT_FALSE(p.Validate(3).ok());
+}
+
+TEST(CleaningProblem, ValidationCatchesBadVectors) {
+  CleaningProblem problem;
+  problem.gain = {-1.0, -2.0};
+  problem.topk_mass = {0.5, 0.5};
+  problem.cost = {1, 1};
+  problem.sc_prob = {0.5, 0.5};
+  problem.budget = 10;
+  EXPECT_TRUE(problem.Validate().ok());
+
+  CleaningProblem bad = problem;
+  bad.budget = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = problem;
+  bad.gain[0] = 0.5;  // positive gain is impossible
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = problem;
+  bad.cost.pop_back();
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(CleaningProblem, MarginalValuesFollowEq21) {
+  CleaningProblem problem;
+  problem.gain = {-4.0};
+  problem.topk_mass = {1.0};
+  problem.cost = {1};
+  problem.sc_prob = {0.25};
+  problem.budget = 100;
+  // b(l,j) = (1-P)^{j-1} * P * (-g)
+  EXPECT_DOUBLE_EQ(problem.MarginalValue(0, 1), 0.25 * 4.0);
+  EXPECT_DOUBLE_EQ(problem.MarginalValue(0, 2), 0.75 * 0.25 * 4.0);
+  EXPECT_DOUBLE_EQ(problem.MarginalValue(0, 3), 0.75 * 0.75 * 0.25 * 4.0);
+  EXPECT_EQ(problem.MarginalValue(0, 0), 0.0);
+}
+
+TEST(CleaningProblem, MarginalValuesMonotoneDecreasing) {
+  // Lemma 4: b(l,j) decreases in j.
+  Rng rng(5150);
+  for (int trial = 0; trial < 20; ++trial) {
+    CleaningProblem problem;
+    problem.gain = {-rng.Uniform(0.1, 10.0)};
+    problem.topk_mass = {1.0};
+    problem.cost = {1};
+    problem.sc_prob = {rng.UniformUnit()};
+    problem.budget = 50;
+    for (int64_t j = 1; j < 30; ++j) {
+      EXPECT_GE(problem.MarginalValue(0, j),
+                problem.MarginalValue(0, j + 1) - 1e-15);
+    }
+  }
+}
+
+TEST(CleaningProblem, ImprovementIsPrefixSumOfMarginals) {
+  // Eq. 22: I = sum of the first M marginal values.
+  CleaningProblem problem;
+  problem.gain = {-3.0};
+  problem.topk_mass = {1.0};
+  problem.cost = {1};
+  problem.sc_prob = {0.4};
+  problem.budget = 100;
+  double prefix = 0.0;
+  for (int64_t j = 1; j <= 20; ++j) {
+    prefix += problem.MarginalValue(0, j);
+    EXPECT_NEAR(problem.XTupleImprovement(0, j), prefix, 1e-12);
+  }
+}
+
+TEST(CleaningProblem, ImprovementSaturatesAtNegatedGain) {
+  CleaningProblem problem;
+  problem.gain = {-7.5};
+  problem.topk_mass = {1.0};
+  problem.cost = {1};
+  problem.sc_prob = {0.9};
+  problem.budget = 1000;
+  EXPECT_LE(problem.XTupleImprovement(0, 500), 7.5);
+  EXPECT_NEAR(problem.XTupleImprovement(0, 500), 7.5, 1e-9);
+}
+
+TEST(Theorem2, MatchesBruteForceOnUdb1) {
+  ProbabilisticDatabase db = MakeUdb1();
+  const size_t k = 2;
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.6);
+  Result<CleaningProblem> problem = MakeCleaningProblem(db, k, profile, 10);
+  ASSERT_TRUE(problem.ok());
+
+  // Try several probe assignments, including multi-x-tuple ones.
+  const std::vector<std::vector<int64_t>> assignments = {
+      {1, 0, 0, 0}, {0, 0, 1, 0}, {2, 0, 0, 0},
+      {1, 1, 0, 0}, {1, 0, 2, 1}, {3, 2, 1, 0},
+  };
+  for (const auto& probes : assignments) {
+    const double closed = ExpectedImprovement(*problem, probes);
+    Result<double> brute =
+        ExpectedImprovementBruteForce(db, k, profile, probes);
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    EXPECT_NEAR(closed, *brute, 1e-8);
+  }
+}
+
+TEST(Theorem2, MatchesBruteForceOnRandomDatabases) {
+  Rng rng(333);
+  RandomDbOptions opts;
+  opts.num_xtuples = 4;
+  opts.max_alternatives = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    CleaningProfile profile;
+    for (size_t l = 0; l < db.num_xtuples(); ++l) {
+      profile.costs.push_back(rng.UniformInt(1, 3));
+      profile.sc_probs.push_back(rng.Uniform(0.1, 1.0));
+    }
+    Result<CleaningProblem> problem = MakeCleaningProblem(db, 2, profile, 10);
+    ASSERT_TRUE(problem.ok());
+
+    std::vector<int64_t> probes(db.num_xtuples(), 0);
+    probes[0] = rng.UniformInt(0, 2);
+    probes[db.num_xtuples() - 1] = rng.UniformInt(1, 2);
+    const double closed = ExpectedImprovement(*problem, probes);
+    Result<double> brute =
+        ExpectedImprovementBruteForce(db, 2, profile, probes);
+    ASSERT_TRUE(brute.ok()) << brute.status();
+    EXPECT_NEAR(closed, *brute, 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(Theorem2, ZeroProbesMeansZeroImprovement) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.5);
+  Result<CleaningProblem> problem = MakeCleaningProblem(db, 2, profile, 10);
+  ASSERT_TRUE(problem.ok());
+  std::vector<int64_t> none(db.num_xtuples(), 0);
+  EXPECT_EQ(ExpectedImprovement(*problem, none), 0.0);
+  Result<double> brute = ExpectedImprovementBruteForce(db, 2, profile, none);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(*brute, 0.0);
+}
+
+TEST(MakeCleaningProblem, GainsComeFromTp) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 2, 0.5);
+  Result<CleaningProblem> problem = MakeCleaningProblem(db, 2, profile, 100);
+  ASSERT_TRUE(problem.ok());
+  Result<TpOutput> tp = ComputeTpQuality(db, 2);
+  ASSERT_TRUE(tp.ok());
+  double total_gain = 0.0;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    EXPECT_NEAR(problem->gain[l], tp->xtuple_gain[l], 1e-12);
+    total_gain += problem->gain[l];
+  }
+  EXPECT_NEAR(total_gain, tp->quality, 1e-9);
+  EXPECT_EQ(problem->budget, 100);
+}
+
+TEST(MakeCleaningProblem, RejectsMismatchedProfile) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(2, 1, 0.5);  // wrong size
+  EXPECT_FALSE(MakeCleaningProblem(db, 2, profile, 10).ok());
+}
+
+TEST(CleaningPlan, ToStringAndSelection) {
+  CleaningPlan plan;
+  plan.probes = {0, 3, 0, 1};
+  plan.expected_improvement = 1.5;
+  plan.total_cost = 7;
+  EXPECT_EQ(plan.num_selected(), 2u);
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("x1:3"), std::string::npos);
+  EXPECT_NE(s.find("x3:1"), std::string::npos);
+  EXPECT_EQ(s.find("x0"), std::string::npos);
+}
+
+TEST(BruteForce, RefusesHugeOutcomeSpaces) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.5);
+  std::vector<int64_t> probes(db.num_xtuples(), 1);
+  Result<double> r =
+      ExpectedImprovementBruteForce(db, 2, profile, probes, /*max=*/10);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace uclean

@@ -1,0 +1,186 @@
+// End-to-end integration test of the uclean_cli binary: drives every
+// subcommand through a scratch directory and checks exit codes, output
+// artifacts, and that the artifacts round-trip through the library.
+//
+// The binary path is injected by CMake as UCLEAN_CLI_PATH.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "clean/profile_io.h"
+#include "model/csv_io.h"
+
+namespace uclean {
+namespace {
+
+#ifndef UCLEAN_CLI_PATH
+#define UCLEAN_CLI_PATH ""
+#endif
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cli_ = UCLEAN_CLI_PATH;
+    ASSERT_FALSE(cli_.empty()) << "UCLEAN_CLI_PATH not configured";
+    dir_ = ::testing::TempDir() + "/uclean_cli_test";
+    std::string mkdir = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+  }
+
+  /// Runs the CLI with `args`, returns its exit code; stdout goes to
+  /// `capture` when non-null.
+  int Run(const std::string& args, std::string* capture = nullptr) {
+    const std::string out_file = dir_ + "/stdout.txt";
+    const std::string command =
+        cli_ + " " + args + " > " + out_file + " 2>&1";
+    const int raw = std::system(command.c_str());
+    if (capture != nullptr) {
+      std::ifstream in(out_file);
+      capture->assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    }
+    return WEXITSTATUS(raw);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string cli_;
+  std::string dir_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  std::string out;
+  EXPECT_EQ(Run("help", &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  EXPECT_NE(Run("frobnicate"), 0);
+  EXPECT_NE(Run(""), 0);
+}
+
+TEST_F(CliTest, FullWorkflow) {
+  std::string out;
+
+  // generate
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 120 --out " +
+                    Path("db.csv") + " --seed 5",
+                &out),
+            0)
+      << out;
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(Path("db.csv"));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_xtuples(), 120u);
+
+  // profile
+  ASSERT_EQ(Run("profile --xtuples 120 --out " + Path("profile.csv"), &out),
+            0)
+      << out;
+  Result<CleaningProfile> profile = ReadProfileCsvFile(Path("profile.csv"));
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile->Validate(120).ok());
+
+  // inspect
+  ASSERT_EQ(Run("inspect --db " + Path("db.csv") + " --rows 3", &out), 0);
+  EXPECT_NE(out.find("120 x-tuples"), std::string::npos);
+
+  // query
+  ASSERT_EQ(Run("query --db " + Path("db.csv") + " --k 5 --semantics all",
+                &out),
+            0);
+  EXPECT_NE(out.find("PT-5"), std::string::npos);
+  EXPECT_NE(out.find("U-kRanks"), std::string::npos);
+  EXPECT_NE(out.find("Global-topk"), std::string::npos);
+
+  // quality, all four algorithms (pw is feasible: guard on world count
+  // would reject, so use mc/tp/pwr only at this size plus pw on a smaller
+  // database below)
+  for (const char* algo : {"tp", "pwr", "mc"}) {
+    ASSERT_EQ(Run("quality --db " + Path("db.csv") +
+                      " --k 3 --algo " + algo + " --samples 2000",
+                  &out),
+              0)
+        << algo << ": " << out;
+    EXPECT_NE(out.find("PWS-quality"), std::string::npos);
+  }
+
+  // plan
+  ASSERT_EQ(Run("plan --db " + Path("db.csv") + " --profile " +
+                    Path("profile.csv") + " --k 5 --budget 20",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("DP plan"), std::string::npos);
+
+  // clean (one-shot + adaptive)
+  ASSERT_EQ(Run("clean --db " + Path("db.csv") + " --profile " +
+                    Path("profile.csv") +
+                    " --k 5 --budget 20 --out " + Path("cleaned.csv") +
+                    " --seed 3",
+                &out),
+            0)
+      << out;
+  Result<ProbabilisticDatabase> cleaned =
+      ReadDatabaseCsvFile(Path("cleaned.csv"));
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_EQ(cleaned->num_xtuples(), 120u);
+
+  ASSERT_EQ(Run("clean --db " + Path("db.csv") + " --profile " +
+                    Path("profile.csv") +
+                    " --k 5 --budget 20 --adaptive --out " +
+                    Path("cleaned2.csv"),
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("adaptive cleaning"), std::string::npos);
+
+  // target
+  ASSERT_EQ(Run("target --db " + Path("db.csv") + " --profile " +
+                    Path("profile.csv") + " --k 5 --target -1.0",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("minimal budget"), std::string::npos);
+}
+
+TEST_F(CliTest, PwQualityOnTinyDatabase) {
+  std::string out;
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 6 --bars 3 --out " +
+                    Path("tiny.csv"),
+                &out),
+            0);
+  ASSERT_EQ(Run("quality --db " + Path("tiny.csv") + " --k 2 --algo pw",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("worlds"), std::string::npos);
+}
+
+TEST_F(CliTest, MovGeneration) {
+  std::string out;
+  ASSERT_EQ(
+      Run("generate --type mov --xtuples 200 --out " + Path("mov.csv"),
+          &out),
+      0);
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(Path("mov.csv"));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_xtuples(), 200u);
+}
+
+TEST_F(CliTest, ErrorPaths) {
+  std::string out;
+  // Missing required flag.
+  EXPECT_NE(Run("generate --type synthetic", &out), 0);
+  EXPECT_NE(out.find("error"), std::string::npos);
+  // Unknown type / planner / algo.
+  EXPECT_NE(Run("generate --type bogus --out " + Path("x.csv")), 0);
+  EXPECT_NE(Run("quality --db /nonexistent.csv --k 5"), 0);
+  // Flag without value.
+  EXPECT_NE(Run("inspect --db"), 0);
+  // Non-flag argument.
+  EXPECT_NE(Run("inspect stray"), 0);
+}
+
+}  // namespace
+}  // namespace uclean

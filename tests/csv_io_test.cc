@@ -1,0 +1,132 @@
+// Unit tests for CSV (de)serialization of probabilistic databases.
+
+#include "model/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "model/paper_example.h"
+
+namespace uclean {
+namespace {
+
+TEST(CsvIo, RoundTripsUdb1) {
+  ProbabilisticDatabase original = MakeUdb1();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDatabaseCsv(original, &out).ok());
+
+  std::istringstream in(out.str());
+  Result<ProbabilisticDatabase> loaded = ReadDatabaseCsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_tuples(), original.num_tuples());
+  ASSERT_EQ(loaded->num_xtuples(), original.num_xtuples());
+  for (size_t i = 0; i < original.num_tuples(); ++i) {
+    EXPECT_EQ(loaded->tuple(i).id, original.tuple(i).id);
+    EXPECT_EQ(loaded->tuple(i).xtuple, original.tuple(i).xtuple);
+    EXPECT_DOUBLE_EQ(loaded->tuple(i).score, original.tuple(i).score);
+    EXPECT_DOUBLE_EQ(loaded->tuple(i).prob, original.tuple(i).prob);
+    EXPECT_EQ(loaded->tuple(i).label, original.tuple(i).label);
+  }
+}
+
+TEST(CsvIo, NullTuplesAreNotSerializedButRederived) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple("sensor");
+  ASSERT_TRUE(b.AddAlternative(x, 1, 5.0, 0.25).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->num_tuples(), 2u);  // real + null
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDatabaseCsv(*db, &out).ok());
+  // Exactly header + one data line.
+  int lines = 0;
+  for (char c : out.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2);
+
+  std::istringstream in(out.str());
+  Result<ProbabilisticDatabase> loaded = ReadDatabaseCsv(&in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_tuples(), 2u);
+  EXPECT_TRUE(loaded->tuple(1).is_null);
+  EXPECT_NEAR(loaded->tuple(1).prob, 0.75, 1e-12);
+}
+
+TEST(CsvIo, AcceptsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "xtuple,tuple_id,score,prob,label\n"
+      "# another\n"
+      "0,1,3.5,0.5,foo\n"
+      "0,2,4.5,0.5,bar\n");
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsv(&in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_real_tuples(), 2u);
+  EXPECT_EQ(db->tuple(0).label, "bar");
+}
+
+TEST(CsvIo, RemapsSparseXTupleKeys) {
+  std::istringstream in(
+      "xtuple,tuple_id,score,prob,label\n"
+      "17,1,3.5,1,a\n"
+      "42,2,4.5,1,b\n");
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsv(&in);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_xtuples(), 2u);
+}
+
+TEST(CsvIo, RejectsMissingHeader) {
+  std::istringstream in("0,1,3.5,0.5,foo\n");
+  EXPECT_FALSE(ReadDatabaseCsv(&in).ok());
+}
+
+TEST(CsvIo, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_FALSE(ReadDatabaseCsv(&in).ok());
+}
+
+TEST(CsvIo, RejectsWrongFieldCount) {
+  std::istringstream in(
+      "xtuple,tuple_id,score,prob,label\n"
+      "0,1,3.5\n");
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsv(&in);
+  EXPECT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvIo, RejectsNonNumericFields) {
+  std::istringstream in(
+      "xtuple,tuple_id,score,prob,label\n"
+      "0,1,abc,0.5,foo\n");
+  EXPECT_FALSE(ReadDatabaseCsv(&in).ok());
+}
+
+TEST(CsvIo, RejectsInvalidModelData) {
+  // Probability 1.5 passes parsing but fails model validation.
+  std::istringstream in(
+      "xtuple,tuple_id,score,prob,label\n"
+      "0,1,3.5,1.5,foo\n");
+  EXPECT_FALSE(ReadDatabaseCsv(&in).ok());
+}
+
+TEST(CsvIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/uclean_csv_test.csv";
+  ProbabilisticDatabase original = MakeUdb2();
+  ASSERT_TRUE(WriteDatabaseCsvFile(original, path).ok());
+  Result<ProbabilisticDatabase> loaded = ReadDatabaseCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_tuples(), original.num_tuples());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, MissingFileIsIOError) {
+  Result<ProbabilisticDatabase> r =
+      ReadDatabaseCsvFile("/nonexistent/uclean.csv");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace uclean

@@ -1,0 +1,234 @@
+// Unit tests for the probabilistic database model: builder validation,
+// null completion, rank ordering and tie-breaking, and the cleaned-database
+// derivation helpers.
+
+#include "model/database.h"
+
+#include <gtest/gtest.h>
+
+#include "model/paper_example.h"
+
+namespace uclean {
+namespace {
+
+TEST(DatabaseBuilder, RejectsUnknownXTuple) {
+  DatabaseBuilder b;
+  EXPECT_EQ(b.AddAlternative(0, 1, 1.0, 0.5).code(), StatusCode::kOutOfRange);
+  b.AddXTuple();
+  EXPECT_TRUE(b.AddAlternative(0, 1, 1.0, 0.5).ok());
+  EXPECT_EQ(b.AddAlternative(1, 2, 1.0, 0.5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatabaseBuilder, RejectsBadProbabilities) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple();
+  EXPECT_FALSE(b.AddAlternative(x, 1, 1.0, 0.0).ok());
+  EXPECT_FALSE(b.AddAlternative(x, 2, 1.0, -0.1).ok());
+  EXPECT_FALSE(b.AddAlternative(x, 3, 1.0, 1.1).ok());
+  EXPECT_TRUE(b.AddAlternative(x, 4, 1.0, 1.0).ok());
+}
+
+TEST(DatabaseBuilder, RejectsNegativeIdsAndBadScores) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple();
+  EXPECT_FALSE(b.AddAlternative(x, -1, 1.0, 0.5).ok());
+  EXPECT_FALSE(
+      b.AddAlternative(x, 1, std::numeric_limits<double>::infinity(), 0.5)
+          .ok());
+  EXPECT_FALSE(
+      b.AddAlternative(x, 2, std::numeric_limits<double>::quiet_NaN(), 0.5)
+          .ok());
+}
+
+TEST(DatabaseBuilder, RejectsOverfullXTuple) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x, 1, 1.0, 0.7).ok());
+  ASSERT_TRUE(b.AddAlternative(x, 2, 2.0, 0.7).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseBuilder, RejectsDuplicateTupleIds) {
+  DatabaseBuilder b;
+  XTupleId x0 = b.AddXTuple();
+  XTupleId x1 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x0, 7, 1.0, 0.5).ok());
+  ASSERT_TRUE(b.AddAlternative(x1, 7, 2.0, 0.5).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(DatabaseBuilder, MaterializesNullForSubUnitMass) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple("entity");
+  ASSERT_TRUE(b.AddAlternative(x, 1, 5.0, 0.3).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_real_tuples(), 1u);
+  ASSERT_EQ(db->num_tuples(), 2u);
+  const Tuple& null_tuple = db->tuple(1);  // nulls sort last
+  EXPECT_TRUE(null_tuple.is_null);
+  EXPECT_LT(null_tuple.id, 0);
+  EXPECT_NEAR(null_tuple.prob, 0.7, 1e-12);
+  EXPECT_EQ(null_tuple.label, "entity");
+  EXPECT_NEAR(db->xtuple_real_mass(x), 0.3, 1e-12);
+}
+
+TEST(DatabaseBuilder, NoNullForUnitMass) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x, 1, 5.0, 0.4).ok());
+  ASSERT_TRUE(b.AddAlternative(x, 2, 6.0, 0.6).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_tuples(), 2u);
+  EXPECT_EQ(db->num_real_tuples(), 2u);
+}
+
+TEST(DatabaseBuilder, EmptyXTupleBecomesCertainNull) {
+  DatabaseBuilder b;
+  b.AddXTuple();
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->num_tuples(), 1u);
+  EXPECT_TRUE(db->tuple(0).is_null);
+  EXPECT_DOUBLE_EQ(db->tuple(0).prob, 1.0);
+}
+
+TEST(Database, RankOrderIsScoreDescending) {
+  DatabaseBuilder b;
+  XTupleId x0 = b.AddXTuple();
+  XTupleId x1 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x0, 0, 10.0, 0.5).ok());
+  ASSERT_TRUE(b.AddAlternative(x0, 1, 30.0, 0.5).ok());
+  ASSERT_TRUE(b.AddAlternative(x1, 2, 20.0, 1.0).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->tuple(0).id, 1);
+  EXPECT_EQ(db->tuple(1).id, 2);
+  EXPECT_EQ(db->tuple(2).id, 0);
+}
+
+TEST(Database, ScoreTiesBreakTowardSmallerId) {
+  DatabaseBuilder b;
+  XTupleId x0 = b.AddXTuple();
+  XTupleId x1 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x1, 9, 50.0, 1.0).ok());
+  ASSERT_TRUE(b.AddAlternative(x0, 3, 50.0, 1.0).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->tuple(0).id, 3);
+  EXPECT_EQ(db->tuple(1).id, 9);
+}
+
+TEST(Database, NullsSortAfterRealsByXTupleId) {
+  DatabaseBuilder b;
+  XTupleId x0 = b.AddXTuple();
+  XTupleId x1 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x0, 0, 1.0, 0.5).ok());   // lowest real score
+  ASSERT_TRUE(b.AddAlternative(x1, 1, 99.0, 0.5).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->num_tuples(), 4u);
+  EXPECT_FALSE(db->tuple(0).is_null);
+  EXPECT_FALSE(db->tuple(1).is_null);
+  EXPECT_TRUE(db->tuple(2).is_null);
+  EXPECT_TRUE(db->tuple(3).is_null);
+  EXPECT_EQ(db->tuple(2).xtuple, x0);
+  EXPECT_EQ(db->tuple(3).xtuple, x1);
+}
+
+TEST(Database, XTupleMembersAreRankSorted) {
+  ProbabilisticDatabase db = MakeUdb1();
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    const auto& members = db.xtuple_members(static_cast<XTupleId>(l));
+    ASSERT_FALSE(members.empty());
+    for (size_t j = 0; j + 1 < members.size(); ++j) {
+      EXPECT_LT(members[j], members[j + 1]);
+    }
+    for (int32_t idx : members) {
+      EXPECT_EQ(db.tuple(idx).xtuple, static_cast<XTupleId>(l));
+    }
+  }
+}
+
+TEST(Database, RankIndexOfTupleId) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<size_t> idx = db.RankIndexOfTupleId(6);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(db.tuple(*idx).id, 6);
+  EXPECT_EQ(db.RankIndexOfTupleId(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Database, DebugStringMentionsShape) {
+  ProbabilisticDatabase db = MakeUdb1();
+  const std::string s = db.DebugString();
+  EXPECT_NE(s.find("4 x-tuples"), std::string::npos);
+  EXPECT_NE(s.find("7 real tuples"), std::string::npos);
+}
+
+TEST(Database, DebugStringTruncates) {
+  ProbabilisticDatabase db = MakeUdb1();
+  const std::string s = db.DebugString(2);
+  EXPECT_NE(s.find("more)"), std::string::npos);
+}
+
+TEST(DatabaseBuilder, FromDatabaseRoundTrips) {
+  ProbabilisticDatabase original = MakeUdb1();
+  DatabaseBuilder b = DatabaseBuilder::FromDatabase(original);
+  Result<ProbabilisticDatabase> copy = std::move(b).Finish();
+  ASSERT_TRUE(copy.ok());
+  ASSERT_EQ(copy->num_tuples(), original.num_tuples());
+  for (size_t i = 0; i < original.num_tuples(); ++i) {
+    EXPECT_EQ(copy->tuple(i).id, original.tuple(i).id);
+    EXPECT_DOUBLE_EQ(copy->tuple(i).prob, original.tuple(i).prob);
+    EXPECT_DOUBLE_EQ(copy->tuple(i).score, original.tuple(i).score);
+  }
+}
+
+TEST(DatabaseBuilder, ReplaceWithCertainCollapsesXTuple) {
+  ProbabilisticDatabase db = MakeUdb1();
+  DatabaseBuilder b = DatabaseBuilder::FromDatabase(db);
+  const Tuple& t5 = db.tuple(*db.RankIndexOfTupleId(5));
+  ASSERT_TRUE(b.ReplaceWithCertain(2, &t5).ok());
+  Result<ProbabilisticDatabase> cleaned = std::move(b).Finish();
+  ASSERT_TRUE(cleaned.ok());
+  const auto& members = cleaned->xtuple_members(2);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(cleaned->tuple(members[0]).id, 5);
+  EXPECT_DOUBLE_EQ(cleaned->tuple(members[0]).prob, 1.0);
+}
+
+TEST(DatabaseBuilder, ReplaceWithCertainNullOutcome) {
+  ProbabilisticDatabase db = MakeUdb1();
+  DatabaseBuilder b = DatabaseBuilder::FromDatabase(db);
+  ASSERT_TRUE(b.ReplaceWithCertain(2, nullptr).ok());
+  Result<ProbabilisticDatabase> cleaned = std::move(b).Finish();
+  ASSERT_TRUE(cleaned.ok());
+  const auto& members = cleaned->xtuple_members(2);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_TRUE(cleaned->tuple(members[0]).is_null);
+  EXPECT_DOUBLE_EQ(cleaned->tuple(members[0]).prob, 1.0);
+}
+
+TEST(DatabaseBuilder, ReplaceWithCertainRejectsBadXTuple) {
+  DatabaseBuilder b;
+  EXPECT_EQ(b.ReplaceWithCertain(0, nullptr).code(), StatusCode::kOutOfRange);
+}
+
+TEST(Database, NumPossibleWorldsCountsNullAlternatives) {
+  DatabaseBuilder b;
+  XTupleId x0 = b.AddXTuple();
+  XTupleId x1 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x0, 0, 1.0, 0.5).ok());  // + null = 2 choices
+  ASSERT_TRUE(b.AddAlternative(x1, 1, 2.0, 0.5).ok());
+  ASSERT_TRUE(b.AddAlternative(x1, 2, 3.0, 0.5).ok());  // mass 1: 2 choices
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  EXPECT_DOUBLE_EQ(db->NumPossibleWorlds(), 4.0);
+}
+
+}  // namespace
+}  // namespace uclean

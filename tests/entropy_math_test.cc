@@ -1,0 +1,62 @@
+// Unit tests for the entropy helpers underpinning the PWS-quality metric.
+
+#include "common/entropy_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uclean {
+namespace {
+
+TEST(YLog2, ZeroConvention) {
+  EXPECT_EQ(YLog2(0.0), 0.0);
+  EXPECT_EQ(YLog2(-0.0), 0.0);
+  EXPECT_EQ(YLog2(-1e-9), 0.0);  // cancellation residue clamps to 0
+}
+
+TEST(YLog2, One) { EXPECT_EQ(YLog2(1.0), 0.0); }
+
+TEST(YLog2, Half) { EXPECT_DOUBLE_EQ(YLog2(0.5), -0.5); }
+
+TEST(YLog2, MatchesDefinition) {
+  for (double x : {0.1, 0.25, 0.37, 0.75, 0.99, 2.0}) {
+    EXPECT_DOUBLE_EQ(YLog2(x), x * std::log2(x));
+  }
+}
+
+TEST(YLog2, ContinuousNearZero) {
+  // x log2 x -> 0 as x -> 0+: tiny inputs give tiny outputs.
+  EXPECT_NEAR(YLog2(1e-12), 0.0, 1e-10);
+}
+
+TEST(Log2Safe, GuardsZero) {
+  EXPECT_EQ(Log2Safe(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Safe(8.0), 3.0);
+  EXPECT_DOUBLE_EQ(Log2Safe(0.5), -1.0);
+}
+
+TEST(EntropyTerm, UniformDistributionEntropy) {
+  // Four equally likely outcomes: entropy = 2 bits.
+  double h = 0.0;
+  for (int i = 0; i < 4; ++i) h += EntropyTerm(0.25);
+  EXPECT_DOUBLE_EQ(h, 2.0);
+}
+
+TEST(EntropyTerm, PointMassHasZeroEntropy) {
+  EXPECT_EQ(EntropyTerm(1.0), 0.0);
+}
+
+TEST(ApproxEqual, DefaultTolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 5e-9));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.0 + 5e-8));
+  EXPECT_TRUE(ApproxEqual(-2.0, -2.0));
+}
+
+TEST(ApproxEqual, CustomTolerance) {
+  EXPECT_TRUE(ApproxEqual(10.0, 10.4, 0.5));
+  EXPECT_FALSE(ApproxEqual(10.0, 10.6, 0.5));
+}
+
+}  // namespace
+}  // namespace uclean

@@ -1,0 +1,318 @@
+// Tests for the extension module: U-Topk, expected ranks, the Monte-Carlo
+// quality estimator, and range/max-query quality -- each validated against
+// a brute-force possible-world oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/entropy_math.h"
+#include "common/rng.h"
+#include "extend/expected_rank.h"
+#include "extend/monte_carlo.h"
+#include "extend/range_max_quality.h"
+#include "extend/utopk.h"
+#include "model/paper_example.h"
+#include "pworld/pw_quality.h"
+#include "pworld/world_iterator.h"
+#include "quality/tp.h"
+#include "tests/test_util.h"
+
+namespace uclean {
+namespace {
+
+TEST(UTopk, FindsMostProbableSequenceOnUdb1) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<UTopkAnswer> answer = EvaluateUTopk(db, 2, /*top_results=*/7);
+  ASSERT_TRUE(answer.ok());
+  // Figure 2: (t1, t2) has the highest probability, 0.28.
+  EXPECT_NEAR(answer->best.probability, 0.28, 1e-12);
+  EXPECT_EQ(PwResultToString(db, answer->best.result), "(t1, t2)");
+  EXPECT_EQ(answer->num_results, 7u);
+  ASSERT_EQ(answer->top.size(), 7u);
+  // The list is sorted by descending probability.
+  for (size_t j = 0; j + 1 < answer->top.size(); ++j) {
+    EXPECT_GE(answer->top[j].probability,
+              answer->top[j + 1].probability - 1e-15);
+  }
+  // Quality equals the PWS-quality of the same query.
+  EXPECT_NEAR(answer->quality, -2.551326, 1e-5);
+}
+
+TEST(UTopk, MatchesBruteForceArgmax) {
+  Rng rng(321);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  opts.max_alternatives = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    for (size_t k : {1u, 2u, 3u}) {
+      Result<UTopkAnswer> answer = EvaluateUTopk(db, k);
+      Result<PwOutput> pw = ComputePwQuality(db, k);
+      ASSERT_TRUE(answer.ok() && pw.ok());
+      double best = 0.0;
+      for (const auto& [result, prob] : pw->results) {
+        best = std::max(best, prob);
+      }
+      EXPECT_NEAR(answer->best.probability, best, 1e-10);
+    }
+  }
+}
+
+TEST(UTopk, TopResultsClampedToDistinctCount) {
+  ProbabilisticDatabase db = MakeUdb2();  // 4 pw-results at k=2
+  Result<UTopkAnswer> answer = EvaluateUTopk(db, 2, /*top_results=*/100);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->top.size(), 4u);
+}
+
+TEST(UTopk, InheritsPwrGuards) {
+  ProbabilisticDatabase db = MakeUdb1();
+  PwrOptions options;
+  options.max_results = 2;
+  EXPECT_EQ(EvaluateUTopk(db, 2, 1, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+/// Brute-force expected rank per Cormode et al. (0-based rank; absent
+/// tuples take the bottom rank = number of real tuples in the world).
+std::vector<double> BruteForceExpectedRanks(const ProbabilisticDatabase& db) {
+  std::vector<double> er(db.num_tuples(), 0.0);
+  for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+    const double pr = it.probability();
+    const auto& chosen = it.chosen_rank_indices();
+    std::set<int32_t> present(chosen.begin(), chosen.end());
+    size_t real_count = 0;
+    for (int32_t idx : chosen) {
+      if (!db.tuple(idx).is_null) ++real_count;
+    }
+    for (size_t i = 0; i < db.num_tuples(); ++i) {
+      if (present.count(static_cast<int32_t>(i))) {
+        size_t above = 0;
+        for (int32_t idx : chosen) {
+          if (idx < static_cast<int32_t>(i) && !db.tuple(idx).is_null) {
+            ++above;
+          }
+        }
+        er[i] += pr * static_cast<double>(above);
+      } else {
+        er[i] += pr * static_cast<double>(real_count);
+      }
+    }
+  }
+  return er;
+}
+
+TEST(ExpectedRank, MatchesBruteForceOnUdb1) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<ExpectedRankOutput> out = ComputeExpectedRanks(db, 3);
+  ASSERT_TRUE(out.ok());
+  const std::vector<double> truth = BruteForceExpectedRanks(db);
+  for (size_t i = 0; i < db.num_tuples(); ++i) {
+    EXPECT_NEAR(out->expected_rank[i], truth[i], 1e-10) << "tuple " << i;
+  }
+}
+
+TEST(ExpectedRank, MatchesBruteForceOnRandomDatabases) {
+  Rng rng(654);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  opts.max_alternatives = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    Result<ExpectedRankOutput> out = ComputeExpectedRanks(db, 2);
+    ASSERT_TRUE(out.ok());
+    const std::vector<double> truth = BruteForceExpectedRanks(db);
+    for (size_t i = 0; i < db.num_tuples(); ++i) {
+      if (db.tuple(i).is_null) continue;  // nulls carry no query meaning
+      ASSERT_NEAR(out->expected_rank[i], truth[i], 1e-9)
+          << "trial " << trial << " tuple " << i;
+    }
+  }
+}
+
+TEST(ExpectedRank, TopkIsSortedAndReal) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<ExpectedRankOutput> out = ComputeExpectedRanks(db, 3);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->topk.size(), 3u);
+  for (size_t j = 0; j + 1 < out->topk.size(); ++j) {
+    EXPECT_LE(out->topk[j].probability, out->topk[j + 1].probability + 1e-12);
+  }
+  for (const AnswerEntry& e : out->topk) {
+    EXPECT_FALSE(db.tuple(e.rank_index).is_null);
+  }
+}
+
+TEST(ExpectedRank, CertainChainIsIdentity) {
+  // All-certain tuples: expected rank of the i-th best is exactly i-1.
+  DatabaseBuilder b;
+  for (int l = 0; l < 5; ++l) {
+    XTupleId x = b.AddXTuple();
+    ASSERT_TRUE(b.AddAlternative(x, l, 100.0 - l, 1.0).ok());
+  }
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  Result<ExpectedRankOutput> out = ComputeExpectedRanks(*db, 2);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(out->expected_rank[i], static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(ExpectedRank, RejectsZeroK) {
+  EXPECT_FALSE(ComputeExpectedRanks(MakeUdb1(), 0).ok());
+}
+
+TEST(MonteCarlo, ConvergesToExactQuality) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<TpOutput> exact = ComputeTpQuality(db, 2);
+  ASSERT_TRUE(exact.ok());
+  MonteCarloOptions options;
+  options.samples = 200000;
+  options.seed = 5;
+  Result<MonteCarloOutput> mc = EstimateQualityMonteCarlo(db, 2, options);
+  ASSERT_TRUE(mc.ok());
+  EXPECT_NEAR(mc->quality_estimate, exact->quality, 0.02);
+  EXPECT_EQ(mc->distinct_results, 7u);  // enough samples to see all 7
+}
+
+TEST(MonteCarlo, MoreSamplesReduceError) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<TpOutput> exact = ComputeTpQuality(db, 2);
+  ASSERT_TRUE(exact.ok());
+  double coarse_err = 0.0, fine_err = 0.0;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    MonteCarloOptions coarse{.samples = 500, .seed = seed};
+    MonteCarloOptions fine{.samples = 50000, .seed = seed};
+    coarse_err += std::fabs(
+        EstimateQualityMonteCarlo(db, 2, coarse)->quality_estimate -
+        exact->quality);
+    fine_err += std::fabs(
+        EstimateQualityMonteCarlo(db, 2, fine)->quality_estimate -
+        exact->quality);
+  }
+  EXPECT_LT(fine_err, coarse_err);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  ProbabilisticDatabase db = MakeUdb2();
+  MonteCarloOptions options{.samples = 1000, .seed = 77};
+  Result<MonteCarloOutput> a = EstimateQualityMonteCarlo(db, 2, options);
+  Result<MonteCarloOutput> b = EstimateQualityMonteCarlo(db, 2, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->quality_estimate, b->quality_estimate);
+}
+
+TEST(MonteCarlo, CollectsEmpiricalDistribution) {
+  ProbabilisticDatabase db = MakeUdb2();
+  MonteCarloOptions options{.samples = 20000, .seed = 3,
+                            .collect_results = true};
+  Result<MonteCarloOutput> mc = EstimateQualityMonteCarlo(db, 2, options);
+  ASSERT_TRUE(mc.ok());
+  Result<PwOutput> pw = ComputePwQuality(db, 2);
+  ASSERT_TRUE(pw.ok());
+  double total = 0.0;
+  for (const auto& [result, freq] : mc->results) {
+    ASSERT_TRUE(pw->results.count(result));  // never invents results
+    EXPECT_NEAR(freq, pw->results.at(result), 0.02);
+    total += freq;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MonteCarlo, ValidatesInputs) {
+  ProbabilisticDatabase db = MakeUdb1();
+  EXPECT_FALSE(EstimateQualityMonteCarlo(db, 0).ok());
+  MonteCarloOptions options;
+  options.samples = 0;
+  EXPECT_FALSE(EstimateQualityMonteCarlo(db, 2, options).ok());
+}
+
+/// Brute-force range quality: entropy of the distribution of in-range
+/// answer sets over all possible worlds.
+double BruteForceRangeQuality(const ProbabilisticDatabase& db, double lo,
+                              double hi) {
+  std::map<std::vector<int32_t>, double> answers;
+  for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+    std::vector<int32_t> answer;
+    for (int32_t idx : it.chosen_rank_indices()) {
+      const Tuple& t = db.tuple(idx);
+      if (!t.is_null && t.score >= lo && t.score <= hi) {
+        answer.push_back(idx);
+      }
+    }
+    std::sort(answer.begin(), answer.end());
+    answers[answer] += it.probability();
+  }
+  double quality = 0.0;
+  for (const auto& [answer, prob] : answers) quality += YLog2(prob);
+  return quality;
+}
+
+TEST(RangeQuality, MatchesBruteForceOnUdb1) {
+  ProbabilisticDatabase db = MakeUdb1();
+  for (auto [lo, hi] : std::vector<std::pair<double, double>>{
+           {20.0, 26.0}, {25.0, 35.0}, {0.0, 100.0}, {90.0, 95.0}}) {
+    Result<RangeQualityOutput> out = ComputeRangeQuality(db, lo, hi);
+    ASSERT_TRUE(out.ok());
+    EXPECT_NEAR(out->quality, BruteForceRangeQuality(db, lo, hi), 1e-10)
+        << "[" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(RangeQuality, MatchesBruteForceOnRandomDatabases) {
+  Rng rng(987);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  opts.max_alternatives = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    const double lo = rng.Uniform(0.0, 50.0);
+    const double hi = lo + rng.Uniform(0.0, 60.0);
+    Result<RangeQualityOutput> out = ComputeRangeQuality(db, lo, hi);
+    ASSERT_TRUE(out.ok());
+    ASSERT_NEAR(out->quality, BruteForceRangeQuality(db, lo, hi), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(RangeQuality, EmptyRangeIsCertain) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<RangeQualityOutput> out = ComputeRangeQuality(db, 500.0, 600.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->quality, 0.0);
+  EXPECT_EQ(out->tuples_in_range, 0u);
+}
+
+TEST(RangeQuality, RejectsInvertedRange) {
+  EXPECT_FALSE(ComputeRangeQuality(MakeUdb1(), 5.0, 1.0).ok());
+}
+
+TEST(RangeQuality, PerXTupleEntropiesSumToQuality) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<RangeQualityOutput> out = ComputeRangeQuality(db, 20.0, 30.0);
+  ASSERT_TRUE(out.ok());
+  double total = 0.0;
+  for (double h : out->xtuple_entropy) total -= h;
+  EXPECT_NEAR(total, out->quality, 1e-12);
+}
+
+TEST(MaxQuality, MatchesTopOneBruteForce) {
+  Rng rng(246);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    Result<double> max_quality = ComputeMaxQuality(db);
+    Result<PwOutput> pw = ComputePwQuality(db, 1);
+    ASSERT_TRUE(max_quality.ok() && pw.ok());
+    EXPECT_NEAR(*max_quality, pw->quality, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace uclean

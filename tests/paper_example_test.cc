@@ -1,0 +1,170 @@
+// Locks in every number the paper derives from its running example
+// (Tables I-II, Figures 2-3, and the Section I PT-2 answer): the pw-result
+// distributions of udb1/udb2, the PWS-quality scores -2.55 and -1.85, and
+// the PT-2 answer {t1, t2, t5} at threshold 0.4. All three quality
+// algorithms must agree with each other and with the published values.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/paper_example.h"
+#include "pworld/pw_quality.h"
+#include "quality/pwr.h"
+#include "quality/tp.h"
+#include "query/topk_queries.h"
+#include "rank/psr.h"
+
+namespace uclean {
+namespace {
+
+constexpr size_t kTop2 = 2;
+
+TEST(PaperExample, Udb1Layout) {
+  ProbabilisticDatabase db = MakeUdb1();
+  EXPECT_EQ(db.num_xtuples(), 4u);
+  EXPECT_EQ(db.num_real_tuples(), 7u);
+  // Every sensor's mass is exactly 1: no null completion.
+  EXPECT_EQ(db.num_tuples(), 7u);
+  // Descending temperature: t1(32) t2(30) t5(27) t6(26) t4(25) t3(22) t0(21).
+  const TupleId expected[] = {1, 2, 5, 6, 4, 3, 0};
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(db.tuple(i).id, expected[i]) << "rank " << i + 1;
+  }
+}
+
+TEST(PaperExample, Udb1WorldCount) {
+  ProbabilisticDatabase db = MakeUdb1();
+  EXPECT_DOUBLE_EQ(db.NumPossibleWorlds(), 2.0 * 2.0 * 2.0 * 1.0);
+}
+
+TEST(PaperExample, SectionIWorldProbability) {
+  // Section I: world W = {t0, t3, t4, t6} has probability
+  // 0.6 * 0.3 * 0.4 * 1 = 0.072.
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok()) << pw.status();
+  // That world's top-2 is (t6, t4): rank indices of t6 and t4.
+  const size_t r_t6 = *db.RankIndexOfTupleId(6);
+  const size_t r_t4 = *db.RankIndexOfTupleId(4);
+  PwResult result = {static_cast<int32_t>(std::min(r_t6, r_t4)),
+                     static_cast<int32_t>(std::max(r_t6, r_t4))};
+  // (t6, t4) also arises from worlds with t0 vs nothing else: enumerate by
+  // hand -- t1 absent (0.6), t2 absent (0.3), S3 must produce t4 (0.4):
+  // the only free choice is S1 in {t0}: probability 0.6*0.3*0.4 = 0.072.
+  ASSERT_TRUE(pw->results.count(result));
+  EXPECT_NEAR(pw->results.at(result), 0.072, 1e-12);
+}
+
+TEST(PaperExample, SectionIIIPwResultProbability) {
+  // Section III-B: r = (t1, t2) has probability 0.112 + 0.168 = 0.28.
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok()) << pw.status();
+  const size_t r_t1 = *db.RankIndexOfTupleId(1);
+  const size_t r_t2 = *db.RankIndexOfTupleId(2);
+  PwResult result = {static_cast<int32_t>(r_t1), static_cast<int32_t>(r_t2)};
+  ASSERT_TRUE(pw->results.count(result));
+  EXPECT_NEAR(pw->results.at(result), 0.28, 1e-12);
+}
+
+TEST(PaperExample, Udb1HasSevenPwResults) {
+  // Figure 2 plots seven pw-results for udb1.
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok()) << pw.status();
+  EXPECT_EQ(pw->results.size(), 7u);
+}
+
+TEST(PaperExample, Udb2HasFourPwResults) {
+  // Figure 3 plots four pw-results for udb2.
+  ProbabilisticDatabase db = MakeUdb2();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok()) << pw.status();
+  EXPECT_EQ(pw->results.size(), 4u);
+}
+
+TEST(PaperExample, Udb1QualityMatchesPaper) {
+  // The paper reports quality -2.55 for udb1 (2 decimal places).
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok()) << pw.status();
+  EXPECT_NEAR(pw->quality, -2.55, 0.005);
+}
+
+TEST(PaperExample, Udb2QualityMatchesPaper) {
+  // The paper reports quality -1.85 for udb2, and |S|(udb2) > |S|(udb1)...
+  // i.e. udb2 is less ambiguous: higher (less negative) quality.
+  ProbabilisticDatabase db = MakeUdb2();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok()) << pw.status();
+  EXPECT_NEAR(pw->quality, -1.85, 0.005);
+
+  Result<PwOutput> pw1 = ComputePwQuality(MakeUdb1(), kTop2);
+  ASSERT_TRUE(pw1.ok());
+  EXPECT_GT(pw->quality, pw1->quality);
+}
+
+TEST(PaperExample, AllThreeAlgorithmsAgreeOnUdb1) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  Result<PwrOutput> pwr = ComputePwrQuality(db, kTop2);
+  Result<TpOutput> tp = ComputeTpQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok() && pwr.ok() && tp.ok());
+  EXPECT_NEAR(pw->quality, pwr->quality, 1e-10);
+  EXPECT_NEAR(pw->quality, tp->quality, 1e-10);
+}
+
+TEST(PaperExample, AllThreeAlgorithmsAgreeOnUdb2) {
+  ProbabilisticDatabase db = MakeUdb2();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  Result<PwrOutput> pwr = ComputePwrQuality(db, kTop2);
+  Result<TpOutput> tp = ComputeTpQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok() && pwr.ok() && tp.ok());
+  EXPECT_NEAR(pw->quality, pwr->quality, 1e-10);
+  EXPECT_NEAR(pw->quality, tp->quality, 1e-10);
+}
+
+TEST(PaperExample, PwrReproducesPwDistribution) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, kTop2);
+  Result<PwrOutput> pwr = ComputePwrQuality(db, kTop2);
+  ASSERT_TRUE(pw.ok() && pwr.ok());
+  ASSERT_EQ(pw->results.size(), pwr->results.size());
+  for (const auto& [result, prob] : pw->results) {
+    ASSERT_TRUE(pwr->results.count(result))
+        << "missing " << PwResultToString(db, result);
+    EXPECT_NEAR(pwr->results.at(result), prob, 1e-12);
+  }
+}
+
+TEST(PaperExample, Pt2AnswerMatchesSectionI) {
+  // Section I: PT-2 with T = 0.4 returns {t1, t2, t5} on udb1.
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PsrOutput> psr = ComputePsr(db, kTop2);
+  ASSERT_TRUE(psr.ok());
+  Result<PtkAnswer> answer = EvaluatePtk(db, *psr, 0.4);
+  ASSERT_TRUE(answer.ok());
+  std::vector<TupleId> ids;
+  for (const AnswerEntry& e : answer->tuples) ids.push_back(e.tuple_id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<TupleId>{1, 2, 5}));
+}
+
+TEST(PaperExample, CleaningS3YieldsUdb2Quality) {
+  // Cleaning S3 successfully (outcome t5) turns udb1 into udb2 exactly.
+  ProbabilisticDatabase udb1 = MakeUdb1();
+  DatabaseBuilder builder = DatabaseBuilder::FromDatabase(udb1);
+  const size_t r_t5 = *udb1.RankIndexOfTupleId(5);
+  ASSERT_TRUE(builder.ReplaceWithCertain(2, &udb1.tuple(r_t5)).ok());
+  Result<ProbabilisticDatabase> cleaned = std::move(builder).Finish();
+  ASSERT_TRUE(cleaned.ok());
+
+  Result<TpOutput> tp_cleaned = ComputeTpQuality(*cleaned, kTop2);
+  Result<TpOutput> tp_udb2 = ComputeTpQuality(MakeUdb2(), kTop2);
+  ASSERT_TRUE(tp_cleaned.ok() && tp_udb2.ok());
+  EXPECT_NEAR(tp_cleaned->quality, tp_udb2->quality, 1e-12);
+}
+
+}  // namespace
+}  // namespace uclean

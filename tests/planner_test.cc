@@ -1,0 +1,328 @@
+// Unit and property tests for the four cleaning planners: DP optimality
+// against exhaustive search, agreement of the two exact DP engines, greedy
+// near-optimality, budget feasibility everywhere, and the behaviour of the
+// randomized heuristics.
+
+#include "clean/planners.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "clean/brute_force.h"
+#include "common/rng.h"
+
+namespace uclean {
+namespace {
+
+/// A random small problem whose exhaustive optimum is computable.
+CleaningProblem RandomProblem(Rng* rng, size_t m, int64_t budget,
+                              int64_t max_cost = 3) {
+  CleaningProblem problem;
+  problem.budget = budget;
+  for (size_t l = 0; l < m; ++l) {
+    problem.gain.push_back(rng->Bernoulli(0.2) ? 0.0
+                                               : -rng->Uniform(0.05, 5.0));
+    problem.topk_mass.push_back(-problem.gain.back());
+    problem.cost.push_back(rng->UniformInt(1, max_cost));
+    problem.sc_prob.push_back(rng->Uniform(0.05, 1.0));
+  }
+  return problem;
+}
+
+class DpOptimalitySweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(DpOptimalitySweep, DpMatchesExhaustiveOptimum) {
+  const auto [m, budget] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 1000 + budget));
+  for (int trial = 0; trial < 8; ++trial) {
+    CleaningProblem problem = RandomProblem(&rng, m, budget);
+    Result<CleaningPlan> exhaustive = PlanExhaustive(problem);
+    ASSERT_TRUE(exhaustive.ok()) << exhaustive.status();
+    for (DpMode mode : {DpMode::kItems, DpMode::kConcave}) {
+      DpOptions options;
+      options.mode = mode;
+      Result<CleaningPlan> dp = PlanDp(problem, options);
+      ASSERT_TRUE(dp.ok());
+      EXPECT_NEAR(dp->expected_improvement, exhaustive->expected_improvement,
+                  1e-9)
+          << "mode " << static_cast<int>(mode) << " trial " << trial;
+      EXPECT_LE(dp->total_cost, problem.budget);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInstances, DpOptimalitySweep,
+                         ::testing::Combine(::testing::Values(2, 3, 4),
+                                            ::testing::Values(3, 5, 8)),
+                         [](const auto& suite_info) {
+                           return "m" + std::to_string(std::get<0>(suite_info.param)) +
+                                  "C" + std::to_string(std::get<1>(suite_info.param));
+                         });
+
+TEST(PlanDp, EnginesAgreeOnLargerInstances) {
+  Rng rng(2468);
+  for (int trial = 0; trial < 10; ++trial) {
+    CleaningProblem problem = RandomProblem(&rng, 40, 200, /*max_cost=*/10);
+    DpOptions items, concave;
+    items.mode = DpMode::kItems;
+    concave.mode = DpMode::kConcave;
+    Result<CleaningPlan> a = PlanDp(problem, items);
+    Result<CleaningPlan> b = PlanDp(problem, concave);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_NEAR(a->expected_improvement, b->expected_improvement, 1e-8)
+        << "trial " << trial;
+    EXPECT_LE(a->total_cost, problem.budget);
+    EXPECT_LE(b->total_cost, problem.budget);
+  }
+}
+
+TEST(PlanDp, ReportedImprovementMatchesReportedProbes) {
+  Rng rng(1357);
+  CleaningProblem problem = RandomProblem(&rng, 20, 100, 5);
+  Result<CleaningPlan> plan = PlanDp(problem);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->expected_improvement,
+              ExpectedImprovement(problem, plan->probes), 1e-12);
+  EXPECT_EQ(plan->total_cost, PlanCost(problem, plan->probes));
+}
+
+TEST(PlanDp, ValueEpsilonTruncationStaysNearExact) {
+  Rng rng(8080);
+  for (int trial = 0; trial < 5; ++trial) {
+    CleaningProblem problem = RandomProblem(&rng, 30, 500, 10);
+    Result<CleaningPlan> exact = PlanDp(problem);
+    DpOptions truncated;
+    truncated.value_epsilon = 1e-9;
+    Result<CleaningPlan> approx = PlanDp(problem, truncated);
+    ASSERT_TRUE(exact.ok() && approx.ok());
+    EXPECT_LE(approx->expected_improvement,
+              exact->expected_improvement + 1e-12);
+    EXPECT_NEAR(approx->expected_improvement, exact->expected_improvement,
+                1e-5);
+  }
+}
+
+TEST(PlanDp, ZeroBudgetMeansEmptyPlan) {
+  Rng rng(1);
+  CleaningProblem problem = RandomProblem(&rng, 5, 0);
+  Result<CleaningPlan> plan = PlanDp(problem);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->total_cost, 0);
+  EXPECT_EQ(plan->expected_improvement, 0.0);
+  EXPECT_EQ(plan->num_selected(), 0u);
+}
+
+TEST(PlanDp, RefusesAbsurdBudgets) {
+  Rng rng(2);
+  CleaningProblem problem = RandomProblem(&rng, 2, 5);
+  problem.budget = 100'000'000;
+  EXPECT_EQ(PlanDp(problem).status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PlanDp, CertainCleaningProbesEachXTupleAtMostOnce) {
+  // With P_l = 1 a second probe of the same x-tuple is worthless.
+  CleaningProblem problem;
+  problem.gain = {-5.0, -3.0};
+  problem.topk_mass = {1.0, 1.0};
+  problem.cost = {1, 1};
+  problem.sc_prob = {1.0, 1.0};
+  problem.budget = 10;
+  Result<CleaningPlan> plan = PlanDp(problem);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->probes[0], 1);
+  EXPECT_EQ(plan->probes[1], 1);
+  EXPECT_NEAR(plan->expected_improvement, 8.0, 1e-12);
+}
+
+TEST(PlanGreedy, CloseToOptimalOnRandomInstances) {
+  Rng rng(97531);
+  for (int trial = 0; trial < 20; ++trial) {
+    CleaningProblem problem = RandomProblem(&rng, 15, 60, 5);
+    Result<CleaningPlan> dp = PlanDp(problem);
+    Result<CleaningPlan> greedy = PlanGreedy(problem);
+    ASSERT_TRUE(dp.ok() && greedy.ok());
+    EXPECT_LE(greedy->expected_improvement,
+              dp->expected_improvement + 1e-9);
+    // The knapsack greedy is not exact, but it must capture the lion's
+    // share (paper: "close to optimal").
+    EXPECT_GE(greedy->expected_improvement,
+              0.8 * dp->expected_improvement - 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(greedy->total_cost, problem.budget);
+  }
+}
+
+TEST(PlanGreedy, TakesHighestRatioFirst) {
+  // Two x-tuples, same gain; the cheaper one must be probed first when the
+  // budget only fits one probe.
+  CleaningProblem problem;
+  problem.gain = {-2.0, -2.0};
+  problem.topk_mass = {1.0, 1.0};
+  problem.cost = {5, 1};
+  problem.sc_prob = {0.5, 0.5};
+  problem.budget = 1;
+  Result<CleaningPlan> plan = PlanGreedy(problem);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->probes[0], 0);
+  EXPECT_EQ(plan->probes[1], 1);
+}
+
+TEST(PlanGreedy, ProbeCountsAreContiguous) {
+  // Greedy takes probe j of an x-tuple only after probes 1..j-1.
+  Rng rng(8642);
+  CleaningProblem problem = RandomProblem(&rng, 10, 40, 4);
+  Result<CleaningPlan> plan = PlanGreedy(problem);
+  ASSERT_TRUE(plan.ok());
+  // The plan stores totals, so contiguity is implicit; check feasibility
+  // and that improvement matches the closed form on those totals.
+  EXPECT_LE(plan->total_cost, problem.budget);
+  EXPECT_NEAR(plan->expected_improvement,
+              ExpectedImprovement(problem, plan->probes), 1e-12);
+}
+
+TEST(RandomPlanners, RespectBudgetAndDeterminism) {
+  Rng maker(11);
+  CleaningProblem problem = RandomProblem(&maker, 12, 50, 4);
+  for (auto plan_fn : {PlanRandU, PlanRandP}) {
+    Rng rng1(42), rng2(42), rng3(43);
+    Result<CleaningPlan> a = plan_fn(problem, &rng1);
+    Result<CleaningPlan> b = plan_fn(problem, &rng2);
+    Result<CleaningPlan> c = plan_fn(problem, &rng3);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    EXPECT_EQ(a->probes, b->probes);  // same seed, same plan
+    EXPECT_LE(a->total_cost, problem.budget);
+    EXPECT_LE(c->total_cost, problem.budget);
+    // The budget is exhausted down to less than the cheapest cost.
+    int64_t cheapest = *std::min_element(problem.cost.begin(),
+                                         problem.cost.end());
+    EXPECT_GT(a->total_cost, problem.budget - cheapest);
+  }
+}
+
+TEST(RandomPlanners, RequireRng) {
+  Rng maker(12);
+  CleaningProblem problem = RandomProblem(&maker, 3, 5);
+  EXPECT_FALSE(PlanRandU(problem, nullptr).ok());
+  EXPECT_FALSE(PlanRandP(problem, nullptr).ok());
+}
+
+TEST(PlanRandP, NeverSelectsZeroMassXTuples) {
+  CleaningProblem problem;
+  problem.gain = {-1.0, 0.0, -1.0};
+  problem.topk_mass = {0.8, 0.0, 0.4};
+  problem.cost = {1, 1, 1};
+  problem.sc_prob = {0.5, 0.5, 0.5};
+  problem.budget = 50;
+  Rng rng(3);
+  Result<CleaningPlan> plan = PlanRandP(problem, &rng);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->probes[1], 0);
+  EXPECT_EQ(plan->probes[0] + plan->probes[2], 50);
+}
+
+TEST(PlanRandP, FavoursHeavierXTuples) {
+  CleaningProblem problem;
+  problem.gain = {-1.0, -1.0};
+  problem.topk_mass = {0.9, 0.1};
+  problem.cost = {1, 1};
+  problem.sc_prob = {0.5, 0.5};
+  problem.budget = 2000;
+  Rng rng(77);
+  Result<CleaningPlan> plan = PlanRandP(problem, &rng);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(static_cast<double>(plan->probes[0]) / 2000.0, 0.9, 0.05);
+}
+
+TEST(PlanRandU, UniformOverCandidateSetZ) {
+  // RandU draws uniformly over Z = {x-tuples with nonzero gain}
+  // (Section V-C); within Z it ignores gain magnitude and top-k mass.
+  CleaningProblem problem;
+  problem.gain = {0.0, -5.0, 0.0, -0.01};
+  problem.topk_mass = {0.0, 1.0, 0.0, 0.01};
+  problem.cost = {1, 1, 1, 1};
+  problem.sc_prob = {0.5, 0.5, 0.5, 0.5};
+  problem.budget = 4000;
+  Rng rng(5);
+  Result<CleaningPlan> plan = PlanRandU(problem, &rng);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->probes[0], 0);  // outside Z: never drawn
+  EXPECT_EQ(plan->probes[2], 0);
+  // Members of Z split the probes evenly regardless of gain size.
+  EXPECT_NEAR(static_cast<double>(plan->probes[1]) / 4000.0, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(plan->probes[3]) / 4000.0, 0.5, 0.05);
+}
+
+TEST(Planners, OrderingDpGreedyRandOnTypicalInstance) {
+  // The paper's headline ordering: DP >= Greedy >= RandP >= RandU
+  // (in expectation; we use a seed-averaged comparison).
+  Rng maker(314159);
+  CleaningProblem problem = RandomProblem(&maker, 30, 80, 5);
+  Result<CleaningPlan> dp = PlanDp(problem);
+  Result<CleaningPlan> greedy = PlanGreedy(problem);
+  ASSERT_TRUE(dp.ok() && greedy.ok());
+
+  double randp_sum = 0.0, randu_sum = 0.0;
+  const int seeds = 20;
+  for (int s = 0; s < seeds; ++s) {
+    Rng r1(1000 + s), r2(2000 + s);
+    randp_sum += PlanRandP(problem, &r1)->expected_improvement;
+    randu_sum += PlanRandU(problem, &r2)->expected_improvement;
+  }
+  const double randp = randp_sum / seeds;
+  const double randu = randu_sum / seeds;
+
+  EXPECT_GE(dp->expected_improvement, greedy->expected_improvement - 1e-9);
+  EXPECT_GE(greedy->expected_improvement, randp);
+  EXPECT_GE(randp, randu);
+}
+
+TEST(RunPlanner, DispatchesAllKinds) {
+  Rng maker(999);
+  CleaningProblem problem = RandomProblem(&maker, 8, 20, 3);
+  Rng rng(1);
+  for (PlannerKind kind : {PlannerKind::kDp, PlannerKind::kGreedy,
+                           PlannerKind::kRandP, PlannerKind::kRandU}) {
+    Result<CleaningPlan> plan = RunPlanner(kind, problem, &rng);
+    ASSERT_TRUE(plan.ok()) << PlannerKindName(kind);
+    EXPECT_LE(plan->total_cost, problem.budget);
+  }
+  EXPECT_STREQ(PlannerKindName(PlannerKind::kDp), "DP");
+  EXPECT_STREQ(PlannerKindName(PlannerKind::kGreedy), "Greedy");
+  EXPECT_STREQ(PlannerKindName(PlannerKind::kRandP), "RandP");
+  EXPECT_STREQ(PlannerKindName(PlannerKind::kRandU), "RandU");
+}
+
+TEST(Planners, Lemma5ZeroGainXTuplesNeverPlanned) {
+  CleaningProblem problem;
+  problem.gain = {0.0, -2.0, 0.0};
+  problem.topk_mass = {0.0, 1.0, 0.0};
+  problem.cost = {1, 3, 1};
+  problem.sc_prob = {0.9, 0.9, 0.9};
+  problem.budget = 9;
+  Result<CleaningPlan> dp = PlanDp(problem);
+  Result<CleaningPlan> greedy = PlanGreedy(problem);
+  ASSERT_TRUE(dp.ok() && greedy.ok());
+  EXPECT_EQ(dp->probes[0], 0);
+  EXPECT_EQ(dp->probes[2], 0);
+  EXPECT_GT(dp->probes[1], 0);
+  EXPECT_EQ(greedy->probes[0], 0);
+  EXPECT_EQ(greedy->probes[2], 0);
+}
+
+TEST(Planners, ImprovementNeverExceedsTotalAmbiguity) {
+  // I <= |S| = -sum(gain): cleaning cannot make quality positive.
+  Rng maker(13579);
+  for (int trial = 0; trial < 10; ++trial) {
+    CleaningProblem problem = RandomProblem(&maker, 10, 500, 2);
+    double total = 0.0;
+    for (double g : problem.gain) total -= g;
+    Result<CleaningPlan> dp = PlanDp(problem);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_LE(dp->expected_improvement, total + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace uclean

@@ -1,0 +1,200 @@
+// Property-based invariant tests over randomized databases. Each property
+// is an algebraic fact the paper relies on; the parameterized sweep stress-
+// tests it across database shapes (x-tuple counts, alternative counts,
+// sub-unit masses) and k values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "clean/planners.h"
+#include "common/rng.h"
+#include "pworld/pw_quality.h"
+#include "quality/pwr.h"
+#include "quality/tp.h"
+#include "rank/psr.h"
+#include "tests/test_util.h"
+
+namespace uclean {
+namespace {
+
+using ShapeParam = std::tuple<int, int, bool>;
+
+class PropertySweep : public ::testing::TestWithParam<ShapeParam> {
+ protected:
+  ProbabilisticDatabase MakeDb(uint64_t seed) {
+    const auto [m, alts, subunit] = GetParam();
+    Rng rng(seed);
+    RandomDbOptions opts;
+    opts.num_xtuples = static_cast<size_t>(m);
+    opts.max_alternatives = static_cast<size_t>(alts);
+    opts.allow_subunit_mass = subunit;
+    return MakeRandomDatabase(&rng, opts);
+  }
+};
+
+TEST_P(PropertySweep, PwResultProbabilitiesFormDistribution) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    for (size_t k : {1u, 2u, 4u}) {
+      Result<PwrOutput> pwr = ComputePwrQuality(db, k);
+      ASSERT_TRUE(pwr.ok());
+      double total = 0.0;
+      for (const auto& [result, prob] : pwr->results) {
+        EXPECT_GE(prob, -1e-12);
+        EXPECT_LE(prob, 1.0 + 1e-12);
+        total += prob;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9) << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST_P(PropertySweep, QualityIsNonPositiveAndBounded) {
+  for (uint64_t seed : {4u, 5u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    for (size_t k : {1u, 3u}) {
+      Result<PwrOutput> pwr = ComputePwrQuality(db, k);
+      ASSERT_TRUE(pwr.ok());
+      EXPECT_LE(pwr->quality, 1e-12);
+      EXPECT_GE(pwr->quality,
+                -std::log2(static_cast<double>(pwr->num_results)) - 1e-9);
+    }
+  }
+}
+
+TEST_P(PropertySweep, TopkProbabilitiesSumToK) {
+  // With nulls materialized every world holds m tuples, so for k <= m the
+  // result always has exactly k entries.
+  for (uint64_t seed : {6u, 7u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    const size_t m = db.num_xtuples();
+    for (size_t k = 1; k <= m; k += 2) {
+      Result<PsrOutput> psr = ComputePsr(db, k);
+      ASSERT_TRUE(psr.ok());
+      double total = 0.0;
+      for (double p : psr->topk_prob) total += p;
+      EXPECT_NEAR(total, static_cast<double>(k), 1e-9);
+    }
+  }
+}
+
+TEST_P(PropertySweep, RankProbabilitiesAreColumnDistributions) {
+  // For each rank h <= m: exactly one tuple occupies rank h in every
+  // world, so rho(., h) sums to 1 across tuples.
+  for (uint64_t seed : {8u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    const size_t k = std::min<size_t>(db.num_xtuples(), 4);
+    PsrOptions options;
+    options.store_rank_probabilities = true;
+    Result<PsrOutput> psr = ComputePsr(db, k, options);
+    ASSERT_TRUE(psr.ok());
+    for (size_t h = 1; h <= k; ++h) {
+      double column = 0.0;
+      for (size_t i = 0; i < db.num_tuples(); ++i) {
+        column += psr->rank_probability(i, h);
+      }
+      EXPECT_NEAR(column, 1.0, 1e-9) << "rank " << h;
+    }
+  }
+}
+
+TEST_P(PropertySweep, QualityAlgorithmsAgree) {
+  for (uint64_t seed : {9u, 10u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    for (size_t k : {2u, 3u}) {
+      Result<PwrOutput> pwr = ComputePwrQuality(db, k);
+      Result<TpOutput> tp = ComputeTpQuality(db, k);
+      ASSERT_TRUE(pwr.ok() && tp.ok());
+      EXPECT_NEAR(pwr->quality, tp->quality, 1e-8);
+    }
+  }
+}
+
+TEST_P(PropertySweep, CleaningEveryXTupleRemovesAllAmbiguity) {
+  // Collapsing every x-tuple to a certain outcome yields quality 0, i.e.
+  // sum of all achievable improvements equals |S|.
+  for (uint64_t seed : {11u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    const size_t k = 2;
+    Result<TpOutput> tp = ComputeTpQuality(db, k);
+    ASSERT_TRUE(tp.ok());
+    CleaningProblem problem;
+    problem.gain = tp->xtuple_gain;
+    for (double& g : problem.gain) g = std::min(g, 0.0);
+    problem.topk_mass = tp->xtuple_topk_mass;
+    problem.cost.assign(db.num_xtuples(), 1);
+    problem.sc_prob.assign(db.num_xtuples(), 1.0);
+    problem.budget = static_cast<int64_t>(db.num_xtuples());
+    Result<CleaningPlan> plan = PlanDp(problem);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_NEAR(plan->expected_improvement, -tp->quality, 1e-8);
+  }
+}
+
+TEST_P(PropertySweep, DpDominatesEveryOtherPlanner) {
+  for (uint64_t seed : {12u, 13u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    const size_t k = 2;
+    Rng rng(seed * 17);
+    Result<TpOutput> tp = ComputeTpQuality(db, k);
+    ASSERT_TRUE(tp.ok());
+    CleaningProblem problem;
+    problem.gain = tp->xtuple_gain;
+    for (double& g : problem.gain) g = std::min(g, 0.0);
+    problem.topk_mass = tp->xtuple_topk_mass;
+    problem.cost.clear();
+    problem.sc_prob.clear();
+    for (size_t l = 0; l < db.num_xtuples(); ++l) {
+      problem.cost.push_back(rng.UniformInt(1, 4));
+      problem.sc_prob.push_back(rng.Uniform(0.1, 1.0));
+    }
+    problem.budget = 6;
+    Result<CleaningPlan> dp = PlanDp(problem);
+    Result<CleaningPlan> greedy = PlanGreedy(problem);
+    Result<CleaningPlan> randp = PlanRandP(problem, &rng);
+    Result<CleaningPlan> randu = PlanRandU(problem, &rng);
+    ASSERT_TRUE(dp.ok() && greedy.ok() && randp.ok() && randu.ok());
+    EXPECT_GE(dp->expected_improvement,
+              greedy->expected_improvement - 1e-9);
+    EXPECT_GE(dp->expected_improvement, randp->expected_improvement - 1e-9);
+    EXPECT_GE(dp->expected_improvement, randu->expected_improvement - 1e-9);
+  }
+}
+
+TEST_P(PropertySweep, BudgetMonotonicityOfOptimalImprovement) {
+  for (uint64_t seed : {14u}) {
+    ProbabilisticDatabase db = MakeDb(seed);
+    Result<TpOutput> tp = ComputeTpQuality(db, 2);
+    ASSERT_TRUE(tp.ok());
+    CleaningProblem problem;
+    problem.gain = tp->xtuple_gain;
+    for (double& g : problem.gain) g = std::min(g, 0.0);
+    problem.topk_mass = tp->xtuple_topk_mass;
+    problem.cost.assign(db.num_xtuples(), 2);
+    problem.sc_prob.assign(db.num_xtuples(), 0.4);
+    double previous = -1.0;
+    for (int64_t budget : {0, 2, 4, 8, 16}) {
+      problem.budget = budget;
+      Result<CleaningPlan> plan = PlanDp(problem);
+      ASSERT_TRUE(plan.ok());
+      EXPECT_GE(plan->expected_improvement, previous - 1e-12);
+      previous = plan->expected_improvement;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PropertySweep,
+    ::testing::Combine(::testing::Values(3, 5, 8),  // x-tuples
+                       ::testing::Values(2, 4),     // max alternatives
+                       ::testing::Bool()),          // sub-unit mass
+    [](const auto& suite_info) {
+      return "m" + std::to_string(std::get<0>(suite_info.param)) + "a" +
+             std::to_string(std::get<1>(suite_info.param)) +
+             (std::get<2>(suite_info.param) ? "sub" : "full");
+    });
+
+}  // namespace
+}  // namespace uclean

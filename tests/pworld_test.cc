@@ -1,0 +1,192 @@
+// Unit tests for possible-world enumeration, deterministic top-k, the
+// Lemma-1 closed form, and the PW quality baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "model/paper_example.h"
+#include "pworld/mass_index.h"
+#include "pworld/pw_quality.h"
+#include "pworld/pw_result.h"
+#include "pworld/world_iterator.h"
+#include "tests/test_util.h"
+
+namespace uclean {
+namespace {
+
+TEST(PossibleWorldIterator, VisitsExactlyAllWorlds) {
+  ProbabilisticDatabase db = MakeUdb1();
+  size_t count = 0;
+  for (PossibleWorldIterator it(db); !it.Done(); it.Next()) ++count;
+  EXPECT_EQ(static_cast<double>(count), db.NumPossibleWorlds());
+}
+
+TEST(PossibleWorldIterator, ProbabilitiesSumToOne) {
+  ProbabilisticDatabase db = MakeUdb1();
+  double total = 0.0;
+  for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+    total += it.probability();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PossibleWorldIterator, SubUnitMassStillSumsToOne) {
+  // Null completion makes the world space a true probability space even
+  // when x-tuple masses are below 1.
+  Rng rng(404);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  opts.max_alternatives = 3;
+  opts.allow_subunit_mass = true;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    double total = 0.0;
+    for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+      total += it.probability();
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+TEST(PossibleWorldIterator, EachWorldDrawsOnePerXTuple) {
+  ProbabilisticDatabase db = MakeUdb1();
+  for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+    const auto& chosen = it.chosen_rank_indices();
+    ASSERT_EQ(chosen.size(), db.num_xtuples());
+    for (size_t l = 0; l < chosen.size(); ++l) {
+      EXPECT_EQ(db.tuple(chosen[l]).xtuple, static_cast<XTupleId>(l));
+    }
+  }
+}
+
+TEST(DeterministicTopK, PicksBestRanked) {
+  const std::vector<int32_t> chosen = {9, 4, 7, 1};
+  EXPECT_EQ(DeterministicTopK(chosen, 2), (std::vector<int32_t>{1, 4}));
+  EXPECT_EQ(DeterministicTopK(chosen, 1), (std::vector<int32_t>{1}));
+}
+
+TEST(DeterministicTopK, ShortWorldReturnsEverything) {
+  const std::vector<int32_t> chosen = {5, 2};
+  EXPECT_EQ(DeterministicTopK(chosen, 10), (std::vector<int32_t>{2, 5}));
+}
+
+TEST(XTupleMassIndex, MatchesDirectSums) {
+  Rng rng(77);
+  RandomDbOptions opts;
+  opts.num_xtuples = 6;
+  opts.max_alternatives = 4;
+  ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+  XTupleMassIndex index(db);
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    for (int32_t boundary = 0;
+         boundary <= static_cast<int32_t>(db.num_tuples()); ++boundary) {
+      double expected_above = 0.0, expected_at_or_above = 0.0;
+      for (int32_t idx : db.xtuple_members(static_cast<XTupleId>(l))) {
+        if (idx < boundary) expected_above += db.tuple(idx).prob;
+        if (idx <= boundary) expected_at_or_above += db.tuple(idx).prob;
+      }
+      EXPECT_NEAR(index.MassRankedAbove(static_cast<XTupleId>(l), boundary),
+                  expected_above, 1e-12);
+      EXPECT_NEAR(
+          index.MassRankedAtOrAbove(static_cast<XTupleId>(l), boundary),
+          expected_at_or_above, 1e-12);
+    }
+  }
+}
+
+TEST(PwQuality, ResultProbabilitiesSumToOne) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, 3);
+  ASSERT_TRUE(pw.ok());
+  double total = 0.0;
+  for (const auto& [result, prob] : pw->results) total += prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PwQuality, Lemma1MatchesWorldAggregation) {
+  Rng rng(2024);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  opts.max_alternatives = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    XTupleMassIndex index(db);
+    for (size_t k = 1; k <= 4; ++k) {
+      Result<PwOutput> pw = ComputePwQuality(db, k);
+      ASSERT_TRUE(pw.ok());
+      for (const auto& [result, prob] : pw->results) {
+        EXPECT_NEAR(PwResultProbability(db, index, result), prob, 1e-10)
+            << "trial " << trial << " k " << k << " result "
+            << PwResultToString(db, result);
+      }
+    }
+  }
+}
+
+TEST(PwQuality, RejectsZeroK) {
+  EXPECT_FALSE(ComputePwQuality(MakeUdb1(), 0).ok());
+}
+
+TEST(PwQuality, WorldLimitGuard) {
+  ProbabilisticDatabase db = MakeUdb1();
+  PwOptions options;
+  options.max_worlds = 4;  // udb1 has 8 worlds
+  Result<PwOutput> pw = ComputePwQuality(db, 2, options);
+  EXPECT_EQ(pw.status().code(), StatusCode::kResourceExhausted);
+  options.max_worlds = 0;  // guard disabled
+  EXPECT_TRUE(ComputePwQuality(db, 2, options).ok());
+}
+
+TEST(PwQuality, KLargerThanEntitiesYieldsFullWorldResults) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PwOutput> pw = ComputePwQuality(db, 10);
+  ASSERT_TRUE(pw.ok());
+  // Every pw-result is the whole world (4 tuples), so the distribution is
+  // over worlds directly: 8 worlds, but distinct tuple sets -- S2/S3 pairs
+  // differ, S4 is fixed. 2*2*2 = 8 distinct results.
+  EXPECT_EQ(pw->results.size(), 8u);
+  for (const auto& [result, prob] : pw->results) {
+    EXPECT_EQ(result.size(), 4u);
+  }
+}
+
+TEST(PwQuality, QualityIsNonPositive) {
+  Rng rng(1);
+  RandomDbOptions opts;
+  opts.num_xtuples = 4;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    Result<PwOutput> pw = ComputePwQuality(db, 2);
+    ASSERT_TRUE(pw.ok());
+    EXPECT_LE(pw->quality, 1e-12);
+  }
+}
+
+TEST(PwQuality, CertainDatabaseHasZeroQuality) {
+  DatabaseBuilder b;
+  for (int l = 0; l < 3; ++l) {
+    XTupleId x = b.AddXTuple();
+    ASSERT_TRUE(b.AddAlternative(x, l, 10.0 - l, 1.0).ok());
+  }
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  Result<PwOutput> pw = ComputePwQuality(*db, 2);
+  ASSERT_TRUE(pw.ok());
+  EXPECT_EQ(pw->results.size(), 1u);
+  EXPECT_DOUBLE_EQ(pw->quality, 0.0);
+}
+
+TEST(PwResultToString, UsesLabelsAndNullMarkers) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple("S");
+  ASSERT_TRUE(b.AddAlternative(x, 0, 1.0, 0.5, "t0").ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(PwResultToString(*db, {0}), "(t0)");
+  EXPECT_EQ(PwResultToString(*db, {1}), "(null[0])");
+}
+
+}  // namespace
+}  // namespace uclean

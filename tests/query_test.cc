@@ -1,0 +1,204 @@
+// Unit tests for the three probabilistic top-k query semantics, validated
+// against brute-force possible-world evaluation.
+
+#include "query/topk_queries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/paper_example.h"
+#include "pworld/world_iterator.h"
+#include "rank/psr.h"
+#include "tests/test_util.h"
+
+namespace uclean {
+namespace {
+
+struct BruteForceInfo {
+  std::vector<std::vector<double>> rho;  // [tuple][h-1]
+  std::vector<double> topk;              // [tuple]
+};
+
+BruteForceInfo BruteForce(const ProbabilisticDatabase& db, size_t k) {
+  BruteForceInfo info;
+  info.rho.assign(db.num_tuples(), std::vector<double>(k, 0.0));
+  info.topk.assign(db.num_tuples(), 0.0);
+  for (PossibleWorldIterator it(db); !it.Done(); it.Next()) {
+    const auto topk = DeterministicTopK(it.chosen_rank_indices(), k);
+    for (size_t h = 0; h < topk.size(); ++h) {
+      info.rho[topk[h]][h] += it.probability();
+      info.topk[topk[h]] += it.probability();
+    }
+  }
+  return info;
+}
+
+TEST(UkRanks, MatchesBruteForceOnUdb1) {
+  ProbabilisticDatabase db = MakeUdb1();
+  const size_t k = 3;
+  Result<PsrOutput> psr = ComputePsr(db, k);
+  ASSERT_TRUE(psr.ok());
+  UkRanksAnswer answer = EvaluateUkRanks(db, *psr);
+  const BruteForceInfo truth = BruteForce(db, k);
+
+  ASSERT_EQ(answer.per_rank.size(), k);
+  for (size_t h = 1; h <= k; ++h) {
+    // Find the real tuple with the highest brute-force rank-h probability.
+    double best = -1.0;
+    for (size_t i = 0; i < db.num_tuples(); ++i) {
+      if (!db.tuple(i).is_null) best = std::max(best, truth.rho[i][h - 1]);
+    }
+    EXPECT_NEAR(answer.per_rank[h - 1].probability, best, 1e-10);
+    ASSERT_GE(answer.per_rank[h - 1].rank_index, 0);
+    EXPECT_NEAR(truth.rho[answer.per_rank[h - 1].rank_index][h - 1], best,
+                1e-10);
+  }
+}
+
+TEST(Ptk, MatchesBruteForceThresholding) {
+  Rng rng(9001);
+  RandomDbOptions opts;
+  opts.num_xtuples = 5;
+  opts.max_alternatives = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    const size_t k = 2;
+    Result<PsrOutput> psr = ComputePsr(db, k);
+    ASSERT_TRUE(psr.ok());
+    const BruteForceInfo truth = BruteForce(db, k);
+    for (double threshold : {0.05, 0.3, 0.7}) {
+      Result<PtkAnswer> answer = EvaluatePtk(db, *psr, threshold);
+      ASSERT_TRUE(answer.ok());
+      std::vector<TupleId> got;
+      for (const AnswerEntry& e : answer->tuples) got.push_back(e.tuple_id);
+      std::vector<TupleId> expected;
+      for (size_t i = 0; i < db.num_tuples(); ++i) {
+        // Mirror the implementation's >= comparison; random probabilities
+        // never tie the threshold exactly.
+        if (!db.tuple(i).is_null && truth.topk[i] >= threshold) {
+          expected.push_back(db.tuple(i).id);
+        }
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(got, expected) << "threshold " << threshold;
+    }
+  }
+}
+
+TEST(Ptk, RejectsBadThreshold) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PsrOutput> psr = ComputePsr(db, 2);
+  ASSERT_TRUE(psr.ok());
+  EXPECT_FALSE(EvaluatePtk(db, *psr, 0.0).ok());
+  EXPECT_FALSE(EvaluatePtk(db, *psr, -0.5).ok());
+  EXPECT_FALSE(EvaluatePtk(db, *psr, 1.5).ok());
+  EXPECT_TRUE(EvaluatePtk(db, *psr, 1.0).ok());
+}
+
+TEST(Ptk, AnswersAreRankOrdered) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PsrOutput> psr = ComputePsr(db, 2);
+  ASSERT_TRUE(psr.ok());
+  Result<PtkAnswer> answer = EvaluatePtk(db, *psr, 0.1);
+  ASSERT_TRUE(answer.ok());
+  for (size_t j = 0; j + 1 < answer->tuples.size(); ++j) {
+    EXPECT_LT(answer->tuples[j].rank_index, answer->tuples[j + 1].rank_index);
+  }
+}
+
+TEST(GlobalTopk, ReturnsKHighestTopkProbabilities) {
+  Rng rng(4242);
+  RandomDbOptions opts;
+  opts.num_xtuples = 6;
+  opts.max_alternatives = 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
+    const size_t k = 3;
+    Result<PsrOutput> psr = ComputePsr(db, k);
+    ASSERT_TRUE(psr.ok());
+    GlobalTopkAnswer answer = EvaluateGlobalTopk(db, *psr);
+    const BruteForceInfo truth = BruteForce(db, k);
+
+    ASSERT_LE(answer.tuples.size(), k);
+    // Answers are sorted by descending top-k probability...
+    for (size_t j = 0; j + 1 < answer.tuples.size(); ++j) {
+      EXPECT_GE(answer.tuples[j].probability,
+                answer.tuples[j + 1].probability - 1e-12);
+    }
+    // ... and no excluded real tuple beats the weakest answer.
+    if (!answer.tuples.empty()) {
+      const double weakest = answer.tuples.back().probability;
+      std::vector<bool> included(db.num_tuples(), false);
+      for (const AnswerEntry& e : answer.tuples) included[e.rank_index] = true;
+      for (size_t i = 0; i < db.num_tuples(); ++i) {
+        if (!db.tuple(i).is_null && !included[i]) {
+          EXPECT_LE(truth.topk[i], weakest + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(GlobalTopk, TieBreaksTowardHigherRank) {
+  // Two certain tuples have identical top-k probability 1 for k = 2; the
+  // higher-ranked one must come first.
+  DatabaseBuilder b;
+  XTupleId x0 = b.AddXTuple();
+  XTupleId x1 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x0, 0, 10.0, 1.0).ok());
+  ASSERT_TRUE(b.AddAlternative(x1, 1, 20.0, 1.0).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  Result<PsrOutput> psr = ComputePsr(*db, 2);
+  ASSERT_TRUE(psr.ok());
+  GlobalTopkAnswer answer = EvaluateGlobalTopk(*db, *psr);
+  ASSERT_EQ(answer.tuples.size(), 2u);
+  EXPECT_EQ(answer.tuples[0].tuple_id, 1);  // score 20 ranks first
+  EXPECT_EQ(answer.tuples[1].tuple_id, 0);
+}
+
+TEST(Queries, NullTuplesNeverAppearInAnswers) {
+  // An x-tuple with tiny mass: its null alternative has a huge top-k
+  // probability but must never be returned.
+  DatabaseBuilder b;
+  XTupleId x0 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x0, 0, 10.0, 0.05).ok());
+  XTupleId x1 = b.AddXTuple();
+  ASSERT_TRUE(b.AddAlternative(x1, 1, 5.0, 0.5).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+  Result<PsrOutput> psr = ComputePsr(*db, 2);
+  ASSERT_TRUE(psr.ok());
+
+  UkRanksAnswer uk = EvaluateUkRanks(*db, *psr);
+  for (const AnswerEntry& e : uk.per_rank) {
+    if (e.rank_index >= 0) {
+      EXPECT_FALSE(db->tuple(e.rank_index).is_null);
+    }
+  }
+  Result<PtkAnswer> ptk = EvaluatePtk(*db, *psr, 0.01);
+  ASSERT_TRUE(ptk.ok());
+  for (const AnswerEntry& e : ptk->tuples) {
+    EXPECT_FALSE(db->tuple(e.rank_index).is_null);
+  }
+  GlobalTopkAnswer gt = EvaluateGlobalTopk(*db, *psr);
+  for (const AnswerEntry& e : gt.tuples) {
+    EXPECT_FALSE(db->tuple(e.rank_index).is_null);
+  }
+}
+
+TEST(AnswerToString, FormatsSetNotation) {
+  ProbabilisticDatabase db = MakeUdb1();
+  Result<PsrOutput> psr = ComputePsr(db, 2);
+  ASSERT_TRUE(psr.ok());
+  Result<PtkAnswer> answer = EvaluatePtk(db, *psr, 0.4);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(AnswerToString(db, answer->tuples), "{t1, t2, t5}");
+}
+
+}  // namespace
+}  // namespace uclean

@@ -1,0 +1,123 @@
+// Unit tests for the deterministic RNG wrapper.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace uclean {
+namespace {
+
+TEST(Rng, EqualSeedsYieldEqualStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.UniformUnit(), b.UniformUnit());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.UniformUnit() != b.UniformUnit()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(1, 10);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+    saw_lo |= v == 1;
+    saw_hi |= v == 10;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.TruncatedNormal(0.5, 0.3, 0.0, 1.0);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, TruncatedNormalMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    sum += rng.TruncatedNormal(0.5, 0.1, 0.0, 1.0);
+  }
+  // Symmetric truncation keeps the mean at 0.5.
+  EXPECT_NEAR(sum / trials, 0.5, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.Discrete(weights)];
+  EXPECT_EQ(counts[2], 0);  // zero weight never drawn
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 0.1, 0.015);
+  EXPECT_NEAR(counts[1] / static_cast<double>(trials), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(trials), 0.6, 0.015);
+}
+
+TEST(Rng, DiscreteAllZeroFallsBackToUniform) {
+  Rng rng(29);
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) ++counts[rng.Discrete(weights)];
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0, sq = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / trials;
+  const double var = sq / trials - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace uclean

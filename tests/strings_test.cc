@@ -1,0 +1,64 @@
+// Unit tests for the string/CSV helpers.
+
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace uclean {
+namespace {
+
+TEST(SplitString, BasicFields) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitString, PreservesEmptyFields) {
+  EXPECT_EQ(SplitString(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinStrings, RoundTripsWithSplit) {
+  const std::vector<std::string> parts = {"1", "two", "", "3.5"};
+  EXPECT_EQ(SplitString(JoinStrings(parts, ","), ','), parts);
+}
+
+TEST(StripWhitespace, AllSides) {
+  EXPECT_EQ(StripWhitespace("  x y\t\r\n"), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(ParseDouble, Valid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e-3 "), -1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1.5 2.5").ok());
+}
+
+TEST(ParseInt, Valid) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt(" -7 "), -7);
+  EXPECT_EQ(*ParseInt("0"), 0);
+}
+
+TEST(ParseInt, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12.5").ok());
+  EXPECT_FALSE(ParseInt("x12").ok());
+  EXPECT_FALSE(ParseInt("99999999999999999999999").ok());
+}
+
+TEST(FormatDouble, RoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-300, 123456.789, -0.0, 2.5e17}) {
+    EXPECT_DOUBLE_EQ(*ParseDouble(FormatDouble(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace uclean

@@ -1,0 +1,56 @@
+// Shared helpers for randomized/property tests: small random databases with
+// controlled shape, so brute-force oracles stay tractable.
+
+#ifndef UCLEAN_TESTS_TEST_UTIL_H_
+#define UCLEAN_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "model/database.h"
+
+namespace uclean {
+
+struct RandomDbOptions {
+  size_t num_xtuples = 4;
+  size_t max_alternatives = 3;   // per x-tuple, uniform in [1, max]
+  bool allow_subunit_mass = true;  // if true, ~half the x-tuples get mass < 1
+  double score_min = 0.0;
+  double score_max = 100.0;
+};
+
+/// Builds a random database; deterministic given the rng state.
+inline ProbabilisticDatabase MakeRandomDatabase(Rng* rng,
+                                                const RandomDbOptions& opts) {
+  DatabaseBuilder builder;
+  TupleId next_id = 0;
+  for (size_t l = 0; l < opts.num_xtuples; ++l) {
+    XTupleId x = builder.AddXTuple();
+    const size_t alts = static_cast<size_t>(
+        rng->UniformInt(1, static_cast<int64_t>(opts.max_alternatives)));
+    // Random positive weights normalized to the target mass.
+    std::vector<double> weights(alts);
+    double total = 0.0;
+    for (double& w : weights) {
+      w = rng->Uniform(0.05, 1.0);
+      total += w;
+    }
+    const double mass = (opts.allow_subunit_mass && rng->Bernoulli(0.5))
+                            ? rng->Uniform(0.3, 0.95)
+                            : 1.0;
+    for (size_t a = 0; a < alts; ++a) {
+      const double score = rng->Uniform(opts.score_min, opts.score_max);
+      Status s = builder.AddAlternative(x, next_id++, score,
+                                        mass * weights[a] / total);
+      UCLEAN_CHECK(s.ok());
+    }
+  }
+  Result<ProbabilisticDatabase> db = std::move(builder).Finish();
+  UCLEAN_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+}  // namespace uclean
+
+#endif  // UCLEAN_TESTS_TEST_UTIL_H_

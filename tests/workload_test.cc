@@ -1,0 +1,240 @@
+// Tests for the workload generators: paper-mandated statistics, seed
+// determinism, and option validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/cleaning_profile_gen.h"
+#include "workload/mov.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+TEST(Synthetic, DefaultShapeMatchesPaper) {
+  SyntheticOptions opts;
+  opts.num_xtuples = 200;  // scaled-down default shape
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->num_xtuples(), 200u);
+  EXPECT_EQ(db->num_real_tuples(), 2000u);  // 10 bars per x-tuple
+  // Histogram masses are normalized: no null tuples materialize.
+  EXPECT_EQ(db->num_tuples(), db->num_real_tuples());
+}
+
+TEST(Synthetic, XTupleMassesAreExactlyOne) {
+  SyntheticOptions opts;
+  opts.num_xtuples = 100;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  ASSERT_TRUE(db.ok());
+  for (size_t l = 0; l < db->num_xtuples(); ++l) {
+    EXPECT_NEAR(db->xtuple_real_mass(static_cast<XTupleId>(l)), 1.0, 1e-9);
+  }
+}
+
+TEST(Synthetic, UniformPdfGivesEqualBars) {
+  SyntheticOptions opts;
+  opts.num_xtuples = 50;
+  opts.pdf = UncertaintyPdf::kUniform;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  ASSERT_TRUE(db.ok());
+  for (const Tuple& t : db->tuples()) {
+    EXPECT_NEAR(t.prob, 0.1, 1e-12);
+  }
+}
+
+TEST(Synthetic, SmallSigmaConcentratesMass) {
+  // With sigma = 10 and interval width ~80, the central bars hold almost
+  // all the mass; with sigma = 100 the bars are nearly uniform.
+  SyntheticOptions narrow, wide;
+  narrow.num_xtuples = wide.num_xtuples = 50;
+  narrow.sigma = 10.0;
+  wide.sigma = 100.0;
+  Result<ProbabilisticDatabase> db_narrow = GenerateSynthetic(narrow);
+  Result<ProbabilisticDatabase> db_wide = GenerateSynthetic(wide);
+  ASSERT_TRUE(db_narrow.ok() && db_wide.ok());
+  auto max_prob = [](const ProbabilisticDatabase& db) {
+    double best = 0.0;
+    for (const Tuple& t : db.tuples()) best = std::max(best, t.prob);
+    return best;
+  };
+  EXPECT_GT(max_prob(*db_narrow), 0.25);
+  EXPECT_LT(max_prob(*db_wide), 0.15);
+}
+
+TEST(Synthetic, ValuesStayNearDomain) {
+  SyntheticOptions opts;
+  opts.num_xtuples = 100;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  ASSERT_TRUE(db.ok());
+  // Bar midpoints can exceed the domain by at most half an interval width.
+  for (const Tuple& t : db->tuples()) {
+    EXPECT_GE(t.score, opts.domain_min - 50.0);
+    EXPECT_LE(t.score, opts.domain_max + 50.0);
+  }
+}
+
+TEST(Synthetic, SeedDeterminism) {
+  SyntheticOptions opts;
+  opts.num_xtuples = 30;
+  Result<ProbabilisticDatabase> a = GenerateSynthetic(opts);
+  Result<ProbabilisticDatabase> b = GenerateSynthetic(opts);
+  opts.seed = 43;
+  Result<ProbabilisticDatabase> c = GenerateSynthetic(opts);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_EQ(a->num_tuples(), b->num_tuples());
+  bool any_difference = false;
+  for (size_t i = 0; i < a->num_tuples(); ++i) {
+    EXPECT_DOUBLE_EQ(a->tuple(i).score, b->tuple(i).score);
+    EXPECT_DOUBLE_EQ(a->tuple(i).prob, b->tuple(i).prob);
+    if (i < c->num_tuples() && a->tuple(i).score != c->tuple(i).score) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Synthetic, ValidatesOptions) {
+  SyntheticOptions opts;
+  opts.num_xtuples = 0;
+  EXPECT_FALSE(GenerateSynthetic(opts).ok());
+  opts = SyntheticOptions{};
+  opts.sigma = 0.0;
+  EXPECT_FALSE(GenerateSynthetic(opts).ok());
+  opts = SyntheticOptions{};
+  opts.domain_max = opts.domain_min;
+  EXPECT_FALSE(GenerateSynthetic(opts).ok());
+  opts = SyntheticOptions{};
+  opts.interval_width_max = 10.0;
+  opts.interval_width_min = 20.0;
+  EXPECT_FALSE(GenerateSynthetic(opts).ok());
+}
+
+TEST(Mov, ShapeMatchesPaperDescription) {
+  MovOptions opts;
+  opts.num_xtuples = 2000;
+  Result<ProbabilisticDatabase> db = GenerateMov(opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_xtuples(), 2000u);
+  // "2 tuples in average": the capped geometric keeps the mean near 2.
+  const double mean_alts =
+      static_cast<double>(db->num_real_tuples()) / 2000.0;
+  EXPECT_NEAR(mean_alts, 2.0, 0.15);
+}
+
+TEST(Mov, ScoresInDatePlusRatingRange) {
+  MovOptions opts;
+  opts.num_xtuples = 500;
+  Result<ProbabilisticDatabase> db = GenerateMov(opts);
+  ASSERT_TRUE(db.ok());
+  for (const Tuple& t : db->tuples()) {
+    if (t.is_null) continue;
+    EXPECT_GE(t.score, 0.0);
+    EXPECT_LE(t.score, 2.0);  // normalized date + normalized rating
+  }
+}
+
+TEST(Mov, ConfidenceMassIsSubUnit) {
+  MovOptions opts;
+  opts.num_xtuples = 500;
+  Result<ProbabilisticDatabase> db = GenerateMov(opts);
+  ASSERT_TRUE(db.ok());
+  size_t with_null = 0;
+  for (size_t l = 0; l < db->num_xtuples(); ++l) {
+    const double mass = db->xtuple_real_mass(static_cast<XTupleId>(l));
+    EXPECT_GE(mass, opts.mass_min - 1e-9);
+    EXPECT_LE(mass, opts.mass_max + 1e-9);
+    if (mass < 1.0 - 1e-9) ++with_null;
+  }
+  EXPECT_GT(with_null, 400u);  // almost every x-tuple keeps a null slot
+}
+
+TEST(Mov, SeedDeterminism) {
+  MovOptions opts;
+  opts.num_xtuples = 100;
+  Result<ProbabilisticDatabase> a = GenerateMov(opts);
+  Result<ProbabilisticDatabase> b = GenerateMov(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_tuples(), b->num_tuples());
+  for (size_t i = 0; i < a->num_tuples(); ++i) {
+    EXPECT_DOUBLE_EQ(a->tuple(i).prob, b->tuple(i).prob);
+  }
+}
+
+TEST(Mov, ValidatesOptions) {
+  MovOptions opts;
+  opts.num_xtuples = 0;
+  EXPECT_FALSE(GenerateMov(opts).ok());
+  opts = MovOptions{};
+  opts.mass_min = 0.0;
+  EXPECT_FALSE(GenerateMov(opts).ok());
+  opts = MovOptions{};
+  opts.mass_max = 1.2;
+  EXPECT_FALSE(GenerateMov(opts).ok());
+}
+
+TEST(ProfileGen, DefaultMatchesPaperSetup) {
+  Result<CleaningProfile> profile = GenerateCleaningProfile(5000);
+  ASSERT_TRUE(profile.ok());
+  ASSERT_TRUE(profile->Validate(5000).ok());
+  double cost_sum = 0.0, sc_sum = 0.0;
+  for (size_t l = 0; l < 5000; ++l) {
+    EXPECT_GE(profile->costs[l], 1);
+    EXPECT_LE(profile->costs[l], 10);
+    cost_sum += static_cast<double>(profile->costs[l]);
+    sc_sum += profile->sc_probs[l];
+  }
+  EXPECT_NEAR(cost_sum / 5000.0, 5.5, 0.2);  // uniform {1..10}
+  EXPECT_NEAR(sc_sum / 5000.0, 0.5, 0.02);   // uniform [0,1]
+}
+
+TEST(ProfileGen, UniformRangeShiftsAverage) {
+  CleaningProfileOptions opts;
+  opts.sc_pdf = ScPdf::Uniform(0.8, 1.0);
+  Result<CleaningProfile> profile = GenerateCleaningProfile(3000, opts);
+  ASSERT_TRUE(profile.ok());
+  double sum = 0.0;
+  for (double p : profile->sc_probs) sum += p;
+  EXPECT_NEAR(sum / 3000.0, 0.9, 0.02);
+}
+
+TEST(ProfileGen, TruncatedNormalStaysInUnitInterval) {
+  CleaningProfileOptions opts;
+  opts.sc_pdf = ScPdf::TruncatedNormal(0.5, 0.3);
+  Result<CleaningProfile> profile = GenerateCleaningProfile(3000, opts);
+  ASSERT_TRUE(profile.ok());
+  double sum = 0.0;
+  for (double p : profile->sc_probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum / 3000.0, 0.5, 0.02);
+}
+
+TEST(ProfileGen, ValidatesOptions) {
+  CleaningProfileOptions opts;
+  opts.cost_min = 0;
+  EXPECT_FALSE(GenerateCleaningProfile(10, opts).ok());
+  opts = CleaningProfileOptions{};
+  opts.cost_max = 0;
+  EXPECT_FALSE(GenerateCleaningProfile(10, opts).ok());
+  opts = CleaningProfileOptions{};
+  opts.sc_pdf.hi = 1.5;
+  EXPECT_FALSE(GenerateCleaningProfile(10, opts).ok());
+  opts = CleaningProfileOptions{};
+  opts.sc_pdf = ScPdf::TruncatedNormal(0.5, 0.0);
+  EXPECT_FALSE(GenerateCleaningProfile(10, opts).ok());
+}
+
+TEST(ProfileGen, SeedDeterminism) {
+  Result<CleaningProfile> a = GenerateCleaningProfile(100);
+  Result<CleaningProfile> b = GenerateCleaningProfile(100);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->costs, b->costs);
+  EXPECT_EQ(a->sc_probs, b->sc_probs);
+}
+
+}  // namespace
+}  // namespace uclean

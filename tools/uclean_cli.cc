@@ -1,0 +1,492 @@
+// uclean_cli: command-line front end for the uclean library.
+//
+// Subcommands (all I/O through the CSV formats of model/csv_io.h and
+// clean/profile_io.h):
+//
+//   generate  synthesize a probabilistic database (synthetic or MOV)
+//   profile   synthesize a cleaning profile (costs + sc-probabilities)
+//   inspect   print a database summary
+//   query     run U-kRanks / PT-k / Global-topk
+//   quality   compute PWS-quality (tp | pwr | pw | mc)
+//   plan      plan a cleaning campaign (dp | greedy | randp | randu)
+//   clean     plan and execute a campaign, write the cleaned database
+//   target    minimal budget to reach a quality target
+//
+// Run `uclean_cli help` or any subcommand with missing flags for usage.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clean/adaptive.h"
+#include "clean/agent.h"
+#include "clean/planners.h"
+#include "clean/profile_io.h"
+#include "clean/target.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "extend/monte_carlo.h"
+#include "model/csv_io.h"
+#include "pworld/pw_quality.h"
+#include "quality/evaluation.h"
+#include "quality/pwr.h"
+#include "quality/tp.h"
+#include "workload/cleaning_profile_gen.h"
+#include "workload/mov.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+constexpr char kUsage[] = R"(uclean_cli -- probabilistic top-k queries, quality and cleaning
+
+usage: uclean_cli <command> [--flag value ...]
+
+commands:
+  generate --type synthetic|mov --out DB.csv
+           [--xtuples N] [--bars B] [--sigma S] [--pdf gaussian|uniform]
+           [--seed S]
+  profile  --xtuples N --out PROFILE.csv
+           [--cost-min 1] [--cost-max 10]
+           [--sc-pdf uniform|normal] [--sc-lo 0] [--sc-hi 1]
+           [--sc-mean 0.5] [--sc-sigma 0.167] [--seed S]
+  inspect  --db DB.csv [--rows 20]
+  query    --db DB.csv --k K [--semantics all|ptk|ukranks|global]
+           [--threshold 0.1]
+  quality  --db DB.csv --k K [--algo tp|pwr|pw|mc] [--samples 100000]
+           [--seed S]
+  plan     --db DB.csv --profile PROFILE.csv --k K --budget C
+           [--planner dp|greedy|randp|randu] [--seed S]
+  clean    --db DB.csv --profile PROFILE.csv --k K --budget C --out OUT.csv
+           [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
+  target   --db DB.csv --profile PROFILE.csv --k K --target Q
+           [--max-budget 100000]
+)";
+
+/// Minimal --key value flag map.
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected --flag, got '" +
+                                       std::string(arg) + "'");
+      }
+      std::string key(arg.substr(2));
+      if (key == "adaptive") {  // boolean flag
+        flags.values_[key] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + key + " needs a value");
+      }
+      flags.values_[key] = argv[++i];
+    }
+    return flags;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  Result<std::string> GetString(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  Result<int64_t> GetInt(const std::string& key) const {
+    Result<std::string> raw = GetString(key);
+    if (!raw.ok()) return raw.status();
+    return ParseInt(*raw);
+  }
+
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const {
+    if (!Has(key)) return fallback;
+    return GetInt(key);
+  }
+
+  Result<double> GetDouble(const std::string& key) const {
+    Result<std::string> raw = GetString(key);
+    if (!raw.ok()) return raw.status();
+    return ParseDouble(*raw);
+  }
+
+  Result<double> GetDouble(const std::string& key, double fallback) const {
+    if (!Has(key)) return fallback;
+    return GetDouble(key);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+#define CLI_ASSIGN_OR_RETURN(decl, expr)      \
+  auto decl##_result = (expr);                \
+  if (!decl##_result.ok()) {                  \
+    return decl##_result.status();            \
+  }                                           \
+  auto decl = std::move(decl##_result).value()
+
+Status RunGenerate(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(type, flags.GetString("type"));
+  CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
+  CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 42));
+  Result<ProbabilisticDatabase> db = Status::OK();
+  if (type == "synthetic") {
+    SyntheticOptions opts;
+    CLI_ASSIGN_OR_RETURN(xtuples, flags.GetInt("xtuples", 5000));
+    CLI_ASSIGN_OR_RETURN(bars, flags.GetInt("bars", 10));
+    CLI_ASSIGN_OR_RETURN(sigma, flags.GetDouble("sigma", 100.0));
+    opts.num_xtuples = static_cast<size_t>(xtuples);
+    opts.tuples_per_xtuple = static_cast<size_t>(bars);
+    opts.sigma = sigma;
+    opts.seed = static_cast<uint64_t>(seed);
+    const std::string pdf = flags.GetString("pdf", "gaussian");
+    if (pdf == "uniform") {
+      opts.pdf = UncertaintyPdf::kUniform;
+    } else if (pdf != "gaussian") {
+      return Status::InvalidArgument("unknown --pdf '" + pdf + "'");
+    }
+    db = GenerateSynthetic(opts);
+  } else if (type == "mov") {
+    MovOptions opts;
+    CLI_ASSIGN_OR_RETURN(xtuples, flags.GetInt("xtuples", 4999));
+    opts.num_xtuples = static_cast<size_t>(xtuples);
+    opts.seed = static_cast<uint64_t>(seed);
+    db = GenerateMov(opts);
+  } else {
+    return Status::InvalidArgument("unknown --type '" + type + "'");
+  }
+  if (!db.ok()) return db.status();
+  UCLEAN_RETURN_IF_ERROR(WriteDatabaseCsvFile(*db, out));
+  std::printf("wrote %zu x-tuples / %zu tuples to %s\n", db->num_xtuples(),
+              db->num_real_tuples(), out.c_str());
+  return Status::OK();
+}
+
+Status RunProfile(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(xtuples, flags.GetInt("xtuples"));
+  CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
+  CleaningProfileOptions opts;
+  CLI_ASSIGN_OR_RETURN(cost_min, flags.GetInt("cost-min", 1));
+  CLI_ASSIGN_OR_RETURN(cost_max, flags.GetInt("cost-max", 10));
+  CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 99));
+  opts.cost_min = cost_min;
+  opts.cost_max = cost_max;
+  opts.seed = static_cast<uint64_t>(seed);
+  const std::string pdf = flags.GetString("sc-pdf", "uniform");
+  CLI_ASSIGN_OR_RETURN(lo, flags.GetDouble("sc-lo", 0.0));
+  CLI_ASSIGN_OR_RETURN(hi, flags.GetDouble("sc-hi", 1.0));
+  if (pdf == "uniform") {
+    opts.sc_pdf = ScPdf::Uniform(lo, hi);
+  } else if (pdf == "normal") {
+    CLI_ASSIGN_OR_RETURN(mean, flags.GetDouble("sc-mean", 0.5));
+    CLI_ASSIGN_OR_RETURN(sigma, flags.GetDouble("sc-sigma", 0.167));
+    opts.sc_pdf = ScPdf::TruncatedNormal(mean, sigma, lo, hi);
+  } else {
+    return Status::InvalidArgument("unknown --sc-pdf '" + pdf + "'");
+  }
+  Result<CleaningProfile> profile =
+      GenerateCleaningProfile(static_cast<size_t>(xtuples), opts);
+  if (!profile.ok()) return profile.status();
+  UCLEAN_RETURN_IF_ERROR(WriteProfileCsvFile(*profile, out));
+  std::printf("wrote cleaning profile for %lld x-tuples to %s\n",
+              static_cast<long long>(xtuples), out.c_str());
+  return Status::OK();
+}
+
+Status RunInspect(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(rows, flags.GetInt("rows", 20));
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
+  if (!db.ok()) return db.status();
+  std::printf("%s", db->DebugString(static_cast<size_t>(rows)).c_str());
+  double min_mass = 1.0, max_mass = 0.0;
+  for (size_t l = 0; l < db->num_xtuples(); ++l) {
+    const double mass = db->xtuple_real_mass(static_cast<XTupleId>(l));
+    min_mass = std::min(min_mass, mass);
+    max_mass = std::max(max_mass, mass);
+  }
+  std::printf("x-tuple real mass range: [%.4f, %.4f]; possible worlds: "
+              "%.3e\n",
+              min_mass, max_mass, db->NumPossibleWorlds());
+  return Status::OK();
+}
+
+Status RunQuery(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  CLI_ASSIGN_OR_RETURN(threshold, flags.GetDouble("threshold", 0.1));
+  const std::string semantics = flags.GetString("semantics", "all");
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
+  if (!db.ok()) return db.status();
+
+  EvaluationOptions options;
+  options.k = static_cast<size_t>(k);
+  options.ptk_threshold = threshold;
+  options.ukranks = semantics == "all" || semantics == "ukranks";
+  options.ptk = semantics == "all" || semantics == "ptk";
+  options.global_topk = semantics == "all" || semantics == "global";
+  options.quality = false;
+  if (!options.ukranks && !options.ptk && !options.global_topk) {
+    return Status::InvalidArgument("unknown --semantics '" + semantics + "'");
+  }
+  Result<EvaluationReport> report = EvaluateTopk(*db, options);
+  if (!report.ok()) return report.status();
+
+  if (options.ptk) {
+    std::printf("PT-%lld (T = %.3f): %zu tuples\n",
+                static_cast<long long>(k), threshold,
+                report->ptk.tuples.size());
+    for (const AnswerEntry& e : report->ptk.tuples) {
+      std::printf("  tuple %lld  score %.4f  Pr[top-k] = %.4f\n",
+                  static_cast<long long>(e.tuple_id),
+                  db->tuple(e.rank_index).score, e.probability);
+    }
+  }
+  if (options.ukranks) {
+    std::printf("U-kRanks:\n");
+    for (size_t h = 1; h <= report->ukranks.per_rank.size(); ++h) {
+      const AnswerEntry& e = report->ukranks.per_rank[h - 1];
+      std::printf("  rank %zu: tuple %lld (Pr = %.4f)\n", h,
+                  static_cast<long long>(e.tuple_id), e.probability);
+    }
+  }
+  if (options.global_topk) {
+    std::printf("Global-topk:\n");
+    for (const AnswerEntry& e : report->global_topk.tuples) {
+      std::printf("  tuple %lld  Pr[top-k] = %.4f\n",
+                  static_cast<long long>(e.tuple_id), e.probability);
+    }
+  }
+  std::printf("timing: PSR %.3f ms, answer derivation %.3f ms\n",
+              report->psr_seconds * 1e3, report->query_seconds * 1e3);
+  return Status::OK();
+}
+
+Status RunQuality(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  const std::string algo = flags.GetString("algo", "tp");
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
+  if (!db.ok()) return db.status();
+  const size_t kk = static_cast<size_t>(k);
+
+  if (algo == "tp") {
+    Result<TpOutput> tp = ComputeTpQuality(*db, kk);
+    if (!tp.ok()) return tp.status();
+    std::printf("PWS-quality (TP): %.6f\n", tp->quality);
+  } else if (algo == "pwr") {
+    PwrOptions options;
+    options.collect_results = false;
+    Result<PwrOutput> pwr = ComputePwrQuality(*db, kk, options);
+    if (!pwr.ok()) return pwr.status();
+    std::printf("PWS-quality (PWR): %.6f over %llu pw-results\n",
+                pwr->quality,
+                static_cast<unsigned long long>(pwr->num_results));
+  } else if (algo == "pw") {
+    Result<PwOutput> pw = ComputePwQuality(*db, kk);
+    if (!pw.ok()) return pw.status();
+    std::printf("PWS-quality (PW): %.6f over %zu pw-results (%.3e worlds)\n",
+                pw->quality, pw->results.size(), pw->num_worlds);
+  } else if (algo == "mc") {
+    MonteCarloOptions options;
+    CLI_ASSIGN_OR_RETURN(samples, flags.GetInt("samples", 100000));
+    CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 1));
+    options.samples = static_cast<uint64_t>(samples);
+    options.seed = static_cast<uint64_t>(seed);
+    Result<MonteCarloOutput> mc = EstimateQualityMonteCarlo(*db, kk, options);
+    if (!mc.ok()) return mc.status();
+    std::printf("PWS-quality (MC, %lld samples): %.6f "
+                "(%llu distinct results seen)\n",
+                static_cast<long long>(samples), mc->quality_estimate,
+                static_cast<unsigned long long>(mc->distinct_results));
+  } else {
+    return Status::InvalidArgument("unknown --algo '" + algo + "'");
+  }
+  return Status::OK();
+}
+
+Result<PlannerKind> ParsePlanner(const std::string& name) {
+  if (name == "dp") return PlannerKind::kDp;
+  if (name == "greedy") return PlannerKind::kGreedy;
+  if (name == "randp") return PlannerKind::kRandP;
+  if (name == "randu") return PlannerKind::kRandU;
+  return Status::InvalidArgument("unknown --planner '" + name + "'");
+}
+
+Status RunPlan(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
+  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  CLI_ASSIGN_OR_RETURN(budget, flags.GetInt("budget"));
+  CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 1));
+  CLI_ASSIGN_OR_RETURN(planner, ParsePlanner(flags.GetString("planner", "dp")));
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
+  if (!db.ok()) return db.status();
+  Result<CleaningProfile> profile = ReadProfileCsvFile(profile_path);
+  if (!profile.ok()) return profile.status();
+
+  Result<CleaningProblem> problem =
+      MakeCleaningProblem(*db, static_cast<size_t>(k), *profile, budget);
+  if (!problem.ok()) return problem.status();
+  Rng rng(static_cast<uint64_t>(seed));
+  Result<CleaningPlan> plan = RunPlanner(planner, *problem, &rng);
+  if (!plan.ok()) return plan.status();
+
+  std::printf("%s plan: expected improvement %.6f at cost %lld/%lld, "
+              "%zu x-tuples\n",
+              PlannerKindName(planner), plan->expected_improvement,
+              static_cast<long long>(plan->total_cost),
+              static_cast<long long>(budget), plan->num_selected());
+  for (size_t l = 0; l < plan->probes.size(); ++l) {
+    if (plan->probes[l] > 0) {
+      std::printf("  x-tuple %zu: %lld probes (cost %lld each, sc %.3f, "
+                  "gain %.6f)\n",
+                  l, static_cast<long long>(plan->probes[l]),
+                  static_cast<long long>(profile->costs[l]),
+                  profile->sc_probs[l], -problem->gain[l]);
+    }
+  }
+  return Status::OK();
+}
+
+Status RunClean(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
+  CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
+  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  CLI_ASSIGN_OR_RETURN(budget, flags.GetInt("budget"));
+  CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 1));
+  CLI_ASSIGN_OR_RETURN(planner, ParsePlanner(flags.GetString("planner", "greedy")));
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
+  if (!db.ok()) return db.status();
+  Result<CleaningProfile> profile = ReadProfileCsvFile(profile_path);
+  if (!profile.ok()) return profile.status();
+  const size_t kk = static_cast<size_t>(k);
+  Rng rng(static_cast<uint64_t>(seed));
+
+  Result<TpOutput> before = ComputeTpQuality(*db, kk);
+  if (!before.ok()) return before.status();
+
+  if (flags.Has("adaptive")) {
+    AdaptiveOptions options;
+    options.k = kk;
+    options.planner = planner;
+    Result<AdaptiveReport> report =
+        RunAdaptiveCleaning(*db, *profile, budget, options, &rng);
+    if (!report.ok()) return report.status();
+    std::printf("adaptive cleaning: %zu rounds, spent %lld/%lld, quality "
+                "%.6f -> %.6f\n",
+                report->rounds.size(),
+                static_cast<long long>(report->total_spent),
+                static_cast<long long>(budget), report->initial_quality,
+                report->final_quality);
+    UCLEAN_RETURN_IF_ERROR(WriteDatabaseCsvFile(report->final_db, out));
+  } else {
+    Result<CleaningProblem> problem =
+        MakeCleaningProblem(*db, kk, *profile, budget);
+    if (!problem.ok()) return problem.status();
+    Result<CleaningPlan> plan = RunPlanner(planner, *problem, &rng);
+    if (!plan.ok()) return plan.status();
+    Result<ExecutionReport> executed =
+        ExecutePlan(*db, *profile, plan->probes, &rng);
+    if (!executed.ok()) return executed.status();
+    Result<TpOutput> after = ComputeTpQuality(executed->cleaned_db, kk);
+    if (!after.ok()) return after.status();
+    std::printf("one-shot cleaning (%s): %zu successes, spent %lld "
+                "(leftover %lld), quality %.6f -> %.6f (predicted %.6f)\n",
+                PlannerKindName(planner), executed->successes,
+                static_cast<long long>(executed->spent),
+                static_cast<long long>(executed->leftover), before->quality,
+                after->quality,
+                before->quality + plan->expected_improvement);
+    UCLEAN_RETURN_IF_ERROR(WriteDatabaseCsvFile(executed->cleaned_db, out));
+  }
+  std::printf("cleaned database written to %s\n", out.c_str());
+  return Status::OK();
+}
+
+Status RunTarget(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
+  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  CLI_ASSIGN_OR_RETURN(target, flags.GetDouble("target"));
+  CLI_ASSIGN_OR_RETURN(max_budget, flags.GetInt("max-budget", 100000));
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
+  if (!db.ok()) return db.status();
+  Result<CleaningProfile> profile = ReadProfileCsvFile(profile_path);
+  if (!profile.ok()) return profile.status();
+
+  Result<BudgetSearchReport> report = MinimalBudgetForTarget(
+      *db, static_cast<size_t>(k), *profile, target, max_budget);
+  if (!report.ok()) return report.status();
+  std::printf("current quality: %.6f; target: %.6f\n",
+              report->current_quality, target);
+  if (report->attainable) {
+    std::printf("minimal budget: %lld (expected quality %.6f, %zu x-tuples "
+                "probed)\n",
+                static_cast<long long>(report->minimal_budget),
+                report->expected_quality, report->plan.num_selected());
+  } else {
+    std::printf("target not attainable within budget %lld "
+                "(best expected quality %.6f)\n",
+                static_cast<long long>(max_budget),
+                report->expected_quality);
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2 || std::string_view(argv[1]) == "help" ||
+      std::string_view(argv[1]) == "--help") {
+    std::printf("%s", kUsage);
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string command = argv[1];
+  Result<Flags> flags = Flags::Parse(argc, argv, 2);
+  Status status = Status::OK();
+  if (!flags.ok()) {
+    status = flags.status();
+  } else if (command == "generate") {
+    status = RunGenerate(*flags);
+  } else if (command == "profile") {
+    status = RunProfile(*flags);
+  } else if (command == "inspect") {
+    status = RunInspect(*flags);
+  } else if (command == "query") {
+    status = RunQuery(*flags);
+  } else if (command == "quality") {
+    status = RunQuality(*flags);
+  } else if (command == "plan") {
+    status = RunPlan(*flags);
+  } else if (command == "clean") {
+    status = RunClean(*flags);
+  } else if (command == "target") {
+    status = RunTarget(*flags);
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
+                 kUsage);
+    return 1;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace uclean
+
+int main(int argc, char** argv) { return uclean::Main(argc, argv); }
