@@ -1,55 +1,70 @@
 #include "clean/adaptive.h"
 
+#include <utility>
+
+#include "clean/session.h"
 #include "quality/tp.h"
 
 namespace uclean {
 
-Result<AdaptiveReport> RunAdaptiveCleaning(const ProbabilisticDatabase& db,
+Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
                                            const CleaningProfile& profile,
                                            int64_t budget,
                                            const AdaptiveOptions& options,
                                            Rng* rng) {
-  AdaptiveReport report;
-  Result<TpOutput> initial = ComputeTpQuality(db, options.k);
-  if (!initial.ok()) return initial.status();
-  report.initial_quality = initial->quality;
-  report.final_quality = initial->quality;
+  UCLEAN_RETURN_IF_ERROR(profile.Validate(db.num_xtuples()));
 
-  ProbabilisticDatabase current = db;
+  Result<CleaningSession> session =
+      CleaningSession::Start(std::move(db), options.k);
+  if (!session.ok()) return session.status();
+
+  AdaptiveReport report;
+  report.initial_quality = session->quality();
+  report.final_quality = report.initial_quality;
+
   int64_t remaining = budget;
   for (size_t round = 0; round < options.max_rounds && remaining > 0;
        ++round) {
+    // The session's TP state serves double duty: it is this round's
+    // planning table AND the previous round's quality report, so the
+    // whole round performs at most one (partial) PSR pass.
     Result<CleaningProblem> problem =
-        MakeCleaningProblem(current, options.k, profile, remaining);
+        MakeCleaningProblem(session->tp(), profile, remaining);
     if (!problem.ok()) return problem.status();
     Result<CleaningPlan> plan =
         RunPlanner(options.planner, *problem, rng, options.dp_options);
     if (!plan.ok()) return plan.status();
     if (plan->total_cost == 0 || plan->expected_improvement <= 0.0) break;
 
-    Result<ExecutionReport> executed =
-        ExecutePlan(current, profile, plan->probes, rng);
+    Result<SessionExecutionReport> executed =
+        ExecutePlan(&*session, profile, plan->probes, rng);
     if (!executed.ok()) return executed.status();
     if (executed->spent == 0) break;  // nothing was affordable after all
 
-    current = std::move(executed->cleaned_db);
+    UCLEAN_RETURN_IF_ERROR(session->Refresh());
     remaining -= executed->spent;
     report.total_spent += executed->spent;
-
-    Result<TpOutput> quality = ComputeTpQuality(current, options.k);
-    if (!quality.ok()) return quality.status();
-    report.final_quality = quality->quality;
+    report.final_quality = session->quality();
 
     AdaptiveRound summary;
     summary.budget_before = remaining + executed->spent;
     summary.predicted_improvement = plan->expected_improvement;
     summary.spent = executed->spent;
     summary.successes = executed->successes;
-    summary.quality_after = quality->quality;
+    summary.quality_after = report.final_quality;
     report.rounds.push_back(summary);
   }
-  report.final_db = std::move(current);
+  report.final_db = std::move(*session).TakeDatabase();
   return report;
+}
+
+Result<AdaptiveReport> RunAdaptiveCleaning(const ProbabilisticDatabase& db,
+                                           const CleaningProfile& profile,
+                                           int64_t budget,
+                                           const AdaptiveOptions& options,
+                                           Rng* rng) {
+  return RunAdaptiveCleaning(ProbabilisticDatabase(db), profile, budget,
+                             options, rng);
 }
 
 }  // namespace uclean

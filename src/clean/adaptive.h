@@ -8,6 +8,13 @@
 // remaining budget seed the next round, until the budget is gone or no
 // x-tuple can still improve the query. The ablation bench quantifies the
 // realized-quality advantage over one-shot planning.
+//
+// The loop runs on the incremental CleaningSession: the database is
+// mutated in place (no per-round copy or builder round-trip), each round
+// costs at most one partial PSR replay + delta TP pass, and that one
+// refreshed TpOutput feeds both the round's quality report and the next
+// round's CleaningProblem. bench_incremental measures the win over the
+// historical copy-rebuild-rescan loop.
 
 #ifndef UCLEAN_CLEAN_ADAPTIVE_H_
 #define UCLEAN_CLEAN_ADAPTIVE_H_
@@ -50,6 +57,13 @@ struct AdaptiveReport {
 };
 
 /// Runs the adaptive plan/execute loop on `db` with total budget `budget`.
+/// The rvalue overload moves the database into the session instead of
+/// copying it; prefer it when the caller is done with `db`.
+Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
+                                           const CleaningProfile& profile,
+                                           int64_t budget,
+                                           const AdaptiveOptions& options,
+                                           Rng* rng);
 Result<AdaptiveReport> RunAdaptiveCleaning(const ProbabilisticDatabase& db,
                                            const CleaningProfile& profile,
                                            int64_t budget,

@@ -1,11 +1,15 @@
 #include "clean/agent.h"
 
+#include <utility>
+
 namespace uclean {
 
-Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
-                                    const CleaningProfile& profile,
-                                    const std::vector<int64_t>& probes,
-                                    Rng* rng) {
+namespace {
+
+/// Shared precondition checks, run before any copying or probing.
+Status ValidateProbeInputs(const ProbabilisticDatabase& db,
+                           const CleaningProfile& profile,
+                           const std::vector<int64_t>& probes, Rng* rng) {
   UCLEAN_RETURN_IF_ERROR(profile.Validate(db.num_xtuples()));
   if (probes.size() != db.num_xtuples()) {
     return Status::InvalidArgument("probes vector size mismatch");
@@ -13,10 +17,21 @@ Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
   if (rng == nullptr) {
     return Status::InvalidArgument("ExecutePlan requires an Rng");
   }
+  return Status::OK();
+}
 
-  ExecutionReport report;
+/// The probe loop shared by both ExecutePlan forms: spends budget, draws
+/// successes and revealed outcomes, and hands each success to `apply`
+/// (which collapses the x-tuple in its respective target). Draws from
+/// `rng` in a fixed order so both forms consume identical streams.
+/// Inputs must have passed ValidateProbeInputs.
+template <typename ApplyOutcomeFn>
+Result<SessionExecutionReport> RunProbes(const ProbabilisticDatabase& db,
+                                         const CleaningProfile& profile,
+                                         const std::vector<int64_t>& probes,
+                                         Rng* rng, ApplyOutcomeFn apply) {
+  SessionExecutionReport report;
   int64_t planned_cost = 0;
-  DatabaseBuilder builder = DatabaseBuilder::FromDatabase(db);
   for (size_t l = 0; l < probes.size(); ++l) {
     if (probes[l] <= 0) continue;
     planned_cost += probes[l] * profile.costs[l];
@@ -40,19 +55,57 @@ Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
       for (int32_t idx : members) weights.push_back(db.tuple(idx).prob);
       const Tuple& revealed = db.tuple(members[rng->Discrete(weights)]);
       record.resolved_id = revealed.id;
-      UCLEAN_RETURN_IF_ERROR(builder.ReplaceWithCertain(
-          static_cast<XTupleId>(l), revealed.is_null ? nullptr : &revealed));
+      UCLEAN_RETURN_IF_ERROR(apply(static_cast<XTupleId>(l), revealed));
       ++report.successes;
     }
     report.spent += record.spent;
-    report.log.push_back(record);
+    report.log.push_back(std::move(record));
   }
-
-  Result<ProbabilisticDatabase> cleaned = std::move(builder).Finish();
-  if (!cleaned.ok()) return cleaned.status();
-  report.cleaned_db = std::move(cleaned).value();
   report.leftover = planned_cost - report.spent;
   return report;
+}
+
+}  // namespace
+
+Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
+                                    const CleaningProfile& profile,
+                                    const std::vector<int64_t>& probes,
+                                    Rng* rng) {
+  UCLEAN_RETURN_IF_ERROR(ValidateProbeInputs(db, profile, probes, rng));
+  // Collapse outcomes on a copy in place: rank order is untouched by a
+  // collapse, so the historical DatabaseBuilder round-trip (re-validate +
+  // re-sort) is pure overhead.
+  ExecutionReport report;
+  report.cleaned_db = db;
+  Result<SessionExecutionReport> probe_result = RunProbes(
+      db, profile, probes, rng,
+      [&report](XTupleId l, const Tuple& revealed) -> Status {
+        Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
+            report.cleaned_db.ApplyCleanOutcome(l, revealed.id);
+        return delta.status();
+      });
+  if (!probe_result.ok()) return probe_result.status();
+  report.cleaned_db.CompactTombstones();
+  report.spent = probe_result->spent;
+  report.leftover = probe_result->leftover;
+  report.successes = probe_result->successes;
+  report.log = std::move(probe_result->log);
+  return report;
+}
+
+Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
+                                           const CleaningProfile& profile,
+                                           const std::vector<int64_t>& probes,
+                                           Rng* rng) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("ExecutePlan requires a session");
+  }
+  UCLEAN_RETURN_IF_ERROR(
+      ValidateProbeInputs(session->db(), profile, probes, rng));
+  return RunProbes(session->db(), profile, probes, rng,
+                   [session](XTupleId l, const Tuple& revealed) -> Status {
+                     return session->ApplyCleanOutcome(l, revealed.id);
+                   });
 }
 
 }  // namespace uclean

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "clean/problem.h"
+#include "clean/session.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "model/database.h"
@@ -40,12 +41,34 @@ struct ExecutionReport {
   std::vector<ProbeRecord> log;
 };
 
+/// Outcome of executing a plan inside a cleaning session: like
+/// ExecutionReport, but the cleaned database lives in the session (no
+/// copy is made) and its PSR/TP refresh is deferred to
+/// CleaningSession::Refresh.
+struct SessionExecutionReport {
+  int64_t spent = 0;
+  int64_t leftover = 0;
+  size_t successes = 0;
+  std::vector<ProbeRecord> log;
+};
+
 /// Executes `plan.probes` on `db` with per-x-tuple costs/sc-probabilities
-/// from `profile`, drawing success and revealed values from `rng`.
+/// from `profile`, drawing success and revealed values from `rng`. The
+/// cleaned database is an in-place-collapsed copy of `db` (compacted;
+/// identical to the historical builder round-trip, minus the rebuild).
 Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
                                     const CleaningProfile& profile,
                                     const std::vector<int64_t>& probes,
                                     Rng* rng);
+
+/// Session form: applies each successful outcome to `session` in place
+/// and leaves the state refresh to the caller. Draws the same random
+/// stream as the database overload, so a from-scratch and an incremental
+/// run with equal seeds execute identical probe sequences.
+Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
+                                           const CleaningProfile& profile,
+                                           const std::vector<int64_t>& probes,
+                                           Rng* rng);
 
 }  // namespace uclean
 

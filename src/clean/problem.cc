@@ -112,19 +112,28 @@ Result<CleaningProblem> MakeCleaningProblem(const ProbabilisticDatabase& db,
                                             size_t k,
                                             const CleaningProfile& profile,
                                             int64_t budget) {
+  // Cheap checks before the O(kn) pass.
   UCLEAN_RETURN_IF_ERROR(profile.Validate(db.num_xtuples()));
   if (budget < 0) return Status::InvalidArgument("budget must be >= 0");
   Result<TpOutput> tp = ComputeTpQuality(db, k);
   if (!tp.ok()) return tp.status();
+  return MakeCleaningProblem(*tp, profile, budget);
+}
+
+Result<CleaningProblem> MakeCleaningProblem(const TpOutput& tp,
+                                            const CleaningProfile& profile,
+                                            int64_t budget) {
+  UCLEAN_RETURN_IF_ERROR(profile.Validate(tp.xtuple_gain.size()));
+  if (budget < 0) return Status::InvalidArgument("budget must be >= 0");
 
   CleaningProblem problem;
-  problem.gain = tp->xtuple_gain;
+  problem.gain = tp.xtuple_gain;
   // Clamp away positive rounding residue so Validate() and the planners can
   // rely on gain <= 0 (mathematically g(l,D) is a sum of entropy terms <= 0).
   for (double& g : problem.gain) {
     if (g > 0.0) g = 0.0;
   }
-  problem.topk_mass = tp->xtuple_topk_mass;
+  problem.topk_mass = tp.xtuple_topk_mass;
   problem.cost = profile.costs;
   problem.sc_prob = profile.sc_probs;
   problem.budget = budget;

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "model/database.h"
+#include "quality/tp.h"
 
 namespace uclean {
 
@@ -88,6 +89,14 @@ int64_t PlanCost(const CleaningProblem& problem,
 /// (the paper's precomputed lookup table, Section VI-C).
 Result<CleaningProblem> MakeCleaningProblem(const ProbabilisticDatabase& db,
                                             size_t k,
+                                            const CleaningProfile& profile,
+                                            int64_t budget);
+
+/// Builds a CleaningProblem from an already-computed TP pass (e.g. the
+/// state a CleaningSession maintains incrementally), so adaptive rounds
+/// never re-run PSR just to plan. `tp` must describe the database the
+/// profile was generated for.
+Result<CleaningProblem> MakeCleaningProblem(const TpOutput& tp,
                                             const CleaningProfile& profile,
                                             int64_t budget);
 

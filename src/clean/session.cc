@@ -1,0 +1,84 @@
+#include "clean/session.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace uclean {
+
+Result<CleaningSession> CleaningSession::Start(ProbabilisticDatabase db,
+                                               size_t k,
+                                               const Options& options) {
+  CleaningSession session;
+  session.options_ = options;
+  session.db_ = std::move(db);
+
+  Result<PsrEngine> engine = PsrEngine::Create(session.db_, k, options.psr,
+                                               options.checkpoint_interval);
+  if (!engine.ok()) return engine.status();
+  session.engine_ = std::move(engine).value();
+
+  Result<TpOutput> tp = ComputeTpQuality(session.db_, session.engine_.output());
+  if (!tp.ok()) return tp.status();
+  session.tp_ = std::move(tp).value();
+  return session;
+}
+
+Status CleaningSession::ApplyCleanOutcome(XTupleId xtuple,
+                                          TupleId resolved_id) {
+  Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
+      db_.ApplyCleanOutcome(xtuple, resolved_id);
+  if (!delta.ok()) return delta.status();
+  if (delta->first_changed_rank >= db_.num_tuples()) {
+    return Status::OK();  // outcome was already materialized
+  }
+  const size_t begin = delta->first_changed_rank;
+  if (pending_replay_begin_ == kNoPending || begin < pending_replay_begin_) {
+    pending_replay_begin_ = begin;
+  }
+  return Status::OK();
+}
+
+Status CleaningSession::Refresh() {
+  if (!dirty()) return Status::OK();
+  size_t replay_begin = pending_replay_begin_;
+
+  // Lazy compaction: reclaim tombstones before the replay so the scan
+  // never revisits them. Checkpoints past the replay boundary must be
+  // dropped BEFORE the remap: they hold pre-clean state, and compaction
+  // can move one onto the boundary itself when every slot in between was
+  // tombstoned, where the replay would wrongly resume from it.
+  engine_.InvalidateBelow(replay_begin);
+  if (db_.num_tombstones() >= options_.compact_min_tombstones &&
+      static_cast<double>(db_.num_tombstones()) >=
+          options_.compact_min_fraction *
+              static_cast<double>(db_.num_tuples())) {
+    const size_t old_n = db_.num_tuples();
+    std::vector<int32_t> old_to_new = db_.CompactTombstones();
+    UCLEAN_RETURN_IF_ERROR(engine_.ApplyCompaction(db_, old_to_new));
+    // Remap the replay boundary and the omega prefix the delta TP pass
+    // reuses (suffix entries are about to be rewritten anyway).
+    size_t new_begin = 0;
+    std::vector<double> omega(db_.num_tuples(), 0.0);
+    for (size_t i = 0; i < old_n; ++i) {
+      if (old_to_new[i] < 0) continue;
+      omega[old_to_new[i]] = tp_.omega[i];
+      if (i < replay_begin) ++new_begin;
+    }
+    tp_.omega = std::move(omega);
+    replay_begin = new_begin;
+  }
+
+  UCLEAN_RETURN_IF_ERROR(engine_.Replay(db_, replay_begin));
+  UCLEAN_RETURN_IF_ERROR(
+      UpdateTpQuality(db_, engine_.output(), replay_begin, &tp_));
+  pending_replay_begin_ = kNoPending;
+  return Status::OK();
+}
+
+ProbabilisticDatabase CleaningSession::TakeDatabase() && {
+  db_.CompactTombstones();
+  return std::move(db_);
+}
+
+}  // namespace uclean

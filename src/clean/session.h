@@ -1,0 +1,118 @@
+// CleaningSession: the mutable view of a database under adaptive cleaning.
+//
+// The paper's adaptive loop (Section V-A extension) re-plans after every
+// round of probes. A naive round deep-copies the database, rebuilds it
+// through DatabaseBuilder (O(n log n)) and re-runs the full O(kn) PSR scan
+// twice -- once to build the next CleaningProblem and once for the quality
+// report. A successful pclean is however a tiny update: one x-tuple
+// collapses to a certain tuple and no other tuple's rank moves. The
+// session therefore owns one database mutated in place
+// (ApplyCleanOutcome, tombstone + lazy compaction), one PsrEngine whose
+// checkpointed scan replays only the suffix below the shallowest change,
+// and one TpOutput brought forward by the delta pass (UpdateTpQuality).
+//
+// Outcomes are applied eagerly to the database but state refresh is
+// batched: a round of cleans costs one partial PSR replay + one delta TP
+// pass, however many x-tuples were cleaned. Call Refresh() after the
+// round (the psr()/tp()/quality() accessors require a clean state), then
+// read tp() to plan the next round -- MakeCleaningProblem has an overload
+// that consumes it directly, so the adaptive loop runs at most one
+// (partial) PSR pass per round. All maintained state is bitwise identical
+// to recomputing from scratch on the cleaned database.
+
+#ifndef UCLEAN_CLEAN_SESSION_H_
+#define UCLEAN_CLEAN_SESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "model/database.h"
+#include "quality/tp.h"
+#include "rank/psr.h"
+#include "rank/psr_engine.h"
+
+namespace uclean {
+
+class CleaningSession {
+ public:
+  struct Options {
+    PsrOptions psr;
+
+    /// Initial PSR checkpoint cadence (see PsrEngine::Create).
+    size_t checkpoint_interval = PsrEngine::kInitialCheckpointInterval;
+
+    /// Lazy-compaction trigger: tombstoned slots are reclaimed during
+    /// Refresh once their count exceeds `compact_min_tombstones` AND the
+    /// fraction `compact_min_fraction` of all slots. Compaction is pure
+    /// bookkeeping (a monotone index remap); results are unaffected.
+    size_t compact_min_tombstones = 1024;
+    double compact_min_fraction = 0.25;
+  };
+
+  /// Starts a session over `db` (one full PSR + TP pass). Move the
+  /// database in when the caller no longer needs its copy.
+  static Result<CleaningSession> Start(ProbabilisticDatabase db, size_t k,
+                                       const Options& options);
+  static Result<CleaningSession> Start(ProbabilisticDatabase db, size_t k) {
+    return Start(std::move(db), k, Options());
+  }
+
+  /// The session database. May contain tombstoned slots between rounds;
+  /// rank indices are stable until compaction (which only Refresh and
+  /// TakeDatabase perform).
+  const ProbabilisticDatabase& db() const { return db_; }
+
+  size_t k() const { return engine_.k(); }
+
+  /// True when outcomes were applied since the last Refresh.
+  bool dirty() const { return pending_replay_begin_ != kNoPending; }
+
+  /// Maintained PSR state. Requires !dirty().
+  const PsrOutput& psr() const {
+    UCLEAN_DCHECK(!dirty());
+    return engine_.output();
+  }
+
+  /// Maintained TP quality state. Requires !dirty().
+  const TpOutput& tp() const {
+    UCLEAN_DCHECK(!dirty());
+    return tp_;
+  }
+
+  /// Current PWS-quality S(D,Q). Requires !dirty().
+  double quality() const {
+    UCLEAN_DCHECK(!dirty());
+    return tp_.quality;
+  }
+
+  /// Collapses `xtuple` to the certain outcome `resolved_id` (negative =
+  /// entity absent) in place; see ProbabilisticDatabase::ApplyCleanOutcome.
+  /// State refresh is deferred to Refresh().
+  Status ApplyCleanOutcome(XTupleId xtuple, TupleId resolved_id);
+
+  /// Brings PSR + TP state up to date for every outcome applied since the
+  /// last Refresh: at most one compaction, one partial PSR replay and one
+  /// delta TP pass. No-op when !dirty().
+  Status Refresh();
+
+  /// Compacts and returns the database, ending the session.
+  ProbabilisticDatabase TakeDatabase() &&;
+
+ private:
+  static constexpr size_t kNoPending = static_cast<size_t>(-1);
+
+  CleaningSession() = default;
+
+  ProbabilisticDatabase db_;
+  PsrEngine engine_;
+  TpOutput tp_;
+  Options options_;
+  size_t pending_replay_begin_ = kNoPending;
+};
+
+}  // namespace uclean
+
+#endif  // UCLEAN_CLEAN_SESSION_H_

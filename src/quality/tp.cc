@@ -1,8 +1,42 @@
 #include "quality/tp.h"
 
+#include <algorithm>
+
 #include "common/entropy_math.h"
 
 namespace uclean {
+
+namespace {
+
+/// omega_i (Eq. 6) for a tuple with existential probability `e` whose
+/// x-tuple has at-or-above mass `e_at_or_above` at the tuple's rank.
+inline double Omega(double e, double e_at_or_above) {
+  return Log2Safe(e) +
+         (YLog2(1.0 - e_at_or_above) - YLog2(1.0 - e_at_or_above + e)) / e;
+}
+
+/// Re-derives quality and the per-x-tuple aggregates from the per-tuple
+/// state (omega + PSR top-k probabilities), accumulating in scan order so
+/// every caller produces bitwise-identical sums.
+void AccumulateAggregates(const ProbabilisticDatabase& db,
+                          const PsrOutput& psr, TpOutput* out) {
+  std::fill(out->xtuple_gain.begin(), out->xtuple_gain.end(), 0.0);
+  std::fill(out->xtuple_topk_mass.begin(), out->xtuple_topk_mass.end(), 0.0);
+  double quality = 0.0;
+  for (size_t i = 0; i < psr.scan_end; ++i) {
+    if (db.is_tombstone(i)) continue;
+    const Tuple& t = db.tuple(i);
+    const double p = psr.topk_prob[i];
+    out->xtuple_topk_mass[t.xtuple] += p;
+    if (p <= 0.0) continue;  // omega * 0 contributes nothing (Lemma 5 logic)
+    const double term = out->omega[i] * p;
+    out->xtuple_gain[t.xtuple] += term;
+    quality += term;
+  }
+  out->quality = quality;
+}
+
+}  // namespace
 
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
                                   const PsrOutput& psr) {
@@ -20,26 +54,17 @@ Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
   // above the scan position.
   std::vector<double> e_run(db.num_xtuples(), 0.0);
 
-  double quality = 0.0;
   for (size_t i = 0; i < psr.scan_end; ++i) {
+    if (db.is_tombstone(i)) continue;
     const Tuple& t = db.tuple(i);
     const double e = t.prob;
     const double e_at_or_above = e_run[t.xtuple] + e;  // E_{i,x_i}
     e_run[t.xtuple] = e_at_or_above;
 
-    const double p = psr.topk_prob[i];
-    out.xtuple_topk_mass[t.xtuple] += p;
-    if (p <= 0.0) continue;  // omega * 0 contributes nothing (Lemma 5 logic)
-
-    const double omega =
-        Log2Safe(e) +
-        (YLog2(1.0 - e_at_or_above) - YLog2(1.0 - e_at_or_above + e)) / e;
-    out.omega[i] = omega;
-    const double term = omega * p;
-    out.xtuple_gain[t.xtuple] += term;
-    quality += term;
+    if (psr.topk_prob[i] <= 0.0) continue;
+    out.omega[i] = Omega(e, e_at_or_above);
   }
-  out.quality = quality;
+  AccumulateAggregates(db, psr, &out);
   return out;
 }
 
@@ -47,6 +72,49 @@ Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k) {
   Result<PsrOutput> psr = ComputePsr(db, k);
   if (!psr.ok()) return psr.status();
   return ComputeTpQuality(db, *psr);
+}
+
+Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
+                       size_t replay_begin, TpOutput* tp) {
+  const size_t n = db.num_tuples();
+  if (psr.topk_prob.size() != n || tp->omega.size() != n) {
+    return Status::InvalidArgument(
+        "TP/PSR state does not match the database (tuple count mismatch)");
+  }
+  if (tp->xtuple_gain.size() != db.num_xtuples()) {
+    return Status::InvalidArgument(
+        "TP state does not match the database (x-tuple count mismatch)");
+  }
+
+  // Recompute the per-tuple omega suffix. E_run for an x-tuple first seen
+  // inside the suffix is seeded from its members ranked above the
+  // boundary: those are untouched by any clean with first_changed_rank >=
+  // replay_begin, and xtuple_members() lists them best rank first, so the
+  // seed accumulates the exact additions the full pass performed.
+  std::vector<double> e_run(db.num_xtuples(), 0.0);
+  std::vector<uint8_t> seeded(db.num_xtuples(), 0);
+  for (size_t i = replay_begin; i < n; ++i) {
+    tp->omega[i] = 0.0;
+    if (i >= psr.scan_end || db.is_tombstone(i)) continue;
+    const Tuple& t = db.tuple(i);
+    if (!seeded[t.xtuple]) {
+      seeded[t.xtuple] = 1;
+      double above = 0.0;
+      for (int32_t idx : db.xtuple_members(t.xtuple)) {
+        if (static_cast<size_t>(idx) >= replay_begin) break;
+        above += db.tuple(idx).prob;
+      }
+      e_run[t.xtuple] = above;
+    }
+    const double e = t.prob;
+    const double e_at_or_above = e_run[t.xtuple] + e;
+    e_run[t.xtuple] = e_at_or_above;
+
+    if (psr.topk_prob[i] <= 0.0) continue;
+    tp->omega[i] = Omega(e, e_at_or_above);
+  }
+  AccumulateAggregates(db, psr, tp);
+  return Status::OK();
 }
 
 }  // namespace uclean

@@ -48,12 +48,29 @@ struct TpOutput {
 };
 
 /// Computes quality from a PSR pass. `psr` must have been produced from
-/// `db` (same tuple order) with the same k.
+/// `db` (same tuple order) with the same k. Tombstoned slots (in-place
+/// cleaning sessions) are skipped.
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
                                   const PsrOutput& psr);
 
 /// Convenience: runs PSR (with default options) and TP in sequence.
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k);
+
+/// Delta overload for incremental cleaning sessions: brings `tp`
+/// (previously computed for `db` + the engine's PSR state) up to date
+/// after clean outcomes whose PSR replay started at rank `replay_begin`.
+/// The omega prefix [0, replay_begin) is reused as-is -- a clean never
+/// touches tuples ranked above the collapsed x-tuple's best member -- and
+/// only the suffix is recomputed: each touched x-tuple's at-or-above mass
+/// E is re-seeded from its (unchanged) members above the boundary and
+/// advanced across the suffix exactly as the full pass would. The
+/// per-x-tuple aggregates and the quality sum are then re-accumulated in
+/// scan order from the stored per-tuple state, so the result is bitwise
+/// identical to ComputeTpQuality(db, psr) at a fraction of the cost.
+///
+/// `psr` must be the engine state already replayed for the same outcomes.
+Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
+                       size_t replay_begin, TpOutput* tp);
 
 }  // namespace uclean
 

@@ -1,69 +1,18 @@
 #include "rank/psr.h"
 
-#include <algorithm>
-
-#include "common/check.h"
+#include "rank/psr_scan_core.h"
 
 namespace uclean {
 
-namespace {
-
-// Numerical design.
-//
-// The scan maintains the Poisson-binomial distribution of "how many
-// x-tuples contribute a tuple ranked above the current position". Naively
-// one truncates this vector at k and divides an x-tuple's Bernoulli factor
-// out with the forward recurrence
-//
-//     c_excl[j] = (c[j] - c_excl[j-1] * q) / (1 - q),
-//
-// but that recurrence amplifies absolute rounding error by q/(1-q) PER
-// INDEX: for an x-tuple whose remaining mass 1-q is small (heavily skewed
-// alternatives, e.g. Gaussian histograms with sigma much smaller than the
-// interval), the error explodes as (q/(1-q))^k and the output is garbage.
-//
-// This implementation is exact-and-stable instead:
-//  * X-tuples whose above-mass q has reached 1 (within 1e-12) are pulled
-//    out of the vector as an integer SHIFT (they always contribute one
-//    tuple); the vector only covers the "unsaturated" x-tuples and is kept
-//    UNTRUNCATED (length = #unsaturated + 1), so top seeds are exact.
-//  * Dividing out a factor uses the forward recurrence when q <= 1/2
-//    (error ratio q/(1-q) <= 1) and the backward recurrence
-//        c_excl[j-1] = (c[j] - (1-q) * c_excl[j]) / q
-//    seeded exactly from the top (c_excl[T-1] = c[T] / q) when q > 1/2
-//    (error ratio (1-q)/q < 1, division by q >= 1/2). Both directions are
-//    non-amplifying, so results hold to ~ulp for any mass skew and any k.
-//
-// Cost: O(T) per tuple where T is the number of unsaturated x-tuples that
-// overlap the scan position (bounded by the tuples scanned so far, which
-// the Lemma-2 stop keeps small for ranked data), plus O(k) for emission.
-
-/// Per-x-tuple scan state.
-enum class XTupleState : uint8_t {
-  kInactive,   // no tuple passed yet (q == 0)
-  kActive,     // 0 < q < 1: participates in the count vector
-  kSaturated,  // q == 1 (within tolerance): folded into the shift
-};
-
-constexpr double kSaturationThreshold = 1.0 - 1e-12;
-
-/// Probabilistic generalization of the Lemma-2 stop: once the probability
-/// that fewer than k tuples rank above the scan position drops below this
-/// bound, every later tuple's top-k probability is below it too (p_i is at
-/// most that head mass), so the scan stops. The induced quality error is
-/// below n * |omega_max| * 1e-15, far inside the paper's 1e-8
-/// cross-validation bar. Lemma 2 proper is the special case where the head
-/// mass is exactly zero (k x-tuples saturated).
-constexpr double kNegligibleHeadMass = 1e-15;
-
-}  // namespace
+// The per-tuple arithmetic (exclusion build, emission, advance) and its
+// numerical-stability notes live in psr_scan_core.h, shared with the
+// incremental PsrEngine so the two always agree bitwise.
 
 Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
                              const PsrOptions& options) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
 
   const size_t n = db.num_tuples();
-  const size_t m = db.num_xtuples();
 
   PsrOutput out;
   out.k = k;
@@ -75,119 +24,19 @@ Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
     out.has_rank_probabilities = true;
   }
 
-  // c[0..T]: distribution of the number of contributing unsaturated
-  // x-tuples, where T is the current unsaturated-active count. Saturated
-  // x-tuples add `saturated` contributors deterministically.
-  std::vector<double> c = {1.0};
-  std::vector<double> c_excl;
-  c_excl.reserve(m + 1);
-  size_t active = 0;     // unsaturated active x-tuples (== c.size() - 1)
-  size_t saturated = 0;
-
-  std::vector<double> q(m, 0.0);
-  std::vector<XTupleState> state(m, XTupleState::kInactive);
+  psr_internal::ScanCore core;
+  core.Init(db.num_xtuples(), k);
 
   size_t i = 0;
   for (; i < n; ++i) {
-    if (options.early_termination) {
-      if (saturated >= k) break;  // Lemma 2 proper
-      // Head mass: Pr[fewer than k x-tuples contribute above the position].
-      double head = 0.0;
-      const size_t head_top = std::min(k - saturated, c.size());
-      for (size_t j = 0; j < head_top; ++j) head += c[j];
-      if (head < kNegligibleHeadMass) break;
-    }
-
-    const Tuple& t = db.tuple(i);
-    const int32_t l = t.xtuple;
-    const double e = t.prob;
-
-    // --- 1. Build the exclusion view (others = all x-tuples except tau_l).
-    // others_shift: deterministic contributors among the others;
-    // excl: count distribution over the unsaturated others.
-    size_t others_shift = saturated;
-    const std::vector<double>* excl = &c;
-    switch (state[l]) {
-      case XTupleState::kInactive:
-        break;  // tau_l not in the vector: excl == c
-      case XTupleState::kSaturated:
-        // tau_l sits in the shift (possible only when its residual mass,
-        // and hence e, is below the saturation tolerance).
-        others_shift = saturated - 1;
-        break;
-      case XTupleState::kActive: {
-        const double ql = q[l];
-        const size_t top = active;  // c has indices 0..top
-        c_excl.resize(top);         // exclusion has indices 0..top-1
-        if (ql <= 0.5) {
-          const double headroom = 1.0 - ql;
-          c_excl[0] = c[0] / headroom;
-          for (size_t j = 1; j < top; ++j) {
-            double v = (c[j] - c_excl[j - 1] * ql) / headroom;
-            c_excl[j] = v < 0.0 ? 0.0 : v;
-          }
-        } else {
-          c_excl[top - 1] = c[top] / ql;
-          for (size_t j = top - 1; j > 0; --j) {
-            double v = (c[j] - (1.0 - ql) * c_excl[j]) / ql;
-            c_excl[j - 1] = v < 0.0 ? 0.0 : v;
-          }
-        }
-        excl = &c_excl;
-        break;
-      }
-    }
-
-    // --- 2. Emit rho_i(h) = e * Pr[exactly h-1 others contribute above].
-    double p = 0.0;
-    const size_t excl_len = excl->size();
-    for (size_t h = 1; h <= k; ++h) {
-      const size_t count = h - 1;
-      double rho = 0.0;
-      if (count >= others_shift && count - others_shift < excl_len) {
-        rho = e * (*excl)[count - others_shift];
-      }
-      p += rho;
-      if (out.has_rank_probabilities) out.rank_prob[i * k + (h - 1)] = rho;
-      if (!t.is_null && rho > out.best_rank_prob[h - 1]) {
-        out.best_rank_prob[h - 1] = rho;
-        out.best_rank_index[h - 1] = static_cast<int32_t>(i);
-      }
-    }
-    out.topk_prob[i] = p;
-    if (p > 0.0) ++out.num_nonzero;
-
-    // --- 3. Advance past t_i: tau_l's above-mass grows by e.
-    if (state[l] == XTupleState::kSaturated) continue;  // shift absorbs it
-    const double q_new = q[l] + e;
-    q[l] = q_new;
-    if (q_new >= kSaturationThreshold) {
-      // tau_l now always contributes: fold it into the shift. `excl`
-      // already holds the vector without tau_l's factor.
-      if (state[l] == XTupleState::kActive) {
-        c.assign(excl->begin(), excl->end());
-        --active;
-      }
-      state[l] = XTupleState::kSaturated;
-      ++saturated;
-    } else {
-      // Multiply tau_l's updated Bernoulli factor into the others-vector.
-      const std::vector<double>& base = *excl;
-      const size_t top = base.size();  // counts 0..top-1
-      c.resize(top + 1);
-      c[top] = base[top - 1] * q_new;
-      for (size_t j = top - 1; j > 0; --j) {
-        c[j] = base[j] * (1.0 - q_new) + base[j - 1] * q_new;
-      }
-      c[0] = base[0] * (1.0 - q_new);
-      if (state[l] == XTupleState::kInactive) {
-        state[l] = XTupleState::kActive;
-        ++active;
-      }
-      UCLEAN_DCHECK(c.size() == active + 1);
-    }
+    if (options.early_termination && core.ShouldStop()) break;
+    if (db.is_tombstone(i)) continue;  // cleaning-session garbage slot
+    core.Step(db.tuple(i), i, &out, /*track_best=*/true);
   }
   out.scan_end = i;
+  for (double p : out.topk_prob) {
+    if (p > 0.0) ++out.num_nonzero;
+  }
   return out;
 }
 

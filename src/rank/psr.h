@@ -18,13 +18,30 @@
 // Numerically, the divide-out is performed in a provably stable direction
 // (forward for q_l <= 1/2, backward from an exact untruncated top seed for
 // q_l > 1/2), and x-tuples whose above-mass reaches 1 are folded into an
-// exact integer shift; see the implementation notes in psr.cc. Results
-// therefore hold to ~ulp precision for arbitrarily skewed alternative
-// masses and arbitrarily large k.
+// exact integer shift; see the implementation notes in psr_scan_core.h.
+// Results therefore hold to ~ulp precision for arbitrarily skewed
+// alternative masses and arbitrarily large k.
 //
 // Early termination (Lemma 2): once at least k x-tuples are saturated
 // (q_l = 1, i.e. they certainly contribute a higher-ranked tuple), every
 // later tuple has zero top-k probability and the scan stops.
+//
+// Incremental recomputation: adaptive cleaning sessions re-derive rank
+// probabilities after every pclean success. A successful clean collapses
+// one x-tuple tau_l to a certain tuple while leaving every other tuple's
+// rank unchanged, so the scan state at every position ranked above tau_l's
+// best alternative is untouched -- tau_l was still inactive there. The
+// PsrEngine (psr_engine.h) exploits this: it checkpoints the scan state at
+// intervals during the initial pass, and on a clean restores the last
+// checkpoint at or before the collapsed x-tuple's first member and replays
+// only the suffix. Within the replay the collapsed x-tuple's certain tuple
+// saturates on contact and is folded straight into the integer shift, and
+// its old Bernoulli factor never enters the count vector (the restored
+// checkpoint predates the x-tuple's activation), so no explicit divide-out
+// is needed and the replayed suffix is bitwise identical to a from-scratch
+// scan of the cleaned database. Tuples are addressed by rank index
+// throughout; tombstoned slots (ProbabilisticDatabase::ApplyCleanOutcome)
+// are skipped by both the one-shot scan and the engine.
 
 #ifndef UCLEAN_RANK_PSR_H_
 #define UCLEAN_RANK_PSR_H_
@@ -32,6 +49,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "model/database.h"
 
@@ -75,8 +93,12 @@ struct PsrOutput {
   std::vector<double> rank_prob;
   bool has_rank_probabilities = false;
 
-  /// rho_i(h) from the stored matrix. Requires has_rank_probabilities.
+  /// rho_i(h) from the stored matrix. Requires has_rank_probabilities,
+  /// rank_index < num_tuples and h in [1, k].
   double rank_probability(size_t rank_index, size_t h) const {
+    UCLEAN_DCHECK(has_rank_probabilities);
+    UCLEAN_DCHECK(h >= 1 && h <= k);
+    UCLEAN_DCHECK(rank_index * k + (h - 1) < rank_prob.size());
     return rank_prob[rank_index * k + (h - 1)];
   }
 };

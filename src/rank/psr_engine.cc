@@ -1,0 +1,204 @@
+#include "rank/psr_engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uclean {
+
+Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db, size_t k,
+                                    const PsrOptions& options,
+                                    size_t checkpoint_interval) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (checkpoint_interval == 0) {
+    return Status::InvalidArgument("checkpoint interval must be positive");
+  }
+
+  PsrEngine engine;
+  engine.options_ = options;
+  engine.checkpoint_interval_ = checkpoint_interval;
+  engine.out_.k = k;
+  engine.out_.topk_prob.assign(db.num_tuples(), 0.0);
+  engine.out_.best_rank_prob.assign(k, 0.0);
+  engine.out_.best_rank_index.assign(k, -1);
+  if (options.store_rank_probabilities) {
+    engine.out_.rank_prob.assign(db.num_tuples() * k, 0.0);
+    engine.out_.has_rank_probabilities = true;
+  }
+  engine.core_.Init(db.num_xtuples(), k);
+  engine.RunScan(db, 0);
+  return engine;
+}
+
+void PsrEngine::TakeCheckpoint(size_t pos) {
+  if (checkpoints_.size() >= kMaxCheckpoints) {
+    // Thin: keep every other checkpoint (always retaining the rank-0 one)
+    // and double the interval, bounding memory while preserving coverage.
+    size_t kept = 0;
+    for (size_t j = 0; j < checkpoints_.size(); j += 2) {
+      checkpoints_[kept++] = std::move(checkpoints_[j]);
+    }
+    checkpoints_.resize(kept);
+    checkpoint_interval_ *= 2;
+  }
+  Checkpoint cp;
+  cp.pos = pos;
+  cp.c = core_.c;
+  cp.active = core_.active;
+  cp.saturated = core_.saturated;
+  for (size_t l = 0; l < core_.state.size(); ++l) {
+    if (core_.state[l] == psr_internal::XTupleState::kInactive) continue;
+    cp.xs.push_back({static_cast<XTupleId>(l), core_.state[l], core_.q[l]});
+  }
+  checkpoints_.push_back(std::move(cp));
+}
+
+void PsrEngine::RestoreCheckpoint(const Checkpoint& cp) {
+  core_.c = cp.c;
+  core_.active = cp.active;
+  core_.saturated = cp.saturated;
+  std::fill(core_.q.begin(), core_.q.end(), 0.0);
+  std::fill(core_.state.begin(), core_.state.end(),
+            psr_internal::XTupleState::kInactive);
+  for (const Checkpoint::XEntry& x : cp.xs) {
+    core_.q[x.xtuple] = x.q;
+    core_.state[x.xtuple] = x.state;
+  }
+}
+
+void PsrEngine::RunScan(const ProbabilisticDatabase& db, size_t begin) {
+  const size_t n = db.num_tuples();
+  const size_t k = out_.k;
+  std::fill(out_.topk_prob.begin() + begin, out_.topk_prob.end(), 0.0);
+  if (out_.has_rank_probabilities) {
+    std::fill(out_.rank_prob.begin() + begin * k, out_.rank_prob.end(), 0.0);
+  }
+  if (begin == 0) {
+    checkpoints_.clear();
+    TakeCheckpoint(0);
+  }
+
+  // Running argmaxes are only meaningful over a whole scan; a partial
+  // replay rebuilds them from the stored matrix in FinalizeAggregates.
+  const bool track_best = begin == 0;
+  size_t since_checkpoint = 0;
+  size_t i = begin;
+  for (; i < n; ++i) {
+    if (options_.early_termination && core_.ShouldStop()) break;
+    if (db.is_tombstone(i)) continue;
+    if (since_checkpoint >= checkpoint_interval_) {
+      TakeCheckpoint(i);
+      since_checkpoint = 0;
+    }
+    core_.Step(db.tuple(i), i, &out_, track_best);
+    ++since_checkpoint;
+  }
+  out_.scan_end = i;
+  FinalizeAggregates(db, begin == 0);
+}
+
+void PsrEngine::FinalizeAggregates(const ProbabilisticDatabase& db,
+                                   bool from_rank_0) {
+  out_.num_nonzero = 0;
+  for (double p : out_.topk_prob) {
+    if (p > 0.0) ++out_.num_nonzero;
+  }
+  const size_t k = out_.k;
+  if (!out_.has_rank_probabilities) {
+    if (!from_rank_0) {
+      // Tracked argmaxes are stale and the matrix is off: reset to the
+      // empty answer rather than serve wrong ones (see header).
+      std::fill(out_.best_rank_prob.begin(), out_.best_rank_prob.end(), 0.0);
+      std::fill(out_.best_rank_index.begin(), out_.best_rank_index.end(), -1);
+    }
+    return;
+  }
+  std::fill(out_.best_rank_prob.begin(), out_.best_rank_prob.end(), 0.0);
+  std::fill(out_.best_rank_index.begin(), out_.best_rank_index.end(), -1);
+  for (size_t i = 0; i < out_.scan_end; ++i) {
+    const Tuple& t = db.tuple(i);
+    if (t.is_null || db.is_tombstone(i)) continue;
+    for (size_t h = 0; h < k; ++h) {
+      const double rho = out_.rank_prob[i * k + h];
+      if (rho > out_.best_rank_prob[h]) {
+        out_.best_rank_prob[h] = rho;
+        out_.best_rank_index[h] = static_cast<int32_t>(i);
+      }
+    }
+  }
+}
+
+void PsrEngine::InvalidateBelow(size_t first_changed_rank) {
+  while (!checkpoints_.empty() &&
+         checkpoints_.back().pos > first_changed_rank) {
+    checkpoints_.pop_back();
+  }
+}
+
+Status PsrEngine::Replay(const ProbabilisticDatabase& db,
+                         size_t first_changed_rank) {
+  if (out_.topk_prob.size() != db.num_tuples()) {
+    return Status::FailedPrecondition(
+        "PsrEngine state does not match the database (was the engine "
+        "created from it, and ApplyCompaction called after compaction?)");
+  }
+  if (first_changed_rank >= db.num_tuples()) return Status::OK();  // no-op
+  InvalidateBelow(first_changed_rank);  // snapshots past the change are stale
+  if (checkpoints_.empty()) {
+    return Status::FailedPrecondition("PsrEngine was not initialized");
+  }
+
+  // Resume from the last remaining checkpoint (the rank-0 one always
+  // survives, so the list is never empty here).
+  const size_t replay_begin = checkpoints_.back().pos;
+  RestoreCheckpoint(checkpoints_.back());
+  RunScan(db, replay_begin);
+  return Status::OK();
+}
+
+Status PsrEngine::ApplyCompaction(const ProbabilisticDatabase& db,
+                                  const std::vector<int32_t>& old_to_new) {
+  if (old_to_new.empty()) return Status::OK();  // compaction was a no-op
+  const size_t old_n = old_to_new.size();
+  if (out_.topk_prob.size() != old_n) {
+    return Status::FailedPrecondition(
+        "compaction map does not match the engine's tuple count");
+  }
+  const size_t new_n = db.num_tuples();
+  const size_t k = out_.k;
+
+  // new_pos[p] = number of surviving slots before old position p; the new
+  // index of a surviving slot, and the natural remap for scan positions
+  // (checkpoint pos, scan_end) which may sit on erased slots.
+  std::vector<size_t> new_pos(old_n + 1, 0);
+  for (size_t i = 0; i < old_n; ++i) {
+    new_pos[i + 1] = new_pos[i] + (old_to_new[i] >= 0 ? 1 : 0);
+  }
+  UCLEAN_DCHECK(new_pos[old_n] == new_n);
+
+  std::vector<double> topk(new_n, 0.0);
+  for (size_t i = 0; i < old_n; ++i) {
+    if (old_to_new[i] >= 0) topk[old_to_new[i]] = out_.topk_prob[i];
+  }
+  out_.topk_prob = std::move(topk);
+  if (out_.has_rank_probabilities) {
+    std::vector<double> matrix(new_n * k, 0.0);
+    for (size_t i = 0; i < old_n; ++i) {
+      if (old_to_new[i] < 0) continue;
+      std::copy(out_.rank_prob.begin() + i * k,
+                out_.rank_prob.begin() + (i + 1) * k,
+                matrix.begin() + static_cast<size_t>(old_to_new[i]) * k);
+    }
+    out_.rank_prob = std::move(matrix);
+  }
+  for (int32_t& idx : out_.best_rank_index) {
+    if (idx >= 0) idx = old_to_new[idx];  // may go stale (-1); Replay fixes
+  }
+  out_.scan_end = new_pos[std::min(out_.scan_end, old_n)];
+  for (Checkpoint& cp : checkpoints_) {
+    cp.pos = new_pos[std::min(cp.pos, old_n)];
+  }
+  return Status::OK();
+}
+
+}  // namespace uclean

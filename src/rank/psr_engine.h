@@ -1,0 +1,124 @@
+// PsrEngine: incrementally maintained PSR state for cleaning sessions.
+//
+// A successful pclean collapses one x-tuple to a certain tuple and leaves
+// every other tuple's rank unchanged (ProbabilisticDatabase::
+// ApplyCleanOutcome). The engine keeps the Poisson-binomial scan state of
+// psr_scan_core.h checkpointed at intervals along the rank order; applying
+// a clean restores the last checkpoint at or before the first changed rank
+// and replays only the suffix of the scan, so a round of cleans costs
+// O(m + suffix * (k + T)) instead of a full database rebuild plus an O(kn)
+// rescan. Replayed results are bitwise identical to running ComputePsr
+// from scratch over the same (tombstoned) database: the restored state is
+// the exact state a fresh scan reaches at the checkpoint (the prefix is
+// untouched by the clean), and the suffix executes the same arithmetic.
+//
+// Aggregate caveats after a replay:
+//  * num_nonzero and scan_end are always maintained.
+//  * best_rank_prob / best_rank_index are running argmaxes over the whole
+//    scan; after a replay they are recomputed from the stored rank matrix
+//    when PsrOptions::store_rank_probabilities is set, and reset to the
+//    empty answer (0 / -1) otherwise -- cleaning consumers (TP, planners)
+//    never read them, query serving should keep the matrix on.
+//
+// Lifecycle: Create -> [ApplyCleanOutcome on the db]* -> Replay, repeated;
+// interleave ApplyCompaction whenever the database compacts its
+// tombstones. The engine never owns the database; the caller (normally
+// CleaningSession) guarantees the db passed to Replay is the one the
+// engine last saw, mutated only through ApplyCleanOutcome.
+
+#ifndef UCLEAN_RANK_PSR_ENGINE_H_
+#define UCLEAN_RANK_PSR_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+#include "rank/psr.h"
+#include "rank/psr_scan_core.h"
+
+namespace uclean {
+
+class PsrEngine {
+ public:
+  /// An empty engine; assign from Create before use.
+  PsrEngine() = default;
+
+  /// Runs the initial full scan over `db` and snapshots checkpoints.
+  /// `checkpoint_interval` is the initial snapshot cadence in live tuples
+  /// (smaller = cheaper replays, more snapshot memory; it doubles whenever
+  /// the checkpoint count would exceed kMaxCheckpoints). Fails with
+  /// InvalidArgument when k == 0 or the interval is 0.
+  static Result<PsrEngine> Create(
+      const ProbabilisticDatabase& db, size_t k,
+      const PsrOptions& options = {},
+      size_t checkpoint_interval = kInitialCheckpointInterval);
+
+  /// The maintained PSR state (valid after Create and after every Replay).
+  const PsrOutput& output() const { return out_; }
+
+  size_t k() const { return out_.k; }
+
+  /// Re-derives the PSR state after one or more ApplyCleanOutcome calls on
+  /// `db`. `first_changed_rank` is the minimum CleanOutcomeDelta::
+  /// first_changed_rank over the batch; pass num_tuples() for a batch of
+  /// no-ops (the call is then free). Only the scan suffix from the last
+  /// checkpoint at or before that rank is replayed.
+  Status Replay(const ProbabilisticDatabase& db, size_t first_changed_rank);
+
+  /// Drops the checkpoints invalidated by cleans whose shallowest change
+  /// is `first_changed_rank` (their snapshots were taken below it and
+  /// include pre-clean state). Replay does this implicitly; call it
+  /// explicitly BEFORE compacting the database, because compaction can
+  /// remap a stale checkpoint onto the replay boundary itself when every
+  /// slot in between was tombstoned.
+  void InvalidateBelow(size_t first_changed_rank);
+
+  /// Rewrites all rank indices held by the engine through the old-to-new
+  /// map returned by ProbabilisticDatabase::CompactTombstones. `db` is the
+  /// already-compacted database.
+  Status ApplyCompaction(const ProbabilisticDatabase& db,
+                         const std::vector<int32_t>& old_to_new);
+
+  /// Checkpoint cadence: every `checkpoint_interval_` live tuples, thinned
+  /// (drop every other one, double the interval) when the count exceeds
+  /// kMaxCheckpoints so memory stays O(kMaxCheckpoints * m).
+  static constexpr size_t kInitialCheckpointInterval = 64;
+  static constexpr size_t kMaxCheckpoints = 160;
+
+ private:
+  /// Scan state snapshot taken just before processing rank `pos`.
+  struct Checkpoint {
+    size_t pos = 0;
+    std::vector<double> c;
+    size_t active = 0;
+    size_t saturated = 0;
+    struct XEntry {
+      XTupleId xtuple;
+      psr_internal::XTupleState state;
+      double q;
+    };
+    std::vector<XEntry> xs;  // every non-inactive x-tuple
+  };
+
+  void TakeCheckpoint(size_t pos);
+  void RestoreCheckpoint(const Checkpoint& cp);
+
+  /// Zeroes output from `begin` on and runs the scan loop to its stop
+  /// point, taking fresh checkpoints along the way.
+  void RunScan(const ProbabilisticDatabase& db, size_t begin);
+
+  /// Recomputes num_nonzero and (from the matrix, when stored) the
+  /// per-rank argmaxes after a scan.
+  void FinalizeAggregates(const ProbabilisticDatabase& db, bool from_rank_0);
+
+  PsrOptions options_;
+  PsrOutput out_;
+  psr_internal::ScanCore core_;
+  std::vector<Checkpoint> checkpoints_;
+  size_t checkpoint_interval_ = kInitialCheckpointInterval;
+};
+
+}  // namespace uclean
+
+#endif  // UCLEAN_RANK_PSR_ENGINE_H_

@@ -1,0 +1,374 @@
+// Property tests for the incremental cleaning engine: random sequences of
+// clean outcomes applied through ProbabilisticDatabase::ApplyCleanOutcome +
+// PsrEngine + delta TP must match a from-scratch ComputePsr /
+// ComputeTpQuality of the same database to 1e-12 at every step, under
+// every compaction policy, and agree with the historical builder
+// round-trip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "clean/agent.h"
+#include "clean/session.h"
+#include "common/rng.h"
+#include "model/database.h"
+#include "quality/tp.h"
+#include "rank/psr.h"
+#include "rank/psr_engine.h"
+#include "tests/test_util.h"
+
+namespace uclean {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// Checks the session's maintained PSR + TP state against a from-scratch
+/// recomputation over the session's own database.
+void ExpectMatchesFromScratch(const CleaningSession& session) {
+  const ProbabilisticDatabase& db = session.db();
+  PsrOptions options;
+  options.store_rank_probabilities = session.psr().has_rank_probabilities;
+  Result<PsrOutput> psr = ComputePsr(db, session.k(), options);
+  ASSERT_TRUE(psr.ok()) << psr.status();
+
+  const PsrOutput& inc = session.psr();
+  ASSERT_EQ(inc.topk_prob.size(), psr->topk_prob.size());
+  EXPECT_EQ(inc.scan_end, psr->scan_end);
+  EXPECT_EQ(inc.num_nonzero, psr->num_nonzero);
+  for (size_t i = 0; i < psr->topk_prob.size(); ++i) {
+    EXPECT_NEAR(inc.topk_prob[i], psr->topk_prob[i], kTol) << "tuple " << i;
+  }
+  if (options.store_rank_probabilities) {
+    for (size_t i = 0; i < psr->topk_prob.size(); ++i) {
+      for (size_t h = 1; h <= session.k(); ++h) {
+        EXPECT_NEAR(inc.rank_probability(i, h), psr->rank_probability(i, h),
+                    kTol)
+            << "tuple " << i << " rank " << h;
+      }
+    }
+    for (size_t h = 0; h < session.k(); ++h) {
+      EXPECT_NEAR(inc.best_rank_prob[h], psr->best_rank_prob[h], kTol);
+      EXPECT_EQ(inc.best_rank_index[h], psr->best_rank_index[h]);
+    }
+  }
+
+  Result<TpOutput> tp = ComputeTpQuality(db, *psr);
+  ASSERT_TRUE(tp.ok()) << tp.status();
+  EXPECT_NEAR(session.tp().quality, tp->quality, kTol);
+  ASSERT_EQ(session.tp().xtuple_gain.size(), tp->xtuple_gain.size());
+  for (size_t l = 0; l < tp->xtuple_gain.size(); ++l) {
+    EXPECT_NEAR(session.tp().xtuple_gain[l], tp->xtuple_gain[l], kTol)
+        << "x-tuple " << l;
+    EXPECT_NEAR(session.tp().xtuple_topk_mass[l], tp->xtuple_topk_mass[l],
+                kTol)
+        << "x-tuple " << l;
+  }
+  for (size_t i = 0; i < tp->omega.size(); ++i) {
+    EXPECT_NEAR(session.tp().omega[i], tp->omega[i], kTol) << "tuple " << i;
+  }
+
+  // The historical path: rebuild through the validating builder and
+  // recompute. The rebuilt database has its own (compacted) indexing, so
+  // compare the order-independent aggregates.
+  Result<ProbabilisticDatabase> rebuilt =
+      std::move(DatabaseBuilder::FromDatabase(db)).Finish();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  Result<TpOutput> rebuilt_tp = ComputeTpQuality(*rebuilt, session.k());
+  ASSERT_TRUE(rebuilt_tp.ok()) << rebuilt_tp.status();
+  EXPECT_NEAR(session.tp().quality, rebuilt_tp->quality, kTol);
+  for (size_t l = 0; l < tp->xtuple_gain.size(); ++l) {
+    EXPECT_NEAR(session.tp().xtuple_gain[l], rebuilt_tp->xtuple_gain[l], kTol);
+  }
+}
+
+/// Draws a random clean outcome for a random still-uncertain x-tuple;
+/// returns false when the database is fully certain.
+bool ApplyRandomOutcome(CleaningSession* session, Rng* rng) {
+  const ProbabilisticDatabase& db = session->db();
+  std::vector<XTupleId> uncertain;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    const auto& members = db.xtuple_members(static_cast<XTupleId>(l));
+    if (members.size() > 1 || db.tuple(members[0]).prob < 1.0) {
+      uncertain.push_back(static_cast<XTupleId>(l));
+    }
+  }
+  if (uncertain.empty()) return false;
+  const XTupleId l = uncertain[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(uncertain.size()) - 1))];
+  const auto& members = db.xtuple_members(l);
+  std::vector<double> weights;
+  for (int32_t idx : members) weights.push_back(db.tuple(idx).prob);
+  const Tuple& revealed = db.tuple(members[rng->Discrete(weights)]);
+  Status s = session->ApplyCleanOutcome(l, revealed.id);
+  EXPECT_TRUE(s.ok()) << s;
+  return true;
+}
+
+struct SweepParam {
+  int seed;
+  size_t k;
+  bool store_matrix;
+  size_t compact_min;  // 1 = compact every refresh, SIZE_MAX = never
+};
+
+TEST(IncrementalDense, MidScanCheckpointRestoreAndThinning) {
+  // A database large enough (and sub-unit enough, so the Lemma-2 stop
+  // stays away) that the scan spans many checkpoints; interval 1 forces
+  // the thinning path (capacity kMaxCheckpoints) and cleans restore
+  // mid-scan snapshots rather than replaying from rank 0.
+  Rng maker(271828);
+  RandomDbOptions opts;
+  opts.num_xtuples = 150;
+  opts.max_alternatives = 4;
+  opts.allow_subunit_mass = true;
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+
+  CleaningSession::Options options;
+  options.checkpoint_interval = 1;
+  options.compact_min_tombstones = 16;
+  options.compact_min_fraction = 0.05;
+  Result<CleaningSession> session =
+      CleaningSession::Start(std::move(db), /*k=*/9, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ExpectMatchesFromScratch(*session);
+
+  Rng rng(314159);
+  for (int step = 0; step < 25; ++step) {
+    const int batch = static_cast<int>(rng.UniformInt(1, 2));
+    bool any = false;
+    for (int b = 0; b < batch; ++b) any |= ApplyRandomOutcome(&*session, &rng);
+    ASSERT_TRUE(session->Refresh().ok());
+    ExpectMatchesFromScratch(*session);
+    if (!any) break;
+  }
+}
+
+class IncrementalSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(IncrementalSweep, MatchesFromScratchAtEveryStep) {
+  const SweepParam param = GetParam();
+  Rng maker(static_cast<uint64_t>(param.seed));
+  RandomDbOptions opts;
+  opts.num_xtuples = 24;
+  opts.max_alternatives = 4;
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+
+  CleaningSession::Options options;
+  options.psr.store_rank_probabilities = param.store_matrix;
+  options.compact_min_tombstones = param.compact_min;
+  options.compact_min_fraction = 0.0;
+  Result<CleaningSession> session =
+      CleaningSession::Start(std::move(db), param.k, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ExpectMatchesFromScratch(*session);
+
+  Rng rng(static_cast<uint64_t>(param.seed) + 1000);
+  for (int step = 0; step < 40; ++step) {
+    // Batch one to three outcomes per refresh, like an adaptive round.
+    const int batch = static_cast<int>(rng.UniformInt(1, 3));
+    bool any = false;
+    for (int b = 0; b < batch; ++b) any |= ApplyRandomOutcome(&*session, &rng);
+    ASSERT_TRUE(session->Refresh().ok());
+    ExpectMatchesFromScratch(*session);
+    if (!any) break;  // fully certain: nothing left to clean
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, IncrementalSweep,
+    ::testing::Values(SweepParam{11, 3, true, 1},
+                      SweepParam{11, 3, true, static_cast<size_t>(-1)},
+                      SweepParam{22, 1, false, 1},
+                      SweepParam{22, 7, false, 4},
+                      SweepParam{33, 5, true, 4},
+                      SweepParam{44, 2, false, static_cast<size_t>(-1)}),
+    [](const auto& info) {
+      const SweepParam& p = info.param;
+      return "s" + std::to_string(p.seed) + "k" + std::to_string(p.k) +
+             (p.store_matrix ? "mat" : "nomat") +
+             (p.compact_min == 1
+                  ? std::string("eager")
+                  : (p.compact_min == static_cast<size_t>(-1)
+                         ? std::string("never")
+                         : "lazy" + std::to_string(p.compact_min)));
+    });
+
+TEST(Database, ApplyCleanOutcomeCollapsesInPlace) {
+  Rng maker(7);
+  RandomDbOptions opts;
+  opts.num_xtuples = 6;
+  opts.max_alternatives = 3;
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+
+  // Find an x-tuple with several alternatives and collapse it to its
+  // best-ranked real alternative.
+  XTupleId target = -1;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    if (db.xtuple_members(static_cast<XTupleId>(l)).size() > 1) {
+      target = static_cast<XTupleId>(l);
+      break;
+    }
+  }
+  ASSERT_GE(target, 0);
+  const auto members_before = db.xtuple_members(target);
+  const size_t n_before = db.num_tuples();
+  const Tuple resolved = db.tuple(members_before.front());
+  ASSERT_FALSE(resolved.is_null);
+
+  Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
+      db.ApplyCleanOutcome(target, resolved.id);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_FALSE(delta->resolved_null);
+  EXPECT_EQ(delta->first_changed_rank,
+            static_cast<size_t>(members_before.front()));
+  EXPECT_EQ(delta->resolved_rank, static_cast<size_t>(members_before.front()));
+  EXPECT_TRUE(db.has_tombstones());
+  EXPECT_EQ(db.num_tombstones(), members_before.size() - 1);
+  ASSERT_EQ(db.xtuple_members(target).size(), 1u);
+  EXPECT_DOUBLE_EQ(db.tuple(db.xtuple_members(target)[0]).prob, 1.0);
+  EXPECT_DOUBLE_EQ(db.xtuple_real_mass(target), 1.0);
+
+  // Rank indices are stable until compaction.
+  EXPECT_EQ(db.num_tuples(), n_before);
+
+  // Collapsing the same x-tuple to the same outcome again is a no-op.
+  Result<ProbabilisticDatabase::CleanOutcomeDelta> again =
+      db.ApplyCleanOutcome(target, resolved.id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->first_changed_rank, db.num_tuples());
+
+  // Compaction drops exactly the tombstones and renumbers monotonically.
+  std::vector<int32_t> map = db.CompactTombstones();
+  ASSERT_EQ(map.size(), n_before);
+  EXPECT_FALSE(db.has_tombstones());
+  EXPECT_EQ(db.num_tuples(), n_before - (members_before.size() - 1));
+  int32_t prev = -1;
+  for (int32_t m : map) {
+    if (m < 0) continue;
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Database, ApplyCleanOutcomeValidates) {
+  Rng maker(8);
+  RandomDbOptions opts;
+  opts.num_xtuples = 3;
+  opts.allow_subunit_mass = false;  // unit mass: no null alternatives
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+  EXPECT_FALSE(db.ApplyCleanOutcome(-1, 0).ok());
+  EXPECT_FALSE(db.ApplyCleanOutcome(99, 0).ok());
+  EXPECT_FALSE(db.ApplyCleanOutcome(0, 123456).ok());
+  // Null outcome on a full-mass x-tuple is impossible (probability zero).
+  EXPECT_FALSE(db.ApplyCleanOutcome(0, -1).ok());
+}
+
+TEST(Database, NullOutcomeCollapsesToCertainNull) {
+  DatabaseBuilder b;
+  XTupleId x = b.AddXTuple("E");
+  ASSERT_TRUE(b.AddAlternative(x, 0, 9.0, 0.3).ok());
+  ASSERT_TRUE(b.AddAlternative(x, 1, 4.0, 0.3).ok());  // null mass 0.4
+  XTupleId y = b.AddXTuple("F");
+  ASSERT_TRUE(b.AddAlternative(y, 2, 6.0, 1.0).ok());
+  Result<ProbabilisticDatabase> db = std::move(b).Finish();
+  ASSERT_TRUE(db.ok());
+
+  Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
+      db->ApplyCleanOutcome(x, -1);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  EXPECT_TRUE(delta->resolved_null);
+  ASSERT_EQ(db->xtuple_members(x).size(), 1u);
+  const Tuple& survivor = db->tuple(db->xtuple_members(x)[0]);
+  EXPECT_TRUE(survivor.is_null);
+  EXPECT_DOUBLE_EQ(survivor.prob, 1.0);
+  EXPECT_DOUBLE_EQ(db->xtuple_real_mass(x), 0.0);
+  EXPECT_EQ(db->num_real_tuples(), 1u);  // only F's alternative remains
+
+  // PSR on the collapsed database: F's tuple is now certain rank 1.
+  Result<PsrOutput> psr = ComputePsr(*db, 1);
+  ASSERT_TRUE(psr.ok());
+  const size_t f_rank = *db->RankIndexOfTupleId(2);
+  EXPECT_NEAR(psr->topk_prob[f_rank], 1.0, kTol);
+}
+
+TEST(PsrEngine, CreateMatchesComputePsr) {
+  Rng maker(55);
+  RandomDbOptions opts;
+  opts.num_xtuples = 16;
+  opts.max_alternatives = 4;
+  for (int trial = 0; trial < 5; ++trial) {
+    ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+    for (size_t k : {1u, 4u, 9u}) {
+      PsrOptions options;
+      options.store_rank_probabilities = true;
+      Result<PsrEngine> engine = PsrEngine::Create(db, k, options);
+      ASSERT_TRUE(engine.ok()) << engine.status();
+      Result<PsrOutput> scratch = ComputePsr(db, k, options);
+      ASSERT_TRUE(scratch.ok());
+      EXPECT_EQ(engine->output().scan_end, scratch->scan_end);
+      EXPECT_EQ(engine->output().num_nonzero, scratch->num_nonzero);
+      for (size_t i = 0; i < db.num_tuples(); ++i) {
+        EXPECT_NEAR(engine->output().topk_prob[i], scratch->topk_prob[i],
+                    kTol);
+      }
+      for (size_t h = 0; h < k; ++h) {
+        EXPECT_EQ(engine->output().best_rank_index[h],
+                  scratch->best_rank_index[h]);
+      }
+    }
+  }
+}
+
+TEST(PsrEngine, RejectsZeroK) {
+  Rng maker(56);
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, {});
+  EXPECT_FALSE(PsrEngine::Create(db, 0).ok());
+}
+
+TEST(Session, ExecutePlanOverloadsAgree) {
+  // The session overload of ExecutePlan must consume the same random
+  // stream and land on the same cleaned state as the database overload.
+  Rng maker(91);
+  RandomDbOptions opts;
+  opts.num_xtuples = 10;
+  opts.max_alternatives = 3;
+  ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
+  CleaningProfile profile;
+  for (size_t l = 0; l < db.num_xtuples(); ++l) {
+    profile.costs.push_back(1 + static_cast<int64_t>(l % 3));
+    profile.sc_probs.push_back(maker.Uniform(0.2, 0.9));
+  }
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  for (size_t l = 0; l < probes.size(); l += 2) probes[l] = 2;
+
+  const size_t k = 3;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng_a(seed), rng_b(seed);
+    Result<ExecutionReport> scratch = ExecutePlan(db, profile, probes, &rng_a);
+    ASSERT_TRUE(scratch.ok());
+
+    Result<CleaningSession> session =
+        CleaningSession::Start(ProbabilisticDatabase(db), k);
+    ASSERT_TRUE(session.ok());
+    Result<SessionExecutionReport> incremental =
+        ExecutePlan(&*session, profile, probes, &rng_b);
+    ASSERT_TRUE(incremental.ok());
+    ASSERT_TRUE(session->Refresh().ok());
+
+    EXPECT_EQ(scratch->spent, incremental->spent);
+    EXPECT_EQ(scratch->leftover, incremental->leftover);
+    EXPECT_EQ(scratch->successes, incremental->successes);
+    ASSERT_EQ(scratch->log.size(), incremental->log.size());
+    for (size_t j = 0; j < scratch->log.size(); ++j) {
+      EXPECT_EQ(scratch->log[j].resolved_id, incremental->log[j].resolved_id);
+    }
+    Result<TpOutput> scratch_tp = ComputeTpQuality(scratch->cleaned_db, k);
+    ASSERT_TRUE(scratch_tp.ok());
+    EXPECT_NEAR(scratch_tp->quality, session->quality(), kTol);
+  }
+}
+
+}  // namespace
+}  // namespace uclean

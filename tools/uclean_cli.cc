@@ -141,7 +141,7 @@ Status RunGenerate(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(type, flags.GetString("type"));
   CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
   CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 42));
-  Result<ProbabilisticDatabase> db = Status::OK();
+  Result<ProbabilisticDatabase> db = ProbabilisticDatabase();
   if (type == "synthetic") {
     SyntheticOptions opts;
     CLI_ASSIGN_OR_RETURN(xtuples, flags.GetInt("xtuples", 5000));
