@@ -7,6 +7,33 @@
 
 namespace uclean {
 
+namespace {
+
+/// The planning-objective quality: the same weighted aggregate of per-rung
+/// qualities the planner optimizes, so predicted improvements and realized
+/// quality deltas are directly comparable. Reduces to the plain quality
+/// for single-k runs under uniform weights.
+double AggregateQuality(const CleaningSession& session,
+                        const std::vector<double>& weights) {
+  const size_t rungs = session.num_rungs();
+  double total = 0.0;
+  for (size_t j = 0; j < rungs; ++j) {
+    const double w =
+        weights.empty() ? 1.0 / static_cast<double>(rungs) : weights[j];
+    total += w * session.quality(j);
+  }
+  return total;
+}
+
+void FillPerRung(const CleaningSession& session, std::vector<double>* out) {
+  out->clear();
+  for (size_t j = 0; j < session.num_rungs(); ++j) {
+    out->push_back(session.quality(j));
+  }
+}
+
+}  // namespace
+
 Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
                                            const CleaningProfile& profile,
                                            int64_t budget,
@@ -14,22 +41,46 @@ Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
                                            Rng* rng) {
   UCLEAN_RETURN_IF_ERROR(profile.Validate(db.num_xtuples()));
 
+  Result<KLadder> ladder = KLadder::Of(
+      options.k_ladder.empty() ? std::vector<size_t>{options.k}
+                               : options.k_ladder);
+  if (!ladder.ok()) return ladder.status();
+  if (!options.plan_weights.empty()) {
+    // Weights bind positionally to the NORMALIZED (ascending, deduped)
+    // ladder; reject input Of() had to reorder or shrink, where the
+    // caller's positional intent would silently land on the wrong rungs.
+    if (!options.k_ladder.empty() && options.k_ladder != ladder->ks) {
+      return Status::InvalidArgument(
+          "plan weights require a strictly ascending k-ladder (weights "
+          "bind by position; ladder " +
+          ladder->ToString() + " was reordered from the input)");
+    }
+    if (options.plan_weights.size() != ladder->size()) {
+      return Status::InvalidArgument(
+          "plan weights must match the k-ladder length");
+    }
+  }
+
   Result<CleaningSession> session =
-      CleaningSession::Start(std::move(db), options.k);
+      CleaningSession::Start(std::move(db), *ladder);
   if (!session.ok()) return session.status();
 
   AdaptiveReport report;
-  report.initial_quality = session->quality();
+  report.ladder = ladder->ks;
+  report.initial_quality = AggregateQuality(*session, options.plan_weights);
   report.final_quality = report.initial_quality;
+  FillPerRung(*session, &report.initial_quality_per_k);
+  report.final_quality_per_k = report.initial_quality_per_k;
 
   int64_t remaining = budget;
   for (size_t round = 0; round < options.max_rounds && remaining > 0;
        ++round) {
     // The session's TP state serves double duty: it is this round's
     // planning table AND the previous round's quality report, so the
-    // whole round performs at most one (partial) PSR pass.
-    Result<CleaningProblem> problem =
-        MakeCleaningProblem(session->tp(), profile, remaining);
+    // whole round performs at most one (partial) PSR pass however many
+    // rungs the ladder has.
+    Result<CleaningProblem> problem = MakeCleaningProblem(
+        session->tps(), options.plan_weights, profile, remaining);
     if (!problem.ok()) return problem.status();
     Result<CleaningPlan> plan =
         RunPlanner(options.planner, *problem, rng, options.dp_options);
@@ -44,7 +95,8 @@ Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
     UCLEAN_RETURN_IF_ERROR(session->Refresh());
     remaining -= executed->spent;
     report.total_spent += executed->spent;
-    report.final_quality = session->quality();
+    report.final_quality = AggregateQuality(*session, options.plan_weights);
+    FillPerRung(*session, &report.final_quality_per_k);
 
     AdaptiveRound summary;
     summary.budget_before = remaining + executed->spent;
@@ -52,6 +104,7 @@ Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
     summary.spent = executed->spent;
     summary.successes = executed->successes;
     summary.quality_after = report.final_quality;
+    summary.quality_after_per_k = report.final_quality_per_k;
     report.rounds.push_back(summary);
   }
   report.final_db = std::move(*session).TakeDatabase();

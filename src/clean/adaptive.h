@@ -12,9 +12,16 @@
 // The loop runs on the incremental CleaningSession: the database is
 // mutated in place (no per-round copy or builder round-trip), each round
 // costs at most one partial PSR replay + delta TP pass, and that one
-// refreshed TpOutput feeds both the round's quality report and the next
+// refreshed TP state feeds both the round's quality report and the next
 // round's CleaningProblem. bench_incremental measures the win over the
 // historical copy-rebuild-rescan loop.
+//
+// Multi-k: with AdaptiveOptions::k_ladder the session serves a whole
+// ladder of top-k queries from one shared scan, the planner optimizes a
+// weighted aggregate of the per-rung gain tables (uniform by default, or
+// plan_weights to focus on chosen rungs), and the report carries per-rung
+// quality trajectories. bench_multik measures the win over running one
+// single-k session per rung.
 
 #ifndef UCLEAN_CLEAN_ADAPTIVE_H_
 #define UCLEAN_CLEAN_ADAPTIVE_H_
@@ -27,12 +34,25 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "model/database.h"
+#include "rank/psr.h"
 
 namespace uclean {
 
 /// Options for the adaptive loop.
 struct AdaptiveOptions {
   size_t k = 15;
+
+  /// When non-empty, serve this k-ladder from one shared session instead
+  /// of the single `k` (which is then ignored).
+  std::vector<size_t> k_ladder;
+
+  /// Per-rung planning weights for the aggregated objective
+  /// sum_j w_j S_j(D,Q); empty = uniform. Must match the ladder length
+  /// and bind positionally to the ASCENDING ladder -- a k_ladder that
+  /// needs reordering is rejected when weights are given, so a weight
+  /// never lands on the wrong rung silently.
+  std::vector<double> plan_weights;
+
   PlannerKind planner = PlannerKind::kGreedy;
   DpOptions dp_options;
   size_t max_rounds = 64;
@@ -44,14 +64,25 @@ struct AdaptiveRound {
   double predicted_improvement = 0.0;
   int64_t spent = 0;
   size_t successes = 0;
+  /// Quality of the planning objective (the weighted ladder aggregate;
+  /// the plain quality for single-k runs).
   double quality_after = 0.0;
+  /// Per-rung qualities, ladder order (one entry for single-k runs).
+  std::vector<double> quality_after_per_k;
 };
 
 /// Outcome of an adaptive cleaning session.
 struct AdaptiveReport {
   ProbabilisticDatabase final_db;
+  /// The served ladder (a single rung for single-k runs).
+  std::vector<size_t> ladder;
+  /// Planning-objective qualities (weighted ladder aggregate; the plain
+  /// quality for single-k runs).
   double initial_quality = 0.0;
   double final_quality = 0.0;
+  /// Per-rung qualities, ladder order.
+  std::vector<double> initial_quality_per_k;
+  std::vector<double> final_quality_per_k;
   int64_t total_spent = 0;
   std::vector<AdaptiveRound> rounds;
 };

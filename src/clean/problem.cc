@@ -140,4 +140,58 @@ Result<CleaningProblem> MakeCleaningProblem(const TpOutput& tp,
   return problem;
 }
 
+Result<CleaningProblem> MakeCleaningProblem(const std::vector<TpOutput>& tps,
+                                            const std::vector<double>& weights,
+                                            const CleaningProfile& profile,
+                                            int64_t budget) {
+  if (tps.empty()) {
+    return Status::InvalidArgument("quality ladder must not be empty");
+  }
+  const size_t rungs = tps.size();
+  if (!weights.empty() && weights.size() != rungs) {
+    return Status::InvalidArgument(
+        "plan weights must match the ladder (" +
+        std::to_string(weights.size()) + " weights, " +
+        std::to_string(rungs) + " rungs)");
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0)) {
+      return Status::InvalidArgument("plan weights must be >= 0");
+    }
+    weight_sum += w;
+  }
+  if (!weights.empty() && weight_sum <= 0.0) {
+    return Status::InvalidArgument("plan weights must not all be zero");
+  }
+  const size_t num_xtuples = tps[0].xtuple_gain.size();
+  for (const TpOutput& tp : tps) {
+    if (tp.xtuple_gain.size() != num_xtuples) {
+      return Status::InvalidArgument(
+          "ladder TP states disagree on the x-tuple count");
+    }
+  }
+  UCLEAN_RETURN_IF_ERROR(profile.Validate(num_xtuples));
+  if (budget < 0) return Status::InvalidArgument("budget must be >= 0");
+
+  CleaningProblem problem;
+  problem.gain.assign(num_xtuples, 0.0);
+  problem.topk_mass.assign(num_xtuples, 0.0);
+  for (size_t j = 0; j < rungs; ++j) {
+    const double w =
+        weights.empty() ? 1.0 / static_cast<double>(rungs) : weights[j];
+    for (size_t l = 0; l < num_xtuples; ++l) {
+      problem.gain[l] += w * tps[j].xtuple_gain[l];
+      problem.topk_mass[l] += w * tps[j].xtuple_topk_mass[l];
+    }
+  }
+  for (double& g : problem.gain) {
+    if (g > 0.0) g = 0.0;  // same rounding-residue clamp as the single form
+  }
+  problem.cost = profile.costs;
+  problem.sc_prob = profile.sc_probs;
+  problem.budget = budget;
+  return problem;
+}
+
 }  // namespace uclean

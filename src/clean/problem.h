@@ -100,6 +100,21 @@ Result<CleaningProblem> MakeCleaningProblem(const TpOutput& tp,
                                             const CleaningProfile& profile,
                                             int64_t budget);
 
+/// Ladder form: plans against a weighted aggregate of the per-rung gain
+/// tables of a k-ladder session. With weights w_j >= 0 the aggregated gain
+/// g(l) = sum_j w_j g_j(l) is the expected improvement of the weighted
+/// ladder objective sum_j w_j S_j(D,Q) -- Theorem 2 is linear in the
+/// quality, so the per-x-tuple decomposition survives aggregation and
+/// every planner applies unchanged. Pass empty `weights` for the uniform
+/// mean (each rung weighted 1/L); a single-rung ladder with uniform
+/// weights degenerates to the single-k problem exactly. Fails with
+/// InvalidArgument when `tps` is empty, weights mismatch or are negative,
+/// or all weights are zero.
+Result<CleaningProblem> MakeCleaningProblem(const std::vector<TpOutput>& tps,
+                                            const std::vector<double>& weights,
+                                            const CleaningProfile& profile,
+                                            int64_t budget);
+
 }  // namespace uclean
 
 #endif  // UCLEAN_CLEAN_PROBLEM_H_

@@ -9,18 +9,28 @@ namespace uclean {
 Result<CleaningSession> CleaningSession::Start(ProbabilisticDatabase db,
                                                size_t k,
                                                const Options& options) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  KLadder ladder;
+  ladder.ks = {k};
+  return Start(std::move(db), ladder, options);
+}
+
+Result<CleaningSession> CleaningSession::Start(ProbabilisticDatabase db,
+                                               const KLadder& ladder,
+                                               const Options& options) {
   CleaningSession session;
   session.options_ = options;
   session.db_ = std::move(db);
 
-  Result<PsrEngine> engine = PsrEngine::Create(session.db_, k, options.psr,
-                                               options.checkpoint_interval);
+  Result<PsrEngine> engine = PsrEngine::Create(
+      session.db_, ladder, options.psr, options.checkpoint_interval);
   if (!engine.ok()) return engine.status();
   session.engine_ = std::move(engine).value();
 
-  Result<TpOutput> tp = ComputeTpQuality(session.db_, session.engine_.output());
-  if (!tp.ok()) return tp.status();
-  session.tp_ = std::move(tp).value();
+  Result<std::vector<TpOutput>> tps =
+      ComputeTpQualityLadder(session.db_, session.engine_.outputs());
+  if (!tps.ok()) return tps.status();
+  session.tps_ = std::move(tps).value();
   return session;
 }
 
@@ -56,22 +66,29 @@ Status CleaningSession::Refresh() {
     const size_t old_n = db_.num_tuples();
     std::vector<int32_t> old_to_new = db_.CompactTombstones();
     UCLEAN_RETURN_IF_ERROR(engine_.ApplyCompaction(db_, old_to_new));
-    // Remap the replay boundary and the omega prefix the delta TP pass
-    // reuses (suffix entries are about to be rewritten anyway).
+    // Remap the replay boundary and every rung's omega prefix (the delta
+    // TP pass reuses it; suffix entries are about to be rewritten anyway).
+    // The per-rung TP scan ends equal the engine's pre-replay scan ends,
+    // which ApplyCompaction just remapped -- copy them across.
     size_t new_begin = 0;
-    std::vector<double> omega(db_.num_tuples(), 0.0);
-    for (size_t i = 0; i < old_n; ++i) {
-      if (old_to_new[i] < 0) continue;
-      omega[old_to_new[i]] = tp_.omega[i];
-      if (i < replay_begin) ++new_begin;
+    for (size_t i = 0; i < replay_begin && i < old_n; ++i) {
+      if (old_to_new[i] >= 0) ++new_begin;
     }
-    tp_.omega = std::move(omega);
+    for (size_t rung = 0; rung < tps_.size(); ++rung) {
+      TpOutput& tp = tps_[rung];
+      std::vector<double> omega(db_.num_tuples(), 0.0);
+      for (size_t i = 0; i < old_n; ++i) {
+        if (old_to_new[i] >= 0) omega[old_to_new[i]] = tp.omega[i];
+      }
+      tp.omega = std::move(omega);
+      tp.scan_end = engine_.output(rung).scan_end;
+    }
     replay_begin = new_begin;
   }
 
   UCLEAN_RETURN_IF_ERROR(engine_.Replay(db_, replay_begin));
   UCLEAN_RETURN_IF_ERROR(
-      UpdateTpQuality(db_, engine_.output(), replay_begin, &tp_));
+      UpdateTpQualityLadder(db_, engine_.outputs(), replay_begin, &tps_));
   pending_replay_begin_ = kNoPending;
   return Status::OK();
 }

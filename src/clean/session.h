@@ -1,4 +1,5 @@
-// CleaningSession: the mutable view of a database under adaptive cleaning.
+// CleaningSession: the mutable view of a database under adaptive cleaning,
+// serving one k or a whole ladder of k values from one shared engine.
 //
 // The paper's adaptive loop (Section V-A extension) re-plans after every
 // round of probes. A naive round deep-copies the database, rebuilds it
@@ -9,16 +10,26 @@
 // session therefore owns one database mutated in place
 // (ApplyCleanOutcome, tombstone + lazy compaction), one PsrEngine whose
 // checkpointed scan replays only the suffix below the shallowest change,
-// and one TpOutput brought forward by the delta pass (UpdateTpQuality).
+// and one TpOutput per rung brought forward by the delta pass
+// (UpdateTpQualityLadder).
+//
+// Multi-k: a session started with a KLadder maintains per-rung PSR and TP
+// state from ONE shared scan -- the count-vector recurrence is
+// k-independent, so serving four k's costs barely more than serving the
+// largest alone, where four single-k sessions would each pay their own
+// database copy, engine, scan and quality pass. Per-rung accessors take a
+// rung index into ladder(); the rung-less accessors serve single-k
+// sessions (rung 0).
 //
 // Outcomes are applied eagerly to the database but state refresh is
-// batched: a round of cleans costs one partial PSR replay + one delta TP
-// pass, however many x-tuples were cleaned. Call Refresh() after the
-// round (the psr()/tp()/quality() accessors require a clean state), then
-// read tp() to plan the next round -- MakeCleaningProblem has an overload
-// that consumes it directly, so the adaptive loop runs at most one
+// batched: a round of cleans costs one partial PSR replay + one shared
+// delta TP pass, however many x-tuples were cleaned and however many k's
+// are served. Call Refresh() after the round (the psr()/tp()/quality()
+// accessors require a clean state), then read tp() to plan the next round
+// -- MakeCleaningProblem has overloads that consume one rung or an
+// aggregate over all of them, so the adaptive loop runs at most one
 // (partial) PSR pass per round. All maintained state is bitwise identical
-// to recomputing from scratch on the cleaned database.
+// to recomputing from scratch on the cleaned database at every rung.
 
 #ifndef UCLEAN_CLEAN_SESSION_H_
 #define UCLEAN_CLEAN_SESSION_H_
@@ -26,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
@@ -60,32 +72,54 @@ class CleaningSession {
     return Start(std::move(db), k, Options());
   }
 
+  /// Ladder form: one shared scan serves every rung of `ladder`.
+  static Result<CleaningSession> Start(ProbabilisticDatabase db,
+                                       const KLadder& ladder,
+                                       const Options& options);
+  static Result<CleaningSession> Start(ProbabilisticDatabase db,
+                                       const KLadder& ladder) {
+    return Start(std::move(db), ladder, Options());
+  }
+
   /// The session database. May contain tombstoned slots between rounds;
   /// rank indices are stable until compaction (which only Refresh and
   /// TakeDatabase perform).
   const ProbabilisticDatabase& db() const { return db_; }
 
+  /// The served ladder (a single rung for single-k sessions).
+  const KLadder& ladder() const { return engine_.ladder(); }
+  size_t num_rungs() const { return engine_.num_rungs(); }
+
+  /// The largest served k (the only one for single-k sessions).
   size_t k() const { return engine_.k(); }
 
   /// True when outcomes were applied since the last Refresh.
   bool dirty() const { return pending_replay_begin_ != kNoPending; }
 
-  /// Maintained PSR state. Requires !dirty().
-  const PsrOutput& psr() const {
+  /// Maintained PSR state of rung `rung`. Requires !dirty().
+  const PsrOutput& psr(size_t rung = 0) const {
     UCLEAN_DCHECK(!dirty());
-    return engine_.output();
+    return engine_.output(rung);
   }
 
-  /// Maintained TP quality state. Requires !dirty().
-  const TpOutput& tp() const {
+  /// Maintained TP quality state of rung `rung`. Requires !dirty().
+  const TpOutput& tp(size_t rung = 0) const {
     UCLEAN_DCHECK(!dirty());
-    return tp_;
+    UCLEAN_DCHECK(rung < tps_.size());
+    return tps_[rung];
   }
 
-  /// Current PWS-quality S(D,Q). Requires !dirty().
-  double quality() const {
+  /// All per-rung TP states, ladder order. Requires !dirty().
+  const std::vector<TpOutput>& tps() const {
     UCLEAN_DCHECK(!dirty());
-    return tp_.quality;
+    return tps_;
+  }
+
+  /// Current PWS-quality S(D,Q) at rung `rung`. Requires !dirty().
+  double quality(size_t rung = 0) const {
+    UCLEAN_DCHECK(!dirty());
+    UCLEAN_DCHECK(rung < tps_.size());
+    return tps_[rung].quality;
   }
 
   /// Collapses `xtuple` to the certain outcome `resolved_id` (negative =
@@ -95,7 +129,7 @@ class CleaningSession {
 
   /// Brings PSR + TP state up to date for every outcome applied since the
   /// last Refresh: at most one compaction, one partial PSR replay and one
-  /// delta TP pass. No-op when !dirty().
+  /// shared delta TP pass across all rungs. No-op when !dirty().
   Status Refresh();
 
   /// Compacts and returns the database, ending the session.
@@ -108,7 +142,7 @@ class CleaningSession {
 
   ProbabilisticDatabase db_;
   PsrEngine engine_;
-  TpOutput tp_;
+  std::vector<TpOutput> tps_;  // one per rung, ladder order
   Options options_;
   size_t pending_replay_begin_ = kNoPending;
 };

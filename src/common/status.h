@@ -21,7 +21,8 @@ enum class StatusCode {
   kInvalidArgument = 1,   ///< Caller-supplied input violates a precondition.
   kNotFound = 2,          ///< A referenced entity (tuple, x-tuple) is missing.
   kOutOfRange = 3,        ///< An index/parameter is outside its legal domain.
-  kFailedPrecondition = 4,///< The object is not in a state that allows the call.
+  /// The object is not in a state that allows the call.
+  kFailedPrecondition = 4,
   kResourceExhausted = 5, ///< A configured limit (worlds, budget) was exceeded.
   kInternal = 6,          ///< An invariant inside the library was violated.
   kIOError = 7,           ///< File/stream input or output failed.
@@ -103,7 +104,8 @@ template <typename T>
 class Result {
  public:
   /// Constructs a successful result holding `value`.
-  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
 
   /// Constructs a failed result from a non-ok status.
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -1,6 +1,7 @@
 #include "quality/tp.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/entropy_math.h"
 
@@ -36,66 +37,80 @@ void AccumulateAggregates(const ProbabilisticDatabase& db,
   out->quality = quality;
 }
 
-}  // namespace
-
-Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
-                                  const PsrOutput& psr) {
+/// Shared implementation behind both Compute forms: omega is k-independent
+/// (Eq. 6 never mentions k), so the E/omega recurrence runs once over the
+/// deepest rung's scan range and every rung reuses the values.
+Result<std::vector<TpOutput>> ComputeImpl(const ProbabilisticDatabase& db,
+                                          const PsrOutput* const* psrs,
+                                          size_t rungs) {
   const size_t n = db.num_tuples();
-  if (psr.topk_prob.size() != n) {
-    return Status::InvalidArgument(
-        "PSR output does not match the database (tuple count mismatch)");
+  size_t max_end = 0;
+  for (size_t j = 0; j < rungs; ++j) {
+    if (psrs[j]->topk_prob.size() != n) {
+      return Status::InvalidArgument(
+          "PSR output does not match the database (tuple count mismatch)");
+    }
+    max_end = std::max(max_end, psrs[j]->scan_end);
   }
-  TpOutput out;
-  out.omega.assign(n, 0.0);
-  out.xtuple_gain.assign(db.num_xtuples(), 0.0);
-  out.xtuple_topk_mass.assign(db.num_xtuples(), 0.0);
 
-  // E_run[l] accumulates E_{i,l} (Eq. 9): the mass of tau_l ranked at or
-  // above the scan position.
+  // One pass of the E recurrence (Eq. 9): shared_omega[i] is omega_i for
+  // every rung; rungs differ only in which entries pair with a nonzero p.
+  std::vector<double> shared_omega(max_end, 0.0);
   std::vector<double> e_run(db.num_xtuples(), 0.0);
-
-  for (size_t i = 0; i < psr.scan_end; ++i) {
+  for (size_t i = 0; i < max_end; ++i) {
     if (db.is_tombstone(i)) continue;
     const Tuple& t = db.tuple(i);
-    const double e = t.prob;
-    const double e_at_or_above = e_run[t.xtuple] + e;  // E_{i,x_i}
+    const double e_at_or_above = e_run[t.xtuple] + t.prob;  // E_{i,x_i}
     e_run[t.xtuple] = e_at_or_above;
-
-    if (psr.topk_prob[i] <= 0.0) continue;
-    out.omega[i] = Omega(e, e_at_or_above);
+    shared_omega[i] = Omega(t.prob, e_at_or_above);
   }
-  AccumulateAggregates(db, psr, &out);
-  return out;
+
+  std::vector<TpOutput> outs(rungs);
+  for (size_t j = 0; j < rungs; ++j) {
+    const PsrOutput& psr = *psrs[j];
+    TpOutput& out = outs[j];
+    out.omega.assign(n, 0.0);
+    out.scan_end = psr.scan_end;
+    out.xtuple_gain.assign(db.num_xtuples(), 0.0);
+    out.xtuple_topk_mass.assign(db.num_xtuples(), 0.0);
+    for (size_t i = 0; i < psr.scan_end; ++i) {
+      if (db.is_tombstone(i) || psr.topk_prob[i] <= 0.0) continue;
+      out.omega[i] = shared_omega[i];
+    }
+    AccumulateAggregates(db, psr, &out);
+  }
+  return outs;
 }
 
-Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k) {
-  Result<PsrOutput> psr = ComputePsr(db, k);
-  if (!psr.ok()) return psr.status();
-  return ComputeTpQuality(db, *psr);
-}
-
-Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
-                       size_t replay_begin, TpOutput* tp) {
+/// Shared implementation behind both Update forms: re-derives the omega
+/// suffix once and re-masks/re-accumulates per rung.
+Status UpdateImpl(const ProbabilisticDatabase& db,
+                  const PsrOutput* const* psrs, TpOutput* const* tps,
+                  size_t rungs, size_t replay_begin) {
   const size_t n = db.num_tuples();
-  if (psr.topk_prob.size() != n || tp->omega.size() != n) {
-    return Status::InvalidArgument(
-        "TP/PSR state does not match the database (tuple count mismatch)");
-  }
-  if (tp->xtuple_gain.size() != db.num_xtuples()) {
-    return Status::InvalidArgument(
-        "TP state does not match the database (x-tuple count mismatch)");
+  size_t max_end = replay_begin;
+  for (size_t j = 0; j < rungs; ++j) {
+    if (psrs[j]->topk_prob.size() != n || tps[j]->omega.size() != n) {
+      return Status::InvalidArgument(
+          "TP/PSR state does not match the database (tuple count mismatch)");
+    }
+    if (tps[j]->xtuple_gain.size() != db.num_xtuples()) {
+      return Status::InvalidArgument(
+          "TP state does not match the database (x-tuple count mismatch)");
+    }
+    max_end = std::max({max_end, psrs[j]->scan_end, tps[j]->scan_end});
   }
 
-  // Recompute the per-tuple omega suffix. E_run for an x-tuple first seen
+  // Recompute the shared omega suffix. E_run for an x-tuple first seen
   // inside the suffix is seeded from its members ranked above the
   // boundary: those are untouched by any clean with first_changed_rank >=
   // replay_begin, and xtuple_members() lists them best rank first, so the
   // seed accumulates the exact additions the full pass performed.
+  std::vector<double> shared_omega(max_end, 0.0);
   std::vector<double> e_run(db.num_xtuples(), 0.0);
   std::vector<uint8_t> seeded(db.num_xtuples(), 0);
-  for (size_t i = replay_begin; i < n; ++i) {
-    tp->omega[i] = 0.0;
-    if (i >= psr.scan_end || db.is_tombstone(i)) continue;
+  for (size_t i = replay_begin; i < max_end; ++i) {
+    if (db.is_tombstone(i)) continue;
     const Tuple& t = db.tuple(i);
     if (!seeded[t.xtuple]) {
       seeded[t.xtuple] = 1;
@@ -106,15 +121,81 @@ Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
       }
       e_run[t.xtuple] = above;
     }
-    const double e = t.prob;
-    const double e_at_or_above = e_run[t.xtuple] + e;
+    const double e_at_or_above = e_run[t.xtuple] + t.prob;
     e_run[t.xtuple] = e_at_or_above;
-
-    if (psr.topk_prob[i] <= 0.0) continue;
-    tp->omega[i] = Omega(e, e_at_or_above);
+    shared_omega[i] = Omega(t.prob, e_at_or_above);
   }
-  AccumulateAggregates(db, psr, tp);
+
+  for (size_t j = 0; j < rungs; ++j) {
+    const PsrOutput& psr = *psrs[j];
+    TpOutput* tp = tps[j];
+    // Every stored omega lives below the scan end it was computed under,
+    // and a replay only rewrites [replay_begin, psr.scan_end), so work is
+    // bounded by the deeper of the two ends. A rung whose scans never
+    // reach the boundary is untouched (the clean cannot affect it).
+    const size_t end = std::max(tp->scan_end, psr.scan_end);
+    if (end <= replay_begin) continue;  // omega and scan_end stay valid
+    std::fill(tp->omega.begin() + replay_begin, tp->omega.begin() + end, 0.0);
+    for (size_t i = replay_begin; i < psr.scan_end; ++i) {
+      if (db.is_tombstone(i) || psr.topk_prob[i] <= 0.0) continue;
+      tp->omega[i] = shared_omega[i];
+    }
+    tp->scan_end = psr.scan_end;
+    AccumulateAggregates(db, psr, tp);
+  }
   return Status::OK();
+}
+
+}  // namespace
+
+Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
+                                  const PsrOutput& psr) {
+  const PsrOutput* ptr = &psr;
+  Result<std::vector<TpOutput>> outs = ComputeImpl(db, &ptr, 1);
+  if (!outs.ok()) return outs.status();
+  return std::move((*outs)[0]);
+}
+
+Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k) {
+  Result<PsrOutput> psr = ComputePsr(db, k);
+  if (!psr.ok()) return psr.status();
+  return ComputeTpQuality(db, *psr);
+}
+
+Result<std::vector<TpOutput>> ComputeTpQualityLadder(
+    const ProbabilisticDatabase& db, const std::vector<PsrOutput>& psrs) {
+  if (psrs.empty()) {
+    return Status::InvalidArgument("quality ladder must not be empty");
+  }
+  std::vector<const PsrOutput*> ptrs;
+  ptrs.reserve(psrs.size());
+  for (const PsrOutput& psr : psrs) ptrs.push_back(&psr);
+  return ComputeImpl(db, ptrs.data(), ptrs.size());
+}
+
+Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
+                       size_t replay_begin, TpOutput* tp) {
+  const PsrOutput* psr_ptr = &psr;
+  return UpdateImpl(db, &psr_ptr, &tp, 1, replay_begin);
+}
+
+Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
+                             const std::vector<PsrOutput>& psrs,
+                             size_t replay_begin, std::vector<TpOutput>* tps) {
+  if (psrs.size() != tps->size() || psrs.empty()) {
+    return Status::InvalidArgument(
+        "PSR and TP ladders must be non-empty and the same length");
+  }
+  std::vector<const PsrOutput*> psr_ptrs;
+  std::vector<TpOutput*> tp_ptrs;
+  psr_ptrs.reserve(psrs.size());
+  tp_ptrs.reserve(psrs.size());
+  for (size_t j = 0; j < psrs.size(); ++j) {
+    psr_ptrs.push_back(&psrs[j]);
+    tp_ptrs.push_back(&(*tps)[j]);
+  }
+  return UpdateImpl(db, psr_ptrs.data(), tp_ptrs.data(), psrs.size(),
+                    replay_begin);
 }
 
 }  // namespace uclean

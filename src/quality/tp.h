@@ -14,6 +14,13 @@
 // computation-sharing effect Figure 5 measures. Tuples at or after the PSR
 // scan's Lemma-2 stop point have p_i = 0 and contribute nothing.
 //
+// Multi-k sharing: omega_i is k-INDEPENDENT -- only the top-k
+// probabilities p_i it is paired with depend on k. The ladder forms below
+// therefore run the E/omega recurrence once and reuse the values for
+// every rung of a k-ladder served by one shared PSR scan
+// (ComputePsrLadder / the ladder PsrEngine), so quality for a whole
+// ladder costs one omega pass plus a cheap per-rung accumulation.
+//
 // TP also exposes the per-x-tuple aggregates g(l,D) = sum_{t_i in tau_l}
 // omega_i p_i: the quality score is sum_l g(l,D), and -g(l,D) is exactly the
 // expected quality improvement of cleaning tau_l with certainty (Theorem 2),
@@ -38,6 +45,10 @@ struct TpOutput {
   /// omega_i per rank index (zero beyond the PSR scan end).
   std::vector<double> omega;
 
+  /// The PSR scan end the omegas were computed under: every entry at or
+  /// past it is zero, which lets the delta pass bound its suffix work.
+  size_t scan_end = 0;
+
   /// g(l,D) per x-tuple: its summed omega_i * p_i contribution (always
   /// <= 0 up to rounding; sums to `quality`).
   std::vector<double> xtuple_gain;
@@ -56,21 +67,39 @@ Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
 /// Convenience: runs PSR (with default options) and TP in sequence.
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k);
 
+/// Ladder form: one TpOutput per rung of a shared PSR scan over `db`
+/// (ComputePsrLadder / PsrEngine ladder outputs, ascending k). The
+/// k-independent omega recurrence runs ONCE for the deepest rung's scan
+/// range; each rung then pairs the shared omegas with its own top-k
+/// probabilities. Results are identical to calling ComputeTpQuality per
+/// rung.
+Result<std::vector<TpOutput>> ComputeTpQualityLadder(
+    const ProbabilisticDatabase& db, const std::vector<PsrOutput>& psrs);
+
 /// Delta overload for incremental cleaning sessions: brings `tp`
 /// (previously computed for `db` + the engine's PSR state) up to date
 /// after clean outcomes whose PSR replay started at rank `replay_begin`.
 /// The omega prefix [0, replay_begin) is reused as-is -- a clean never
 /// touches tuples ranked above the collapsed x-tuple's best member -- and
-/// only the suffix is recomputed: each touched x-tuple's at-or-above mass
-/// E is re-seeded from its (unchanged) members above the boundary and
-/// advanced across the suffix exactly as the full pass would. The
-/// per-x-tuple aggregates and the quality sum are then re-accumulated in
-/// scan order from the stored per-tuple state, so the result is bitwise
-/// identical to ComputeTpQuality(db, psr) at a fraction of the cost.
+/// only the suffix up to the deeper of the old and new scan ends is
+/// recomputed: each touched x-tuple's at-or-above mass E is re-seeded
+/// from its (unchanged) members above the boundary and advanced across
+/// the suffix exactly as the full pass would. The per-x-tuple aggregates
+/// and the quality sum are then re-accumulated in scan order from the
+/// stored per-tuple state, so the result is bitwise identical to
+/// ComputeTpQuality(db, psr) at a fraction of the cost.
 ///
 /// `psr` must be the engine state already replayed for the same outcomes.
 Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
                        size_t replay_begin, TpOutput* tp);
+
+/// Ladder form of the delta pass: updates one TpOutput per rung after a
+/// shared-engine replay, running the omega suffix recurrence once for all
+/// rungs. Rungs whose scan never reaches the replay boundary are
+/// untouched (a clean below a rung's stop point cannot change it).
+Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
+                             const std::vector<PsrOutput>& psrs,
+                             size_t replay_begin, std::vector<TpOutput>* tps);
 
 }  // namespace uclean
 

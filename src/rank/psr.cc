@@ -1,43 +1,113 @@
 #include "rank/psr.h"
 
+#include <algorithm>
+
+#include "common/strings.h"
 #include "rank/psr_scan_core.h"
 
 namespace uclean {
 
-// The per-tuple arithmetic (exclusion build, emission, advance) and its
-// numerical-stability notes live in psr_scan_core.h, shared with the
-// incremental PsrEngine so the two always agree bitwise.
+// The per-tuple arithmetic (exclusion build, ladder emission, advance) and
+// its numerical-stability notes live in psr_scan_core.h, shared with the
+// incremental PsrEngine so all drivers always agree bitwise.
+
+Result<KLadder> KLadder::Of(std::vector<size_t> ks) {
+  if (ks.empty()) {
+    return Status::InvalidArgument("k-ladder must not be empty");
+  }
+  std::sort(ks.begin(), ks.end());
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+  if (ks.front() == 0) {
+    return Status::InvalidArgument("every k in a ladder must be positive");
+  }
+  KLadder ladder;
+  ladder.ks = std::move(ks);
+  return ladder;
+}
+
+Status KLadder::Validate() const {
+  if (ks.empty() || ks.front() == 0 || !std::is_sorted(ks.begin(), ks.end()) ||
+      std::adjacent_find(ks.begin(), ks.end()) != ks.end()) {
+    return Status::InvalidArgument(
+        "k-ladder must be non-empty, strictly ascending and positive "
+        "(build it with KLadder::Of)");
+  }
+  return Status::OK();
+}
+
+size_t KLadder::IndexOf(size_t k) const {
+  const auto it = std::lower_bound(ks.begin(), ks.end(), k);
+  if (it == ks.end() || *it != k) return npos;
+  return static_cast<size_t>(it - ks.begin());
+}
+
+std::string KLadder::ToString() const {
+  std::string out = "{";
+  for (size_t j = 0; j < ks.size(); ++j) {
+    if (j > 0) out += ", ";
+    out += std::to_string(ks[j]);
+  }
+  return out + "}";
+}
+
+namespace psr_internal {
+
+void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
+                       const PsrOptions& options,
+                       std::vector<PsrOutput>* outputs) {
+  const size_t n = db.num_tuples();
+  outputs->clear();
+  outputs->resize(ladder.size());
+  for (size_t j = 0; j < ladder.size(); ++j) {
+    PsrOutput& out = (*outputs)[j];
+    out.k = ladder[j];
+    out.topk_prob.assign(n, 0.0);
+    out.best_rank_prob.assign(out.k, 0.0);
+    out.best_rank_index.assign(out.k, -1);
+    if (options.store_rank_probabilities) {
+      out.rank_prob.assign(n * out.k, 0.0);
+      out.has_rank_probabilities = true;
+    }
+  }
+}
+
+}  // namespace psr_internal
+
+Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
+                                                const KLadder& ladder,
+                                                const PsrOptions& options) {
+  UCLEAN_RETURN_IF_ERROR(ladder.Validate());
+
+  std::vector<PsrOutput> outputs;
+  psr_internal::InitLadderOutputs(db, ladder, options, &outputs);
+  std::vector<PsrOutput*> outs;
+  outs.reserve(outputs.size());
+  for (PsrOutput& out : outputs) outs.push_back(&out);
+
+  psr_internal::ScanCore core;
+  core.Init(db.num_xtuples());
+  size_t first_active = 0;
+  psr_internal::RunLadderScan(db, 0, options.early_termination, core, outs,
+                              first_active, /*track_best=*/true,
+                              [](size_t) {});
+  for (PsrOutput& out : outputs) {
+    out.num_nonzero = 0;
+    for (double p : out.topk_prob) {
+      if (p > 0.0) ++out.num_nonzero;
+    }
+  }
+  return outputs;
+}
 
 Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
                              const PsrOptions& options) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
-
-  const size_t n = db.num_tuples();
-
-  PsrOutput out;
-  out.k = k;
-  out.topk_prob.assign(n, 0.0);
-  out.best_rank_prob.assign(k, 0.0);
-  out.best_rank_index.assign(k, -1);
-  if (options.store_rank_probabilities) {
-    out.rank_prob.assign(n * k, 0.0);
-    out.has_rank_probabilities = true;
-  }
-
-  psr_internal::ScanCore core;
-  core.Init(db.num_xtuples(), k);
-
-  size_t i = 0;
-  for (; i < n; ++i) {
-    if (options.early_termination && core.ShouldStop()) break;
-    if (db.is_tombstone(i)) continue;  // cleaning-session garbage slot
-    core.Step(db.tuple(i), i, &out, /*track_best=*/true);
-  }
-  out.scan_end = i;
-  for (double p : out.topk_prob) {
-    if (p > 0.0) ++out.num_nonzero;
-  }
-  return out;
+  KLadder ladder;
+  ladder.ks = {k};
+  Result<std::vector<PsrOutput>> outputs =
+      ComputePsrLadder(db, ladder, options);
+  if (!outputs.ok()) return outputs.status();
+  return std::move((*outputs)[0]);
 }
 
 }  // namespace uclean

@@ -47,6 +47,7 @@
 #define UCLEAN_RANK_PSR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -54,6 +55,36 @@
 #include "model/database.h"
 
 namespace uclean {
+
+/// An ascending ladder of k values served by one shared PSR scan. The
+/// count-vector recurrence of the scan is k-independent until emission, so
+/// a whole ladder of top-k queries (Figure 5's sharing effect, taken
+/// across k) costs one pass: the per-rank probabilities rho_i(h) are
+/// computed once and each rung reads its own prefix sum.
+struct KLadder {
+  /// Strictly ascending, all >= 1. Use Of() to build from arbitrary input.
+  std::vector<size_t> ks;
+
+  /// Validates, sorts and dedups `ks`. Fails with InvalidArgument when the
+  /// list is empty or contains a zero.
+  static Result<KLadder> Of(std::vector<size_t> ks);
+
+  /// Checks the invariant every consumer relies on (non-empty, strictly
+  /// ascending, positive) -- holds by construction for ladders built with
+  /// Of(), but hand-assembled ones go through the scan drivers too.
+  Status Validate() const;
+
+  size_t size() const { return ks.size(); }
+  size_t max_k() const { return ks.back(); }
+  size_t operator[](size_t i) const { return ks[i]; }
+
+  /// Index of `k` in the ladder, or npos when absent.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(size_t k) const;
+
+  /// "{5, 10, 25, 50}".
+  std::string ToString() const;
+};
 
 /// Tuning knobs for the PSR scan.
 struct PsrOptions {
@@ -108,6 +139,15 @@ struct PsrOutput {
 /// Fails with InvalidArgument when k == 0.
 Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
                              const PsrOptions& options = {});
+
+/// Runs ONE shared PSR scan serving every rung of `ladder`: output j holds
+/// the complete PsrOutput for k = ladder[j], identical (to rounding) to an
+/// independent ComputePsr(db, ladder[j], options) run, at roughly the cost
+/// of the largest rung alone -- the count-vector work is shared and each
+/// rung stops emitting at its own Lemma-2 point.
+Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
+                                                const KLadder& ladder,
+                                                const PsrOptions& options = {});
 
 }  // namespace uclean
 

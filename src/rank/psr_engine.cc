@@ -10,6 +10,16 @@ Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db, size_t k,
                                     const PsrOptions& options,
                                     size_t checkpoint_interval) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  KLadder ladder;
+  ladder.ks = {k};
+  return Create(db, ladder, options, checkpoint_interval);
+}
+
+Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
+                                    const KLadder& ladder,
+                                    const PsrOptions& options,
+                                    size_t checkpoint_interval) {
+  UCLEAN_RETURN_IF_ERROR(ladder.Validate());
   if (checkpoint_interval == 0) {
     return Status::InvalidArgument("checkpoint interval must be positive");
   }
@@ -17,15 +27,9 @@ Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db, size_t k,
   PsrEngine engine;
   engine.options_ = options;
   engine.checkpoint_interval_ = checkpoint_interval;
-  engine.out_.k = k;
-  engine.out_.topk_prob.assign(db.num_tuples(), 0.0);
-  engine.out_.best_rank_prob.assign(k, 0.0);
-  engine.out_.best_rank_index.assign(k, -1);
-  if (options.store_rank_probabilities) {
-    engine.out_.rank_prob.assign(db.num_tuples() * k, 0.0);
-    engine.out_.has_rank_probabilities = true;
-  }
-  engine.core_.Init(db.num_xtuples(), k);
+  engine.ladder_ = ladder;
+  psr_internal::InitLadderOutputs(db, ladder, options, &engine.outputs_);
+  engine.core_.Init(db.num_xtuples());
   engine.RunScan(db, 0);
   return engine;
 }
@@ -36,7 +40,10 @@ void PsrEngine::TakeCheckpoint(size_t pos) {
     // and double the interval, bounding memory while preserving coverage.
     size_t kept = 0;
     for (size_t j = 0; j < checkpoints_.size(); j += 2) {
-      checkpoints_[kept++] = std::move(checkpoints_[j]);
+      // Guard the j == kept case: self-move-assignment empties the kept
+      // checkpoint's vectors (corrupting the always-retained rank-0 one).
+      if (kept != j) checkpoints_[kept] = std::move(checkpoints_[j]);
+      ++kept;
     }
     checkpoints_.resize(kept);
     checkpoint_interval_ *= 2;
@@ -67,11 +74,40 @@ void PsrEngine::RestoreCheckpoint(const Checkpoint& cp) {
 }
 
 void PsrEngine::RunScan(const ProbabilisticDatabase& db, size_t begin) {
-  const size_t n = db.num_tuples();
-  const size_t k = out_.k;
-  std::fill(out_.topk_prob.begin() + begin, out_.topk_prob.end(), 0.0);
-  if (out_.has_rank_probabilities) {
-    std::fill(out_.rank_prob.begin() + begin * k, out_.rank_prob.end(), 0.0);
+  // A rung whose scan already stopped at or before `begin` cannot be
+  // affected: its output beyond scan_end is identically zero and the state
+  // that produced its stop decision is prefix-only. Everything deeper
+  // re-emits (scan_end is ascending in k, so the replaying rungs are a
+  // suffix of the ladder).
+  size_t first_active = 0;
+  if (begin > 0) {
+    while (first_active < outputs_.size() &&
+           outputs_[first_active].scan_end <= begin) {
+      ++first_active;
+    }
+  }
+  std::vector<PsrOutput*> outs;
+  outs.reserve(outputs_.size());
+  for (PsrOutput& out : outputs_) outs.push_back(&out);
+  for (size_t j = first_active; j < outputs_.size(); ++j) {
+    PsrOutput& out = outputs_[j];
+    // Everything at or past the rung's previous scan end is already zero
+    // (scans only ever write below their stop point), so the wipe is
+    // bounded by the old scanned range, not the database size.
+    const size_t wipe_end = std::max(begin, out.scan_end);
+    std::fill(out.topk_prob.begin() + begin,
+              out.topk_prob.begin() + wipe_end, 0.0);
+    if (out.has_rank_probabilities) {
+      std::fill(out.rank_prob.begin() + begin * out.k,
+                out.rank_prob.begin() + wipe_end * out.k, 0.0);
+    }
+    if (begin == 0) {
+      // A from-rank-0 scan re-runs the argmax trackers; clear the maxima a
+      // previous scan left behind (a replay of the whole range restores
+      // the rank-0 checkpoint but reuses the output buffers).
+      std::fill(out.best_rank_prob.begin(), out.best_rank_prob.end(), 0.0);
+      std::fill(out.best_rank_index.begin(), out.best_rank_index.end(), -1);
+    }
   }
   if (begin == 0) {
     checkpoints_.clear();
@@ -82,47 +118,51 @@ void PsrEngine::RunScan(const ProbabilisticDatabase& db, size_t begin) {
   // replay rebuilds them from the stored matrix in FinalizeAggregates.
   const bool track_best = begin == 0;
   size_t since_checkpoint = 0;
-  size_t i = begin;
-  for (; i < n; ++i) {
-    if (options_.early_termination && core_.ShouldStop()) break;
-    if (db.is_tombstone(i)) continue;
-    if (since_checkpoint >= checkpoint_interval_) {
-      TakeCheckpoint(i);
-      since_checkpoint = 0;
-    }
-    core_.Step(db.tuple(i), i, &out_, track_best);
-    ++since_checkpoint;
-  }
-  out_.scan_end = i;
-  FinalizeAggregates(db, begin == 0);
+  psr_internal::RunLadderScan(
+      db, begin, options_.early_termination, core_, outs, first_active,
+      track_best, [this, &since_checkpoint](size_t i) {
+        if (since_checkpoint >= checkpoint_interval_) {
+          TakeCheckpoint(i);
+          since_checkpoint = 0;
+        }
+        ++since_checkpoint;
+      });
+  FinalizeAggregates(db, begin, begin == 0);
 }
 
 void PsrEngine::FinalizeAggregates(const ProbabilisticDatabase& db,
-                                   bool from_rank_0) {
-  out_.num_nonzero = 0;
-  for (double p : out_.topk_prob) {
-    if (p > 0.0) ++out_.num_nonzero;
-  }
-  const size_t k = out_.k;
-  if (!out_.has_rank_probabilities) {
-    if (!from_rank_0) {
-      // Tracked argmaxes are stale and the matrix is off: reset to the
-      // empty answer rather than serve wrong ones (see header).
-      std::fill(out_.best_rank_prob.begin(), out_.best_rank_prob.end(), 0.0);
-      std::fill(out_.best_rank_index.begin(), out_.best_rank_index.end(), -1);
+                                   size_t begin, bool from_rank_0) {
+  for (size_t j = 0; j < outputs_.size(); ++j) {
+    PsrOutput& out = outputs_[j];
+    // Untouched rungs (stopped at or before the replay boundary) keep
+    // every aggregate; recounting them would be wasted work.
+    if (!from_rank_0 && out.scan_end <= begin) continue;
+    out.num_nonzero = 0;
+    for (size_t i = 0; i < out.scan_end; ++i) {  // zero past the stop point
+      if (out.topk_prob[i] > 0.0) ++out.num_nonzero;
     }
-    return;
-  }
-  std::fill(out_.best_rank_prob.begin(), out_.best_rank_prob.end(), 0.0);
-  std::fill(out_.best_rank_index.begin(), out_.best_rank_index.end(), -1);
-  for (size_t i = 0; i < out_.scan_end; ++i) {
-    const Tuple& t = db.tuple(i);
-    if (t.is_null || db.is_tombstone(i)) continue;
-    for (size_t h = 0; h < k; ++h) {
-      const double rho = out_.rank_prob[i * k + h];
-      if (rho > out_.best_rank_prob[h]) {
-        out_.best_rank_prob[h] = rho;
-        out_.best_rank_index[h] = static_cast<int32_t>(i);
+    const size_t k = out.k;
+    if (!out.has_rank_probabilities) {
+      if (!from_rank_0) {
+        // Tracked argmaxes are stale and the matrix is off: reset to the
+        // empty answer rather than serve wrong ones (see header).
+        std::fill(out.best_rank_prob.begin(), out.best_rank_prob.end(), 0.0);
+        std::fill(out.best_rank_index.begin(), out.best_rank_index.end(), -1);
+      }
+      continue;
+    }
+    if (from_rank_0) continue;  // running argmaxes are exact for full scans
+    std::fill(out.best_rank_prob.begin(), out.best_rank_prob.end(), 0.0);
+    std::fill(out.best_rank_index.begin(), out.best_rank_index.end(), -1);
+    for (size_t i = 0; i < out.scan_end; ++i) {
+      const Tuple& t = db.tuple(i);
+      if (t.is_null || db.is_tombstone(i)) continue;
+      for (size_t h = 0; h < k; ++h) {
+        const double rho = out.rank_prob[i * k + h];
+        if (rho > out.best_rank_prob[h]) {
+          out.best_rank_prob[h] = rho;
+          out.best_rank_index[h] = static_cast<int32_t>(i);
+        }
       }
     }
   }
@@ -137,7 +177,7 @@ void PsrEngine::InvalidateBelow(size_t first_changed_rank) {
 
 Status PsrEngine::Replay(const ProbabilisticDatabase& db,
                          size_t first_changed_rank) {
-  if (out_.topk_prob.size() != db.num_tuples()) {
+  if (outputs_.front().topk_prob.size() != db.num_tuples()) {
     return Status::FailedPrecondition(
         "PsrEngine state does not match the database (was the engine "
         "created from it, and ApplyCompaction called after compaction?)");
@@ -160,12 +200,11 @@ Status PsrEngine::ApplyCompaction(const ProbabilisticDatabase& db,
                                   const std::vector<int32_t>& old_to_new) {
   if (old_to_new.empty()) return Status::OK();  // compaction was a no-op
   const size_t old_n = old_to_new.size();
-  if (out_.topk_prob.size() != old_n) {
+  if (outputs_.front().topk_prob.size() != old_n) {
     return Status::FailedPrecondition(
         "compaction map does not match the engine's tuple count");
   }
   const size_t new_n = db.num_tuples();
-  const size_t k = out_.k;
 
   // new_pos[p] = number of surviving slots before old position p; the new
   // index of a surviving slot, and the natural remap for scan positions
@@ -176,25 +215,28 @@ Status PsrEngine::ApplyCompaction(const ProbabilisticDatabase& db,
   }
   UCLEAN_DCHECK(new_pos[old_n] == new_n);
 
-  std::vector<double> topk(new_n, 0.0);
-  for (size_t i = 0; i < old_n; ++i) {
-    if (old_to_new[i] >= 0) topk[old_to_new[i]] = out_.topk_prob[i];
-  }
-  out_.topk_prob = std::move(topk);
-  if (out_.has_rank_probabilities) {
-    std::vector<double> matrix(new_n * k, 0.0);
+  for (PsrOutput& out : outputs_) {
+    const size_t k = out.k;
+    std::vector<double> topk(new_n, 0.0);
     for (size_t i = 0; i < old_n; ++i) {
-      if (old_to_new[i] < 0) continue;
-      std::copy(out_.rank_prob.begin() + i * k,
-                out_.rank_prob.begin() + (i + 1) * k,
-                matrix.begin() + static_cast<size_t>(old_to_new[i]) * k);
+      if (old_to_new[i] >= 0) topk[old_to_new[i]] = out.topk_prob[i];
     }
-    out_.rank_prob = std::move(matrix);
+    out.topk_prob = std::move(topk);
+    if (out.has_rank_probabilities) {
+      std::vector<double> matrix(new_n * k, 0.0);
+      for (size_t i = 0; i < old_n; ++i) {
+        if (old_to_new[i] < 0) continue;
+        std::copy(out.rank_prob.begin() + i * k,
+                  out.rank_prob.begin() + (i + 1) * k,
+                  matrix.begin() + static_cast<size_t>(old_to_new[i]) * k);
+      }
+      out.rank_prob = std::move(matrix);
+    }
+    for (int32_t& idx : out.best_rank_index) {
+      if (idx >= 0) idx = old_to_new[idx];  // may go stale (-1); Replay fixes
+    }
+    out.scan_end = new_pos[std::min(out.scan_end, old_n)];
   }
-  for (int32_t& idx : out_.best_rank_index) {
-    if (idx >= 0) idx = old_to_new[idx];  // may go stale (-1); Replay fixes
-  }
-  out_.scan_end = new_pos[std::min(out_.scan_end, old_n)];
   for (Checkpoint& cp : checkpoints_) {
     cp.pos = new_pos[std::min(cp.pos, old_n)];
   }

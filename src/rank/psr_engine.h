@@ -1,4 +1,5 @@
-// PsrEngine: incrementally maintained PSR state for cleaning sessions.
+// PsrEngine: incrementally maintained PSR state for cleaning sessions,
+// serving a whole ladder of k values from one shared scan.
 //
 // A successful pclean collapses one x-tuple to a certain tuple and leaves
 // every other tuple's rank unchanged (ProbabilisticDatabase::
@@ -6,14 +7,24 @@
 // psr_scan_core.h checkpointed at intervals along the rank order; applying
 // a clean restores the last checkpoint at or before the first changed rank
 // and replays only the suffix of the scan, so a round of cleans costs
-// O(m + suffix * (k + T)) instead of a full database rebuild plus an O(kn)
-// rescan. Replayed results are bitwise identical to running ComputePsr
-// from scratch over the same (tombstoned) database: the restored state is
-// the exact state a fresh scan reaches at the checkpoint (the prefix is
-// untouched by the clean), and the suffix executes the same arithmetic.
+// O(m + suffix * (k_max + T)) instead of a full database rebuild plus an
+// O(k n) rescan per served k. Replayed results are bitwise identical to
+// running ComputePsr from scratch for each rung over the same
+// (tombstoned) database: the restored state is the exact state a fresh
+// scan reaches at the checkpoint (the prefix is untouched by the clean),
+// and the suffix executes the same arithmetic.
+//
+// Multi-k: the scan state (count vector, per-x-tuple masses) is
+// k-independent, so ONE checkpoint set serves every rung; only the
+// emission cursors differ per k. Each rung stops at its own Lemma-2
+// point (scan_end is ascending in k), and a replay is suffix-only PER
+// RUNG: rungs whose scan already stopped at or before the replay
+// boundary are left untouched -- a clean below a rung's stop point
+// cannot change its output -- while deeper rungs re-emit only their own
+// reachable suffix.
 //
 // Aggregate caveats after a replay:
-//  * num_nonzero and scan_end are always maintained.
+//  * num_nonzero and scan_end are always maintained, per rung.
 //  * best_rank_prob / best_rank_index are running argmaxes over the whole
 //    scan; after a replay they are recomputed from the stored rank matrix
 //    when PsrOptions::store_rank_probabilities is set, and reset to the
@@ -54,16 +65,39 @@ class PsrEngine {
       const PsrOptions& options = {},
       size_t checkpoint_interval = kInitialCheckpointInterval);
 
-  /// The maintained PSR state (valid after Create and after every Replay).
-  const PsrOutput& output() const { return out_; }
+  /// Ladder form: one shared scan maintains a complete PsrOutput per rung
+  /// of `ladder` (ascending k). Fails with InvalidArgument when the ladder
+  /// is not strictly ascending and positive or the interval is 0.
+  static Result<PsrEngine> Create(
+      const ProbabilisticDatabase& db, const KLadder& ladder,
+      const PsrOptions& options = {},
+      size_t checkpoint_interval = kInitialCheckpointInterval);
 
-  size_t k() const { return out_.k; }
+  /// The ladder this engine serves (ascending).
+  const KLadder& ladder() const { return ladder_; }
+  size_t num_rungs() const { return outputs_.size(); }
+
+  /// The maintained PSR state of rung `rung` (valid after Create and after
+  /// every Replay).
+  const PsrOutput& output(size_t rung) const {
+    UCLEAN_DCHECK(rung < outputs_.size());
+    return outputs_[rung];
+  }
+  const std::vector<PsrOutput>& outputs() const { return outputs_; }
+
+  /// Single-k convenience: the first rung (the only one for engines built
+  /// through the single-k Create).
+  const PsrOutput& output() const { return outputs_.front(); }
+
+  /// The largest served k (the only one for single-k engines).
+  size_t k() const { return ladder_.max_k(); }
 
   /// Re-derives the PSR state after one or more ApplyCleanOutcome calls on
   /// `db`. `first_changed_rank` is the minimum CleanOutcomeDelta::
   /// first_changed_rank over the batch; pass num_tuples() for a batch of
   /// no-ops (the call is then free). Only the scan suffix from the last
-  /// checkpoint at or before that rank is replayed.
+  /// checkpoint at or before that rank is replayed, and only for the rungs
+  /// whose own scan reaches past it.
   Status Replay(const ProbabilisticDatabase& db, size_t first_changed_rank);
 
   /// Drops the checkpoints invalidated by cleans whose shallowest change
@@ -87,7 +121,8 @@ class PsrEngine {
   static constexpr size_t kMaxCheckpoints = 160;
 
  private:
-  /// Scan state snapshot taken just before processing rank `pos`.
+  /// Scan state snapshot taken just before processing rank `pos`. The
+  /// snapshot is k-independent, so one checkpoint set serves every rung.
   struct Checkpoint {
     size_t pos = 0;
     std::vector<double> c;
@@ -105,15 +140,18 @@ class PsrEngine {
   void RestoreCheckpoint(const Checkpoint& cp);
 
   /// Zeroes output from `begin` on and runs the scan loop to its stop
-  /// point, taking fresh checkpoints along the way.
+  /// point, taking fresh checkpoints along the way. Rungs whose scan had
+  /// already stopped at or before `begin` are left untouched.
   void RunScan(const ProbabilisticDatabase& db, size_t begin);
 
   /// Recomputes num_nonzero and (from the matrix, when stored) the
-  /// per-rank argmaxes after a scan.
-  void FinalizeAggregates(const ProbabilisticDatabase& db, bool from_rank_0);
+  /// per-rank argmaxes after a scan, for every rung that re-emitted.
+  void FinalizeAggregates(const ProbabilisticDatabase& db, size_t begin,
+                          bool from_rank_0);
 
   PsrOptions options_;
-  PsrOutput out_;
+  KLadder ladder_;
+  std::vector<PsrOutput> outputs_;  // one per rung, ascending k
   psr_internal::ScanCore core_;
   std::vector<Checkpoint> checkpoints_;
   size_t checkpoint_interval_ = kInitialCheckpointInterval;

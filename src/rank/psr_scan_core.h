@@ -1,15 +1,31 @@
-// Internal Poisson-binomial scan core shared by the one-shot ComputePsr and
-// the incremental PsrEngine. Both drivers run the exact same per-tuple
-// arithmetic through this state machine, which is what makes the engine's
-// checkpoint/replay results bitwise indistinguishable from a from-scratch
-// scan over the same database.
+// Internal Poisson-binomial scan core shared by the one-shot ComputePsr /
+// ComputePsrLadder and the incremental PsrEngine. All drivers run the exact
+// same per-tuple arithmetic through this state machine, which is what makes
+// the engine's checkpoint/replay results bitwise indistinguishable from a
+// from-scratch scan over the same database.
+//
+// Multi-k design.
+//
+// The count-vector recurrence is k-independent: the distribution of "how
+// many x-tuples contribute a tuple ranked above the current position"
+// evolves identically for every k, and only the emission (summing the
+// first k entries of the exclusion view) and the Lemma-2 stop rule depend
+// on k. The core therefore exposes the per-tuple work in three stages --
+// BuildExclusion (k-independent, O(T) divide-out), EmitLadder (per-k
+// emission from the shared exclusion view), Advance (k-independent, O(T)
+// multiply-in) -- so one scan can serve an ascending ladder of k values:
+// the expensive divide-out/multiply-in pair runs once per tuple however
+// many k's are served, and the per-rank probabilities rho_i(h) are shared
+// verbatim across every rung with k >= h. Because the head mass
+// Pr[#contributors < k] is non-decreasing in k and non-increasing along
+// the scan, the stop rule fires rung by rung from the smallest k upward;
+// stopped rungs simply stop emitting while the scan continues for the
+// larger ones.
 //
 // Numerical design.
 //
-// The scan maintains the Poisson-binomial distribution of "how many
-// x-tuples contribute a tuple ranked above the current position". Naively
-// one truncates this vector at k and divides an x-tuple's Bernoulli factor
-// out with the forward recurrence
+// Naively one truncates the count vector at k and divides an x-tuple's
+// Bernoulli factor out with the forward recurrence
 //
 //     c_excl[j] = (c[j] - c_excl[j-1] * q) / (1 - q),
 //
@@ -32,7 +48,8 @@
 //
 // Cost: O(T) per tuple where T is the number of unsaturated x-tuples that
 // overlap the scan position (bounded by the tuples scanned so far, which
-// the Lemma-2 stop keeps small for ranked data), plus O(k) for emission.
+// the Lemma-2 stop keeps small for ranked data), plus O(k_max) for
+// emission across the whole ladder.
 
 #ifndef UCLEAN_RANK_PSR_SCAN_CORE_H_
 #define UCLEAN_RANK_PSR_SCAN_CORE_H_
@@ -42,6 +59,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "model/database.h"
 #include "model/tuple.h"
 #include "rank/psr.h"
 
@@ -66,10 +84,9 @@ constexpr double kSaturationThreshold = 1.0 - 1e-12;
 /// mass is exactly zero (k x-tuples saturated).
 constexpr double kNegligibleHeadMass = 1e-15;
 
-/// The scan state at one rank position, advanced tuple by tuple.
+/// The k-independent scan state at one rank position, advanced tuple by
+/// tuple.
 struct ScanCore {
-  size_t k = 0;
-
   // c[0..T]: distribution of the number of contributing unsaturated
   // x-tuples, where T is the current unsaturated-active count. Saturated
   // x-tuples add `saturated` contributors deterministically.
@@ -82,9 +99,17 @@ struct ScanCore {
                                    // saturated; unused from then on)
   std::vector<XTupleState> state;  // per-x-tuple scan state
 
+  /// The exclusion view for one tuple: the count distribution over all
+  /// OTHER x-tuples, split into a deterministic shift (saturated others)
+  /// and a vector over the unsaturated others. Valid until the next
+  /// BuildExclusion or Advance call on the core.
+  struct Exclusion {
+    size_t others_shift = 0;
+    const std::vector<double>* counts = nullptr;
+  };
+
   /// Resets to the scan-start state for `num_xtuples` x-tuples.
-  void Init(size_t num_xtuples, size_t k_in) {
-    k = k_in;
+  void Init(size_t num_xtuples) {
     c.assign(1, 1.0);
     c_excl.clear();
     c_excl.reserve(num_xtuples + 1);
@@ -95,8 +120,11 @@ struct ScanCore {
   }
 
   /// True when the (generalized) Lemma-2 rule says every tuple at or after
-  /// the current position has negligible top-k probability.
-  bool ShouldStop() const {
+  /// the current position has negligible top-k probability. Monotone both
+  /// along the scan (the contributor count is stochastically non-
+  /// decreasing) and downward in k (the head mass only shrinks), so once a
+  /// rung of a ladder stops, it stays stopped and so do all smaller rungs.
+  bool ShouldStop(size_t k) const {
     if (saturated >= k) return true;  // Lemma 2 proper
     // Head mass: Pr[fewer than k x-tuples contribute above the position].
     double head = 0.0;
@@ -105,26 +133,21 @@ struct ScanCore {
     return head < kNegligibleHeadMass;
   }
 
-  /// Processes tuple `t` at rank index `i`: emits rho_i(h) / p_i into `out`
-  /// and advances the state past `t`. When `track_best` is set the
-  /// per-rank argmax trackers in `out` are updated (only valid for a
-  /// single uninterrupted scan from rank 0).
-  void Step(const Tuple& t, size_t i, PsrOutput* out, bool track_best) {
+  /// Builds the exclusion view for tuple `t` (others = all x-tuples except
+  /// t's own tau_l), dividing tau_l's Bernoulli factor out of the count
+  /// vector when it is active.
+  Exclusion BuildExclusion(const Tuple& t) {
     const int32_t l = t.xtuple;
-    const double e = t.prob;
-
-    // --- 1. Build the exclusion view (others = all x-tuples except tau_l).
-    // others_shift: deterministic contributors among the others;
-    // excl: count distribution over the unsaturated others.
-    size_t others_shift = saturated;
-    const std::vector<double>* excl = &c;
+    Exclusion ex;
+    ex.others_shift = saturated;
+    ex.counts = &c;
     switch (state[l]) {
       case XTupleState::kInactive:
         break;  // tau_l not in the vector: excl == c
       case XTupleState::kSaturated:
         // tau_l sits in the shift (possible only when its residual mass,
-        // and hence e, is below the saturation tolerance).
-        others_shift = saturated - 1;
+        // and hence t.prob, is below the saturation tolerance).
+        ex.others_shift = saturated - 1;
         break;
       case XTupleState::kActive: {
         const double ql = q[l];
@@ -144,45 +167,32 @@ struct ScanCore {
             c_excl[j - 1] = v < 0.0 ? 0.0 : v;
           }
         }
-        excl = &c_excl;
+        ex.counts = &c_excl;
         break;
       }
     }
+    return ex;
+  }
 
-    // --- 2. Emit rho_i(h) = e * Pr[exactly h-1 others contribute above].
-    double p = 0.0;
-    const size_t excl_len = excl->size();
-    for (size_t h = 1; h <= k; ++h) {
-      const size_t count = h - 1;
-      double rho = 0.0;
-      if (count >= others_shift && count - others_shift < excl_len) {
-        rho = e * (*excl)[count - others_shift];
-      }
-      p += rho;
-      if (out->has_rank_probabilities) out->rank_prob[i * k + (h - 1)] = rho;
-      if (track_best && !t.is_null && rho > out->best_rank_prob[h - 1]) {
-        out->best_rank_prob[h - 1] = rho;
-        out->best_rank_index[h - 1] = static_cast<int32_t>(i);
-      }
-    }
-    out->topk_prob[i] = p;
-
-    // --- 3. Advance past t_i: tau_l's above-mass grows by e.
+  /// Advances the state past `t`: tau_l's above-mass grows by t.prob. `ex`
+  /// must be the exclusion view built for `t`.
+  void Advance(const Tuple& t, const Exclusion& ex) {
+    const int32_t l = t.xtuple;
     if (state[l] == XTupleState::kSaturated) return;  // shift absorbs it
-    const double q_new = q[l] + e;
+    const double q_new = q[l] + t.prob;
     q[l] = q_new;
     if (q_new >= kSaturationThreshold) {
-      // tau_l now always contributes: fold it into the shift. `excl`
+      // tau_l now always contributes: fold it into the shift. `ex`
       // already holds the vector without tau_l's factor.
       if (state[l] == XTupleState::kActive) {
-        c.assign(excl->begin(), excl->end());
+        c.assign(ex.counts->begin(), ex.counts->end());
         --active;
       }
       state[l] = XTupleState::kSaturated;
       ++saturated;
     } else {
       // Multiply tau_l's updated Bernoulli factor into the others-vector.
-      const std::vector<double>& base = *excl;
+      const std::vector<double>& base = *ex.counts;
       const size_t top = base.size();  // counts 0..top-1
       c.resize(top + 1);
       c[top] = base[top - 1] * q_new;
@@ -198,6 +208,97 @@ struct ScanCore {
     }
   }
 };
+
+/// Emits tuple `t` at rank index `i` into every still-active rung
+/// `outs[first_active..]` (ascending k). The per-rank probabilities
+/// rho_i(h) are computed once from the shared exclusion view and each
+/// rung's top-k probability is the running prefix sum at its own k, so the
+/// whole ladder costs one O(k_max) pass. When `track_best` is set the
+/// per-rank argmax trackers are updated for every active rung (only valid
+/// for a single uninterrupted scan from rank 0).
+inline void EmitLadder(const Tuple& t, size_t i, const ScanCore::Exclusion& ex,
+                       const std::vector<PsrOutput*>& outs, size_t first_active,
+                       bool track_best) {
+  const size_t rungs = outs.size();
+  if (first_active >= rungs) return;
+  const double e = t.prob;
+  const std::vector<double>& excl = *ex.counts;
+  const size_t excl_len = excl.size();
+  const size_t k_max = outs[rungs - 1]->k;
+  const bool store_matrix = outs[rungs - 1]->has_rank_probabilities;
+  const bool track = track_best && !t.is_null;
+
+  double p = 0.0;
+  size_t next = first_active;  // rung whose k the prefix sum reaches next
+  for (size_t h = 1; h <= k_max; ++h) {
+    const size_t count = h - 1;
+    double rho = 0.0;
+    if (count >= ex.others_shift && count - ex.others_shift < excl_len) {
+      rho = e * excl[count - ex.others_shift];
+    }
+    p += rho;
+    // Every rung at or past `next` has k >= h; rho is the same for all.
+    if (store_matrix) {
+      for (size_t j = next; j < rungs; ++j) {
+        outs[j]->rank_prob[i * outs[j]->k + (h - 1)] = rho;
+      }
+    }
+    if (track) {
+      for (size_t j = next; j < rungs; ++j) {
+        if (rho > outs[j]->best_rank_prob[h - 1]) {
+          outs[j]->best_rank_prob[h - 1] = rho;
+          outs[j]->best_rank_index[h - 1] = static_cast<int32_t>(i);
+        }
+      }
+    }
+    while (next < rungs && outs[next]->k == h) {
+      outs[next]->topk_prob[i] = p;
+      ++next;
+    }
+  }
+}
+
+/// Sizes and zeroes one PsrOutput per rung of `ladder` for a scan over
+/// `db` (defined in psr.cc, shared with the engine's Create).
+void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
+                       const PsrOptions& options,
+                       std::vector<PsrOutput>* outputs);
+
+/// The scan loop shared by the one-shot drivers and the engine: runs
+/// positions [begin, n) of `db` through `core`, emitting into the ladder
+/// `outs` (ascending k; rungs before `first_active` are already stopped
+/// and keep their scan_end). `maybe_checkpoint(i)` is invoked for every
+/// live position before it is processed -- the engine snapshots there, the
+/// one-shot drivers pass a no-op. On return `first_active` reflects the
+/// rungs still unstopped (scan_end == n).
+template <typename CheckpointFn>
+inline void RunLadderScan(const ProbabilisticDatabase& db, size_t begin,
+                          bool early_termination, ScanCore& core,
+                          const std::vector<PsrOutput*>& outs,
+                          size_t& first_active, bool track_best,
+                          CheckpointFn&& maybe_checkpoint) {
+  const size_t n = db.num_tuples();
+  const size_t rungs = outs.size();
+  size_t i = begin;
+  for (; i < n; ++i) {
+    if (early_termination) {
+      // The stop rule fires smallest-k first (head mass grows with k).
+      while (first_active < rungs &&
+             core.ShouldStop(outs[first_active]->k)) {
+        outs[first_active]->scan_end = i;
+        ++first_active;
+      }
+      if (first_active == rungs) return;
+    }
+    if (db.is_tombstone(i)) continue;  // cleaning-session garbage slot
+    maybe_checkpoint(i);
+    const Tuple& t = db.tuple(i);
+    const ScanCore::Exclusion ex = core.BuildExclusion(t);
+    EmitLadder(t, i, ex, outs, first_active, track_best);
+    core.Advance(t, ex);
+  }
+  for (size_t j = first_active; j < rungs; ++j) outs[j]->scan_end = n;
+}
 
 }  // namespace psr_internal
 }  // namespace uclean

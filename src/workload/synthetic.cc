@@ -10,7 +10,9 @@ namespace uclean {
 namespace {
 
 /// Standard normal CDF.
-double NormalCdf(double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); }
+double NormalCdf(double x) {
+  return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
 
 }  // namespace
 
@@ -27,6 +29,11 @@ Result<ProbabilisticDatabase> GenerateSynthetic(const SyntheticOptions& opts) {
   if (!(opts.interval_width_min > 0.0) ||
       opts.interval_width_max < opts.interval_width_min) {
     return Status::InvalidArgument("invalid uncertainty interval widths");
+  }
+  if (!(opts.real_mass_min > 0.0) || opts.real_mass_max > 1.0 ||
+      opts.real_mass_max < opts.real_mass_min) {
+    return Status::InvalidArgument(
+        "existence mass range must satisfy 0 < min <= max <= 1");
   }
 
   Rng rng(opts.seed);
@@ -55,10 +62,16 @@ Result<ProbabilisticDatabase> GenerateSynthetic(const SyntheticOptions& opts) {
       }
       total += mass[b];
     }
+    // Guard the draw so the default unit-mass configuration consumes the
+    // exact random stream (and yields the exact database) it always has.
+    const double existence =
+        opts.real_mass_min == 1.0 && opts.real_mass_max == 1.0
+            ? 1.0
+            : rng.Uniform(opts.real_mass_min, opts.real_mass_max);
     for (size_t b = 0; b < bars; ++b) {
       const double value = lo + (static_cast<double>(b) + 0.5) * bar_width;
-      UCLEAN_RETURN_IF_ERROR(
-          builder.AddAlternative(x, next_id++, value, mass[b] / total));
+      UCLEAN_RETURN_IF_ERROR(builder.AddAlternative(
+          x, next_id++, value, existence * mass[b] / total));
     }
   }
   return std::move(builder).Finish();

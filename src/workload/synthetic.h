@@ -37,6 +37,17 @@ struct SyntheticOptions {
   double sigma = 100.0;           ///< Gaussian std-dev (G10 -> 10, ...)
   double interval_width_min = 60.0;
   double interval_width_max = 100.0;
+
+  /// Per-entity existence mass, drawn uniform in [real_mass_min,
+  /// real_mass_max] and multiplied into the normalized bar masses. The
+  /// default 1.0 is the paper's setting (every entity certainly exists);
+  /// values below 1 model spurious entities (sensor ghosts, unmatched
+  /// records) that may be absent -- x-tuples then never saturate during
+  /// the PSR scan, exercising the head-mass stop rule and the widest
+  /// count vectors.
+  double real_mass_min = 1.0;
+  double real_mass_max = 1.0;
+
   uint64_t seed = 42;
 };
 

@@ -30,8 +30,8 @@ CleaningProblem RandomProblem(Rng* rng, size_t m, int64_t budget,
   return problem;
 }
 
-class DpOptimalitySweep : public ::testing::TestWithParam<std::tuple<int, int>> {
-};
+class DpOptimalitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(DpOptimalitySweep, DpMatchesExhaustiveOptimum) {
   const auto [m, budget] = GetParam();
@@ -57,8 +57,9 @@ INSTANTIATE_TEST_SUITE_P(SmallInstances, DpOptimalitySweep,
                          ::testing::Combine(::testing::Values(2, 3, 4),
                                             ::testing::Values(3, 5, 8)),
                          [](const auto& suite_info) {
-                           return "m" + std::to_string(std::get<0>(suite_info.param)) +
-                                  "C" + std::to_string(std::get<1>(suite_info.param));
+                           const auto& p = suite_info.param;
+                           return "m" + std::to_string(std::get<0>(p)) +
+                                  "C" + std::to_string(std::get<1>(p));
                          });
 
 TEST(PlanDp, EnginesAgreeOnLargerInstances) {

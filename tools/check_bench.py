@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compares BENCH_*.json speedups against
+checked-in floors and fails (exit 1) when any floor is broken.
+
+Usage: check_bench.py BENCH_incremental.json BENCH_multik.json ...
+
+The floors are deliberately well below locally measured medians (CI
+runners are slower and noisier; see bench/README.md for the measured
+numbers) but high enough that a real regression -- a lost sharing effect,
+an accidental O(n) rescan, a broken suffix replay -- trips them. Raise a
+floor when a PR improves the bench for good; never lower one to make CI
+pass without understanding what regressed.
+"""
+
+import json
+import sys
+
+# ---------------------------------------------------------------- floors
+# bench_incremental: CleaningSession vs the historical copy-rebuild-rescan
+# loop. Locally ~40-80x; the original acceptance target was 5x.
+INCREMENTAL_FLOOR = 5.0
+
+# bench_multik: one ladder session vs per-k one-shot reruns ("rescan")
+# and vs per-k incremental sessions ("sessions"), keyed by
+# (workload, ladder_name). Locally measured medians in bench/README.md.
+MULTIK_FLOORS = {
+    # (workload, ladder): (speedup_vs_rescan, speedup_vs_sessions)
+    ("unit", "geometric"): (2.0, 1.6),
+    ("unit", "arithmetic"): (2.2, 1.6),
+    ("unit", "dense_top"): (3.0, 2.0),  # the >=3x acceptance gate
+    ("unit", "curve"): (3.5, 2.5),
+    ("subunit", "geometric"): (1.4, 1.2),
+    ("subunit", "arithmetic"): (1.8, 1.5),
+    ("subunit", "dense_top"): (2.4, 2.0),
+    ("subunit", "curve"): (3.0, 2.5),
+}
+
+# Per-rung quality trajectories must agree across arms; anything above
+# this is a correctness bug, not noise.
+MULTIK_QUALITY_TOL = 1e-9
+
+
+def check_incremental(doc):
+    failures = []
+    for series in doc["series"]:
+        speedup = series["speedup"]
+        label = f"incremental k={series['k']} rounds={series['rounds']}"
+        print(f"{label}: speedup {speedup:.2f}x (floor {INCREMENTAL_FLOOR})")
+        if speedup < INCREMENTAL_FLOOR:
+            failures.append(f"{label}: {speedup:.2f}x < {INCREMENTAL_FLOOR}x")
+    return failures
+
+
+def check_multik(doc):
+    failures = []
+    seen = set()
+    for series in doc["series"]:
+        key = (series["workload"], series["ladder_name"])
+        seen.add(key)
+        if key not in MULTIK_FLOORS:
+            failures.append(f"multik {key}: no checked-in floor (add one)")
+            continue
+        rescan_floor, sessions_floor = MULTIK_FLOORS[key]
+        rescan = series["speedup_vs_rescan"]
+        sessions = series["speedup_vs_sessions"]
+        diff = series["max_quality_diff"]
+        label = f"multik {key[0]}/{key[1]}"
+        print(
+            f"{label}: vs_rescan {rescan:.2f}x (floor {rescan_floor}), "
+            f"vs_sessions {sessions:.2f}x (floor {sessions_floor}), "
+            f"quality diff {diff:.1e}"
+        )
+        if rescan < rescan_floor:
+            failures.append(
+                f"{label}: vs_rescan {rescan:.2f}x < {rescan_floor}x"
+            )
+        if sessions < sessions_floor:
+            failures.append(
+                f"{label}: vs_sessions {sessions:.2f}x < {sessions_floor}x"
+            )
+        if diff > MULTIK_QUALITY_TOL:
+            failures.append(
+                f"{label}: per-rung qualities diverge by {diff:.3e} "
+                f"(tol {MULTIK_QUALITY_TOL})"
+            )
+    for key in MULTIK_FLOORS:
+        if key not in seen:
+            failures.append(f"multik {key}: series missing from the JSON")
+    return failures
+
+
+CHECKERS = {"incremental": check_incremental, "multik": check_multik}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        with open(path) as f:
+            doc = json.load(f)
+        bench = doc.get("bench")
+        checker = CHECKERS.get(bench)
+        if checker is None:
+            failures.append(f"{path}: unknown bench '{bench}'")
+            continue
+        failures.extend(checker(doc))
+    if failures:
+        print("\nBENCH REGRESSION:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("\nall bench floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -46,22 +46,27 @@ usage: uclean_cli <command> [--flag value ...]
 commands:
   generate --type synthetic|mov --out DB.csv
            [--xtuples N] [--bars B] [--sigma S] [--pdf gaussian|uniform]
-           [--seed S]
+           [--mass-lo 1] [--mass-hi 1] [--seed S]
   profile  --xtuples N --out PROFILE.csv
            [--cost-min 1] [--cost-max 10]
            [--sc-pdf uniform|normal] [--sc-lo 0] [--sc-hi 1]
            [--sc-mean 0.5] [--sc-sigma 0.167] [--seed S]
   inspect  --db DB.csv [--rows 20]
-  query    --db DB.csv --k K [--semantics all|ptk|ukranks|global]
-           [--threshold 0.1]
-  quality  --db DB.csv --k K [--algo tp|pwr|pw|mc] [--samples 100000]
-           [--seed S]
+  query    --db DB.csv --k K [--k-ladder K1,K2,...]
+           [--semantics all|ptk|ukranks|global] [--threshold 0.1]
+  quality  --db DB.csv --k K [--k-ladder K1,K2,...]
+           [--algo tp|pwr|pw|mc] [--samples 100000] [--seed S]
   plan     --db DB.csv --profile PROFILE.csv --k K --budget C
            [--planner dp|greedy|randp|randu] [--seed S]
   clean    --db DB.csv --profile PROFILE.csv --k K --budget C --out OUT.csv
            [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
+           [--k-ladder K1,K2,...]
   target   --db DB.csv --profile PROFILE.csv --k K --target Q
            [--max-budget 100000]
+
+--k-ladder serves every listed k from ONE shared PSR scan (query and
+quality report per-k results; adaptive cleaning plans against the uniform
+ladder aggregate). --k is ignored when --k-ladder is given.
 )";
 
 /// Minimal --key value flag map.
@@ -137,6 +142,26 @@ class Flags {
   }                                           \
   auto decl = std::move(decl##_result).value()
 
+/// Parses "--k-ladder 5,10,25,50" (falling back to a one-rung ladder at
+/// --k when absent) into a validated KLadder.
+Result<KLadder> ParseKLadder(const Flags& flags) {
+  if (!flags.Has("k-ladder")) {
+    CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+    if (k <= 0) return Status::InvalidArgument("--k must be positive");
+    return KLadder::Of({static_cast<size_t>(k)});
+  }
+  CLI_ASSIGN_OR_RETURN(raw, flags.GetString("k-ladder"));
+  std::vector<size_t> ks;
+  for (const std::string& part : SplitString(raw, ',')) {
+    Result<int64_t> k = ParseInt(StripWhitespace(part));
+    if (!k.ok() || *k <= 0) {
+      return Status::InvalidArgument("bad --k-ladder entry '" + part + "'");
+    }
+    ks.push_back(static_cast<size_t>(*k));
+  }
+  return KLadder::Of(std::move(ks));
+}
+
 Status RunGenerate(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(type, flags.GetString("type"));
   CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
@@ -147,9 +172,13 @@ Status RunGenerate(const Flags& flags) {
     CLI_ASSIGN_OR_RETURN(xtuples, flags.GetInt("xtuples", 5000));
     CLI_ASSIGN_OR_RETURN(bars, flags.GetInt("bars", 10));
     CLI_ASSIGN_OR_RETURN(sigma, flags.GetDouble("sigma", 100.0));
+    CLI_ASSIGN_OR_RETURN(mass_lo, flags.GetDouble("mass-lo", 1.0));
+    CLI_ASSIGN_OR_RETURN(mass_hi, flags.GetDouble("mass-hi", 1.0));
     opts.num_xtuples = static_cast<size_t>(xtuples);
     opts.tuples_per_xtuple = static_cast<size_t>(bars);
     opts.sigma = sigma;
+    opts.real_mass_min = mass_lo;
+    opts.real_mass_max = mass_hi;
     opts.seed = static_cast<uint64_t>(seed);
     const std::string pdf = flags.GetString("pdf", "gaussian");
     if (pdf == "uniform") {
@@ -223,16 +252,58 @@ Status RunInspect(const Flags& flags) {
   return Status::OK();
 }
 
+/// Prints the requested per-k answers from one shared ladder scan.
+Status RunQueryLadder(const ProbabilisticDatabase& db, const KLadder& ladder,
+                      const std::string& semantics, double threshold) {
+  const bool ukranks = semantics == "all" || semantics == "ukranks";
+  const bool ptk = semantics == "all" || semantics == "ptk";
+  const bool global_topk = semantics == "all" || semantics == "global";
+  if (!ukranks && !ptk && !global_topk) {
+    return Status::InvalidArgument("unknown --semantics '" + semantics + "'");
+  }
+  Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(db, ladder);
+  if (!psrs.ok()) return psrs.status();
+  std::printf("k-ladder %s from one shared PSR scan:\n",
+              ladder.ToString().c_str());
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    const PsrOutput& psr = (*psrs)[rung];
+    std::printf("-- k = %zu (%zu tuples with nonzero top-k probability)\n",
+                ladder[rung], psr.num_nonzero);
+    if (ptk) {
+      Result<PtkAnswer> answer = EvaluatePtk(db, psr, threshold);
+      if (!answer.ok()) return answer.status();
+      std::printf("  PT-%zu (T = %.3f): %zu tuples %s\n", ladder[rung],
+                  threshold, answer->tuples.size(),
+                  AnswerToString(db, answer->tuples).c_str());
+    }
+    if (ukranks) {
+      const UkRanksAnswer answer = EvaluateUkRanks(db, psr);
+      std::printf("  U-kRanks: %s\n",
+                  AnswerToString(db, answer.per_rank).c_str());
+    }
+    if (global_topk) {
+      const GlobalTopkAnswer answer = EvaluateGlobalTopk(db, psr);
+      std::printf("  Global-top%zu: %s\n", ladder[rung],
+                  AnswerToString(db, answer.tuples).c_str());
+    }
+  }
+  return Status::OK();
+}
+
 Status RunQuery(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
-  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  CLI_ASSIGN_OR_RETURN(ladder, ParseKLadder(flags));
   CLI_ASSIGN_OR_RETURN(threshold, flags.GetDouble("threshold", 0.1));
   const std::string semantics = flags.GetString("semantics", "all");
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
   if (!db.ok()) return db.status();
+  if (flags.Has("k-ladder")) {
+    return RunQueryLadder(*db, ladder, semantics, threshold);
+  }
+  const size_t k = ladder.max_k();
 
   EvaluationOptions options;
-  options.k = static_cast<size_t>(k);
+  options.k = k;
   options.ptk_threshold = threshold;
   options.ukranks = semantics == "all" || semantics == "ukranks";
   options.ptk = semantics == "all" || semantics == "ptk";
@@ -276,11 +347,28 @@ Status RunQuery(const Flags& flags) {
 
 Status RunQuality(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
-  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  CLI_ASSIGN_OR_RETURN(ladder, ParseKLadder(flags));
   const std::string algo = flags.GetString("algo", "tp");
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
   if (!db.ok()) return db.status();
-  const size_t kk = static_cast<size_t>(k);
+  const size_t kk = ladder.max_k();
+
+  if (flags.Has("k-ladder") && algo != "tp") {
+    return Status::InvalidArgument(
+        "--k-ladder quality requires --algo tp (the shared-scan pipeline)");
+  }
+  if (flags.Has("k-ladder")) {
+    Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(*db, ladder);
+    if (!psrs.ok()) return psrs.status();
+    Result<std::vector<TpOutput>> tps = ComputeTpQualityLadder(*db, *psrs);
+    if (!tps.ok()) return tps.status();
+    std::printf("PWS-quality (TP, one shared scan for k-ladder %s):\n",
+                ladder.ToString().c_str());
+    for (size_t rung = 0; rung < ladder.size(); ++rung) {
+      std::printf("  k = %zu: %.6f\n", ladder[rung], (*tps)[rung].quality);
+    }
+    return Status::OK();
+  }
 
   if (algo == "tp") {
     Result<TpOutput> tp = ComputeTpQuality(*db, kk);
@@ -365,23 +453,22 @@ Status RunClean(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
   CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
-  CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
+  CLI_ASSIGN_OR_RETURN(cli_ladder, ParseKLadder(flags));
   CLI_ASSIGN_OR_RETURN(budget, flags.GetInt("budget"));
   CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 1));
-  CLI_ASSIGN_OR_RETURN(planner, ParsePlanner(flags.GetString("planner", "greedy")));
+  CLI_ASSIGN_OR_RETURN(planner,
+                       ParsePlanner(flags.GetString("planner", "greedy")));
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
   if (!db.ok()) return db.status();
   Result<CleaningProfile> profile = ReadProfileCsvFile(profile_path);
   if (!profile.ok()) return profile.status();
-  const size_t kk = static_cast<size_t>(k);
+  const size_t kk = cli_ladder.max_k();
   Rng rng(static_cast<uint64_t>(seed));
-
-  Result<TpOutput> before = ComputeTpQuality(*db, kk);
-  if (!before.ok()) return before.status();
 
   if (flags.Has("adaptive")) {
     AdaptiveOptions options;
     options.k = kk;
+    if (flags.Has("k-ladder")) options.k_ladder = cli_ladder.ks;
     options.planner = planner;
     Result<AdaptiveReport> report =
         RunAdaptiveCleaning(*db, *profile, budget, options, &rng);
@@ -392,8 +479,22 @@ Status RunClean(const Flags& flags) {
                 static_cast<long long>(report->total_spent),
                 static_cast<long long>(budget), report->initial_quality,
                 report->final_quality);
+    if (report->ladder.size() > 1) {
+      for (size_t rung = 0; rung < report->ladder.size(); ++rung) {
+        std::printf("  k = %zu: quality %.6f -> %.6f\n",
+                    report->ladder[rung],
+                    report->initial_quality_per_k[rung],
+                    report->final_quality_per_k[rung]);
+      }
+    }
     UCLEAN_RETURN_IF_ERROR(WriteDatabaseCsvFile(report->final_db, out));
   } else {
+    if (flags.Has("k-ladder")) {
+      return Status::InvalidArgument(
+          "--k-ladder cleaning requires --adaptive (the ladder session)");
+    }
+    Result<TpOutput> before = ComputeTpQuality(*db, kk);
+    if (!before.ok()) return before.status();
     Result<CleaningProblem> problem =
         MakeCleaningProblem(*db, kk, *profile, budget);
     if (!problem.ok()) return problem.status();
