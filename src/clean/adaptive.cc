@@ -10,17 +10,16 @@ namespace uclean {
 namespace {
 
 /// The planning-objective quality: the same weighted aggregate of per-rung
-/// qualities the planner optimizes, so predicted improvements and realized
-/// quality deltas are directly comparable. Reduces to the plain quality
-/// for single-k runs under uniform weights.
+/// qualities the planner optimizes (LadderRungWeight is the single shared
+/// weight definition), so predicted improvements and realized quality
+/// deltas are directly comparable. Reduces to the plain quality for
+/// single-k runs under uniform weights.
 double AggregateQuality(const CleaningSession& session,
                         const std::vector<double>& weights) {
   const size_t rungs = session.num_rungs();
   double total = 0.0;
   for (size_t j = 0; j < rungs; ++j) {
-    const double w =
-        weights.empty() ? 1.0 / static_cast<double>(rungs) : weights[j];
-    total += w * session.quality(j);
+    total += LadderRungWeight(weights, rungs, j) * session.quality(j);
   }
   return total;
 }

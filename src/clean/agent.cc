@@ -1,5 +1,6 @@
 #include "clean/agent.h"
 
+#include <string>
 #include <utility>
 
 namespace uclean {
@@ -7,11 +8,10 @@ namespace uclean {
 namespace {
 
 /// Shared precondition checks, run before any copying or probing.
-Status ValidateProbeInputs(const ProbabilisticDatabase& db,
-                           const CleaningProfile& profile,
+Status ValidateProbeInputs(size_t num_xtuples, const CleaningProfile& profile,
                            const std::vector<int64_t>& probes, Rng* rng) {
-  UCLEAN_RETURN_IF_ERROR(profile.Validate(db.num_xtuples()));
-  if (probes.size() != db.num_xtuples()) {
+  UCLEAN_RETURN_IF_ERROR(profile.Validate(num_xtuples));
+  if (probes.size() != num_xtuples) {
     return Status::InvalidArgument("probes vector size mismatch");
   }
   if (rng == nullptr) {
@@ -20,13 +20,14 @@ Status ValidateProbeInputs(const ProbabilisticDatabase& db,
   return Status::OK();
 }
 
-/// The probe loop shared by both ExecutePlan forms: spends budget, draws
+/// The probe loop shared by every ExecutePlan form: spends budget, draws
 /// successes and revealed outcomes, and hands each success to `apply`
 /// (which collapses the x-tuple in its respective target). Draws from
-/// `rng` in a fixed order so both forms consume identical streams.
+/// `rng` in a fixed order so all forms consume identical streams. `Db` is
+/// ProbabilisticDatabase or a pooled session's DatabaseOverlay view.
 /// Inputs must have passed ValidateProbeInputs.
-template <typename ApplyOutcomeFn>
-Result<SessionExecutionReport> RunProbes(const ProbabilisticDatabase& db,
+template <typename Db, typename ApplyOutcomeFn>
+Result<SessionExecutionReport> RunProbes(const Db& db,
                                          const CleaningProfile& profile,
                                          const std::vector<int64_t>& probes,
                                          Rng* rng, ApplyOutcomeFn apply) {
@@ -71,7 +72,8 @@ Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
                                     const CleaningProfile& profile,
                                     const std::vector<int64_t>& probes,
                                     Rng* rng) {
-  UCLEAN_RETURN_IF_ERROR(ValidateProbeInputs(db, profile, probes, rng));
+  UCLEAN_RETURN_IF_ERROR(
+      ValidateProbeInputs(db.num_xtuples(), profile, probes, rng));
   // Collapse outcomes on a copy in place: rank order is untouched by a
   // collapse, so the historical DatabaseBuilder round-trip (re-validate +
   // re-sort) is pure overhead.
@@ -101,10 +103,31 @@ Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
     return Status::InvalidArgument("ExecutePlan requires a session");
   }
   UCLEAN_RETURN_IF_ERROR(
-      ValidateProbeInputs(session->db(), profile, probes, rng));
+      ValidateProbeInputs(session->db().num_xtuples(), profile, probes, rng));
   return RunProbes(session->db(), profile, probes, rng,
                    [session](XTupleId l, const Tuple& revealed) -> Status {
                      return session->ApplyCleanOutcome(l, revealed.id);
+                   });
+}
+
+Result<SessionExecutionReport> ExecutePlan(SessionPool* pool,
+                                           SessionPool::SessionId id,
+                                           const CleaningProfile& profile,
+                                           const std::vector<int64_t>& probes,
+                                           Rng* rng) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("ExecutePlan requires a pool");
+  }
+  if (!pool->is_open(id)) {
+    return Status::InvalidArgument("session " + std::to_string(id) +
+                                   " is not open");
+  }
+  const DatabaseOverlay& view = pool->overlay(id);
+  UCLEAN_RETURN_IF_ERROR(
+      ValidateProbeInputs(view.num_xtuples(), profile, probes, rng));
+  return RunProbes(view, profile, probes, rng,
+                   [pool, id](XTupleId l, const Tuple& revealed) -> Status {
+                     return pool->ApplyCleanOutcome(id, l, revealed.id);
                    });
 }
 

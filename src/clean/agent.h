@@ -17,6 +17,7 @@
 
 #include "clean/problem.h"
 #include "clean/session.h"
+#include "clean/session_pool.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "model/database.h"
@@ -66,6 +67,16 @@ Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
 /// stream as the database overload, so a from-scratch and an incremental
 /// run with equal seeds execute identical probe sequences.
 Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
+                                           const CleaningProfile& profile,
+                                           const std::vector<int64_t>& probes,
+                                           Rng* rng);
+
+/// Pooled-session form: probes against session `id`'s own overlay view
+/// (base + its previous outcomes) and records each success in that
+/// overlay only; the shared base and every other session are untouched.
+/// Same fixed random-stream order as the other overloads.
+Result<SessionExecutionReport> ExecutePlan(SessionPool* pool,
+                                           SessionPool::SessionId id,
                                            const CleaningProfile& profile,
                                            const std::vector<int64_t>& probes,
                                            Rng* rng);

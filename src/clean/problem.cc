@@ -140,6 +140,11 @@ Result<CleaningProblem> MakeCleaningProblem(const TpOutput& tp,
   return problem;
 }
 
+double LadderRungWeight(const std::vector<double>& weights, size_t rungs,
+                        size_t j) {
+  return weights.empty() ? 1.0 / static_cast<double>(rungs) : weights[j];
+}
+
 Result<CleaningProblem> MakeCleaningProblem(const std::vector<TpOutput>& tps,
                                             const std::vector<double>& weights,
                                             const CleaningProfile& profile,
@@ -178,8 +183,7 @@ Result<CleaningProblem> MakeCleaningProblem(const std::vector<TpOutput>& tps,
   problem.gain.assign(num_xtuples, 0.0);
   problem.topk_mass.assign(num_xtuples, 0.0);
   for (size_t j = 0; j < rungs; ++j) {
-    const double w =
-        weights.empty() ? 1.0 / static_cast<double>(rungs) : weights[j];
+    const double w = LadderRungWeight(weights, rungs, j);
     for (size_t l = 0; l < num_xtuples; ++l) {
       problem.gain[l] += w * tps[j].xtuple_gain[l];
       problem.topk_mass[l] += w * tps[j].xtuple_topk_mass[l];

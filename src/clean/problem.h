@@ -100,6 +100,15 @@ Result<CleaningProblem> MakeCleaningProblem(const TpOutput& tp,
                                             const CleaningProfile& profile,
                                             int64_t budget);
 
+/// Weight of rung `j` in the ladder-aggregate objective sum_j w_j S_j:
+/// uniform 1/rungs when `weights` is empty, weights[j] otherwise. The one
+/// shared definition behind the planner aggregate (the ladder
+/// MakeCleaningProblem below) and every quality report (adaptive loop,
+/// session-pool CLI), so the optimized objective and the reported number
+/// can never drift.
+double LadderRungWeight(const std::vector<double>& weights, size_t rungs,
+                        size_t j);
+
 /// Ladder form: plans against a weighted aggregate of the per-rung gain
 /// tables of a k-ladder session. With weights w_j >= 0 the aggregated gain
 /// g(l) = sum_j w_j g_j(l) is the expected improvement of the weighted

@@ -96,28 +96,34 @@ class CleaningSession {
   /// True when outcomes were applied since the last Refresh.
   bool dirty() const { return pending_replay_begin_ != kNoPending; }
 
+  // Reading a dirty session is a HARD failure in every build type (not a
+  // DCHECK): a dirty session holds pre-clean PSR/TP state, and serving it
+  // silently -- which is exactly what a compiled-out assertion would do in
+  // Release -- corrupts every planning and reporting consumer downstream.
+  // Call Refresh() after a round of ApplyCleanOutcome.
+
   /// Maintained PSR state of rung `rung`. Requires !dirty().
   const PsrOutput& psr(size_t rung = 0) const {
-    UCLEAN_DCHECK(!dirty());
+    UCLEAN_CHECK(!dirty());
     return engine_.output(rung);
   }
 
   /// Maintained TP quality state of rung `rung`. Requires !dirty().
   const TpOutput& tp(size_t rung = 0) const {
-    UCLEAN_DCHECK(!dirty());
+    UCLEAN_CHECK(!dirty());
     UCLEAN_DCHECK(rung < tps_.size());
     return tps_[rung];
   }
 
   /// All per-rung TP states, ladder order. Requires !dirty().
   const std::vector<TpOutput>& tps() const {
-    UCLEAN_DCHECK(!dirty());
+    UCLEAN_CHECK(!dirty());
     return tps_;
   }
 
   /// Current PWS-quality S(D,Q) at rung `rung`. Requires !dirty().
   double quality(size_t rung = 0) const {
-    UCLEAN_DCHECK(!dirty());
+    UCLEAN_CHECK(!dirty());
     UCLEAN_DCHECK(rung < tps_.size());
     return tps_[rung].quality;
   }

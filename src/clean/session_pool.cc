@@ -1,0 +1,131 @@
+#include "clean/session_pool.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace uclean {
+
+Result<SessionPool> SessionPool::Create(ProbabilisticDatabase base, size_t k,
+                                        const Options& options) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  KLadder ladder;
+  ladder.ks = {k};
+  return Create(std::move(base), ladder, options);
+}
+
+Result<SessionPool> SessionPool::Create(ProbabilisticDatabase base,
+                                        const KLadder& ladder,
+                                        const Options& options) {
+  // Overlays key their copy-on-write state by rank index, so the shared
+  // base must not carry garbage slots that a later compaction would
+  // renumber under them.
+  base.CompactTombstones();
+
+  SessionPool pool;
+  pool.options_ = options;
+  pool.base_ = std::make_unique<ProbabilisticDatabase>(std::move(base));
+
+  Result<PsrEngine> engine = PsrEngine::Create(
+      *pool.base_, ladder, options.psr, options.checkpoint_interval);
+  if (!engine.ok()) return engine.status();
+  pool.engine_ = std::move(engine).value();
+
+  Result<std::vector<TpOutput>> tps =
+      ComputeTpQualityLadder(*pool.base_, pool.engine_.outputs());
+  if (!tps.ok()) return tps.status();
+  pool.base_tps_ = std::move(tps).value();
+  return pool;
+}
+
+SessionPool::SessionId SessionPool::OpenSession() {
+  SessionId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = sessions_.size();
+    sessions_.emplace_back();
+  }
+  Session& session = sessions_[id];
+  session.open = true;
+  session.overlay = DatabaseOverlay(base_.get());
+  session.scan = engine_.ForkSession();
+  // Fork the base TP ladder the same way the engine forks its outputs:
+  // omega is identically zero at and past each rung's scan_end, so only
+  // the live prefix is copied onto a zeroed buffer.
+  session.tps.resize(base_tps_.size());
+  for (size_t j = 0; j < base_tps_.size(); ++j) {
+    const TpOutput& src = base_tps_[j];
+    TpOutput& dst = session.tps[j];
+    dst.quality = src.quality;
+    dst.scan_end = src.scan_end;
+    dst.omega.assign(src.omega.size(), 0.0);
+    std::copy(src.omega.begin(), src.omega.begin() + src.scan_end,
+              dst.omega.begin());
+    dst.xtuple_gain = src.xtuple_gain;
+    dst.xtuple_topk_mass = src.xtuple_topk_mass;
+  }
+  session.pending_replay_begin = kNoPending;
+  ++num_open_;
+  return id;
+}
+
+Status SessionPool::CheckOpen(SessionId id) const {
+  if (id >= sessions_.size() || !sessions_[id].open) {
+    return Status::InvalidArgument("session " + std::to_string(id) +
+                                   " is not open");
+  }
+  return Status::OK();
+}
+
+Status SessionPool::ApplyCleanOutcome(SessionId id, XTupleId xtuple,
+                                      TupleId resolved_id) {
+  UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
+  Session& session = sessions_[id];
+  Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
+      session.overlay.ApplyCleanOutcome(xtuple, resolved_id);
+  if (!delta.ok()) return delta.status();
+  if (delta->first_changed_rank >= base_->num_tuples()) {
+    return Status::OK();  // outcome was already materialized
+  }
+  const size_t begin = delta->first_changed_rank;
+  if (session.pending_replay_begin == kNoPending ||
+      begin < session.pending_replay_begin) {
+    session.pending_replay_begin = begin;
+  }
+  return Status::OK();
+}
+
+Status SessionPool::Refresh(SessionId id) {
+  UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
+  Session& session = sessions_[id];
+  if (session.pending_replay_begin == kNoPending) return Status::OK();
+  const size_t replay_begin = session.pending_replay_begin;
+  UCLEAN_RETURN_IF_ERROR(
+      engine_.ReplaySession(session.overlay, replay_begin, &session.scan));
+  UCLEAN_RETURN_IF_ERROR(UpdateTpQualityLadder(
+      session.overlay, session.scan.outputs(), replay_begin, &session.tps));
+  session.pending_replay_begin = kNoPending;
+  return Status::OK();
+}
+
+Result<ProbabilisticDatabase> SessionPool::CloseAndMerge(SessionId id) {
+  UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
+  ProbabilisticDatabase merged = sessions_[id].overlay.MaterializeCleaned();
+  UCLEAN_RETURN_IF_ERROR(Close(id));
+  return merged;
+}
+
+Status SessionPool::Close(SessionId id) {
+  UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
+  // Free the slot's heavy state eagerly; the slot is reused by the next
+  // OpenSession.
+  sessions_[id] = Session();
+  free_slots_.push_back(id);
+  --num_open_;
+  return Status::OK();
+}
+
+}  // namespace uclean

@@ -1,0 +1,209 @@
+// SessionPool: N concurrent cleaning sessions over ONE shared base
+// database and ONE ladder PsrEngine checkpoint set.
+//
+// A dedicated CleaningSession per analyst pays, per session, a full
+// database copy, a full O(k n) PSR scan, a checkpoint set and a full TP
+// pass before the first probe lands. The paper's cleaning loop assumes
+// one analyst per database (Sec. V); serving many concurrent users that
+// way multiplies the whole start-up cost by the user count. The pool
+// amortizes it instead:
+//
+//  * ONE base ProbabilisticDatabase, never mutated. Each session's clean
+//    outcomes live in its own copy-on-write DatabaseOverlay
+//    (model/database_overlay.h): overlay tombstones + patched resolved
+//    tuples, rank indices stable, base untouched.
+//  * ONE ladder PsrEngine over the base, scanned and checkpointed once.
+//    Opening a session forks the engine's outputs (PsrEngine::
+//    ForkSession -- a memcpy, no scan) and copies the base TP ladder.
+//  * Refreshing a session replays ONLY that session's suffix
+//    (PsrEngine::ReplaySession): the shared checkpoints cover the prefix
+//    above the session's divergence rank, the session's private
+//    checkpoints cover its own post-divergence suffix, and the shared
+//    delta TP pass (UpdateTpQualityLadder over the overlay) brings its
+//    per-rung quality state forward. The shared prefix is never
+//    recomputed for anybody.
+//
+// Every session's maintained PSR/TP state is bitwise identical to a
+// dedicated CleaningSession fed the same outcomes (same scan arithmetic,
+// same restored snapshots -- pool_test.cc holds this to 1e-12 under
+// interleaved cleans, compaction and churn; bench_pool measures the
+// amortization win over N dedicated sessions).
+//
+// Sessions are logically concurrent: opens, applies, refreshes and closes
+// interleave freely and never observe each other. The pool itself is NOT
+// thread-safe; callers serialize access (the replay scratch is
+// per-session, but open/close mutate shared tables).
+//
+// Reading a dirty session (outcomes applied, not yet refreshed) is a hard
+// failure in every build type, matching CleaningSession.
+
+#ifndef UCLEAN_CLEAN_SESSION_POOL_H_
+#define UCLEAN_CLEAN_SESSION_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "model/database.h"
+#include "model/database_overlay.h"
+#include "quality/tp.h"
+#include "rank/psr.h"
+#include "rank/psr_engine.h"
+
+namespace uclean {
+
+class SessionPool {
+ public:
+  /// Session handle: an index into the pool's slot table. Slots are
+  /// reused after Close, so a stale id may alias a newer session; treat
+  /// ids as owned capabilities, not stable names.
+  using SessionId = size_t;
+
+  struct Options {
+    PsrOptions psr;
+
+    /// Initial PSR checkpoint cadence of the shared scan (see
+    /// PsrEngine::Create).
+    size_t checkpoint_interval = PsrEngine::kInitialCheckpointInterval;
+  };
+
+  /// Runs the one shared scan + TP pass over `base` (compacting it first
+  /// if it carries tombstones) and readies the pool for OpenSession.
+  static Result<SessionPool> Create(ProbabilisticDatabase base,
+                                    const KLadder& ladder,
+                                    const Options& options);
+  static Result<SessionPool> Create(ProbabilisticDatabase base,
+                                    const KLadder& ladder) {
+    return Create(std::move(base), ladder, Options());
+  }
+
+  /// Single-k convenience.
+  static Result<SessionPool> Create(ProbabilisticDatabase base, size_t k,
+                                    const Options& options);
+  static Result<SessionPool> Create(ProbabilisticDatabase base, size_t k) {
+    return Create(std::move(base), k, Options());
+  }
+
+  /// The shared base database (never mutated while the pool lives).
+  const ProbabilisticDatabase& base() const { return *base_; }
+
+  /// The served ladder (a single rung for single-k pools).
+  const KLadder& ladder() const { return engine_.ladder(); }
+  size_t num_rungs() const { return engine_.num_rungs(); }
+
+  /// The base TP state of rung `rung` (what a fresh session starts from).
+  const TpOutput& base_tp(size_t rung = 0) const { return base_tps_[rung]; }
+
+  /// Opens a session: forks the shared scan state (a memcpy, no scan).
+  /// Never fails on a live pool; returns a handle for every other call.
+  SessionId OpenSession();
+
+  /// Number of currently open sessions.
+  size_t num_open() const { return num_open_; }
+
+  /// True when `id` names a currently open session.
+  bool is_open(SessionId id) const {
+    return id < sessions_.size() && sessions_[id].open;
+  }
+
+  /// Collapses `xtuple` to `resolved_id` (negative = entity absent) in
+  /// session `id`'s overlay only. State refresh is deferred to Refresh.
+  Status ApplyCleanOutcome(SessionId id, XTupleId xtuple, TupleId resolved_id);
+
+  /// Brings session `id`'s PSR + TP state up to date for every outcome
+  /// applied since its last Refresh: one suffix replay from the deepest
+  /// valid (shared or private) checkpoint + one delta TP pass. No-op when
+  /// the session is clean.
+  Status Refresh(SessionId id);
+
+  /// True when outcomes were applied to `id` since its last Refresh.
+  bool dirty(SessionId id) const {
+    return Slot(id).pending_replay_begin != kNoPending;
+  }
+
+  // Accessors mirror CleaningSession: reading a dirty session is a hard
+  // failure in every build type (a dirty session would silently serve its
+  // pre-clean state).
+
+  /// Session `id`'s view of the database (base + its own outcomes).
+  const DatabaseOverlay& overlay(SessionId id) const {
+    return Slot(id).overlay;
+  }
+
+  /// Maintained PSR state of rung `rung`. Requires !dirty(id).
+  const PsrOutput& psr(SessionId id, size_t rung = 0) const {
+    const Session& s = Slot(id);
+    UCLEAN_CHECK(s.pending_replay_begin == kNoPending);
+    return s.scan.output(rung);
+  }
+
+  /// Maintained TP quality state of rung `rung`. Requires !dirty(id).
+  const TpOutput& tp(SessionId id, size_t rung = 0) const {
+    const Session& s = Slot(id);
+    UCLEAN_CHECK(s.pending_replay_begin == kNoPending);
+    UCLEAN_DCHECK(rung < s.tps.size());
+    return s.tps[rung];
+  }
+
+  /// All per-rung TP states, ladder order. Requires !dirty(id).
+  const std::vector<TpOutput>& tps(SessionId id) const {
+    const Session& s = Slot(id);
+    UCLEAN_CHECK(s.pending_replay_begin == kNoPending);
+    return s.tps;
+  }
+
+  /// Current PWS-quality S(D,Q) at rung `rung`. Requires !dirty(id).
+  double quality(SessionId id, size_t rung = 0) const {
+    const Session& s = Slot(id);
+    UCLEAN_CHECK(s.pending_replay_begin == kNoPending);
+    UCLEAN_DCHECK(rung < s.tps.size());
+    return s.tps[rung].quality;
+  }
+
+  /// Materializes the session's outcomes into a standalone compacted
+  /// database (base + this session's cleans) and closes the session. The
+  /// pool and every other session are unaffected. Works on dirty sessions
+  /// (materialization needs only the recorded outcomes).
+  Result<ProbabilisticDatabase> CloseAndMerge(SessionId id);
+
+  /// Discards the session's overlay and state, freeing the slot.
+  Status Close(SessionId id);
+
+ private:
+  static constexpr size_t kNoPending = static_cast<size_t>(-1);
+
+  struct Session {
+    bool open = false;
+    DatabaseOverlay overlay;
+    PsrEngine::SessionState scan;
+    std::vector<TpOutput> tps;
+    size_t pending_replay_begin = kNoPending;
+  };
+
+  SessionPool() = default;
+
+  const Session& Slot(SessionId id) const {
+    UCLEAN_CHECK(id < sessions_.size() && sessions_[id].open);
+    return sessions_[id];
+  }
+
+  /// OK iff `id` names an open session (Status form for mutating calls).
+  Status CheckOpen(SessionId id) const;
+
+  // The base lives behind a stable pointer so the overlays' back-pointers
+  // survive moves of the pool itself.
+  std::unique_ptr<ProbabilisticDatabase> base_;
+  PsrEngine engine_;
+  std::vector<TpOutput> base_tps_;
+  std::vector<Session> sessions_;    // slot table; closed slots are reused
+  std::vector<size_t> free_slots_;
+  size_t num_open_ = 0;
+  Options options_;
+};
+
+}  // namespace uclean
+
+#endif  // UCLEAN_CLEAN_SESSION_POOL_H_

@@ -1,0 +1,95 @@
+#include "model/database_overlay.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace uclean {
+
+Result<ProbabilisticDatabase::CleanOutcomeDelta>
+DatabaseOverlay::ApplyCleanOutcome(XTupleId xtuple, TupleId resolved_id) {
+  if (base_ == nullptr) {
+    return Status::FailedPrecondition("overlay has no base database");
+  }
+  if (xtuple < 0 || static_cast<size_t>(xtuple) >= base_->num_xtuples()) {
+    return Status::OutOfRange("x-tuple id " + std::to_string(xtuple) +
+                              " does not exist");
+  }
+  const bool resolved_null = resolved_id < 0;
+
+  // Locate the surviving alternative among the x-tuple's live members, as
+  // this overlay sees them (a previously collapsed x-tuple has a single
+  // certain member, so re-cleaning is a no-op or a NotFound, exactly like
+  // the in-place path).
+  const std::vector<int32_t>& members = xtuple_members(xtuple);
+  int32_t resolved_rank = -1;
+  for (int32_t idx : members) {
+    const Tuple& t = tuple(static_cast<size_t>(idx));
+    if (resolved_null ? t.is_null : (!t.is_null && t.id == resolved_id)) {
+      resolved_rank = idx;
+      break;
+    }
+  }
+  if (resolved_rank < 0) {
+    return Status::NotFound(
+        resolved_null
+            ? "x-tuple " + std::to_string(xtuple) +
+                  " has no null alternative (its null outcome has "
+                  "probability zero)"
+            : "tuple id " + std::to_string(resolved_id) +
+                  " is not a live alternative of x-tuple " +
+                  std::to_string(xtuple));
+  }
+
+  ProbabilisticDatabase::CleanOutcomeDelta delta;
+  delta.resolved_rank = static_cast<size_t>(resolved_rank);
+  delta.resolved_null = resolved_null;
+
+  const bool already_certain =
+      members.size() == 1 &&
+      tuple(static_cast<size_t>(resolved_rank)).prob == 1.0;
+  if (already_certain) {
+    delta.first_changed_rank = num_tuples();  // nothing changed
+    return delta;
+  }
+
+  // Copy what we need out of `members` before touching the override maps
+  // (the reference may alias a map entry).
+  delta.first_changed_rank = static_cast<size_t>(members.front());
+  const std::vector<int32_t> old_members = members;
+
+  if (tombstones_.empty()) tombstones_.assign(num_tuples(), 0);
+  if (patched_.empty()) patched_.assign(num_tuples(), 0);
+  for (int32_t idx : old_members) {
+    if (idx == resolved_rank) continue;
+    tombstones_[idx] = 1;
+    ++num_tombstones_;
+  }
+  Tuple resolved = tuple(static_cast<size_t>(resolved_rank));
+  resolved.prob = 1.0;
+  patches_[static_cast<size_t>(resolved_rank)] = std::move(resolved);
+  patched_[resolved_rank] = 1;
+  member_overrides_[xtuple] = {resolved_rank};
+  mass_overrides_[xtuple] = resolved_null ? 0.0 : 1.0;
+  outcomes_.emplace_back(xtuple, resolved_null ? TupleId{-1} : resolved_id);
+  if (delta.first_changed_rank < divergence_) {
+    divergence_ = delta.first_changed_rank;
+  }
+  return delta;
+}
+
+ProbabilisticDatabase DatabaseOverlay::MaterializeCleaned() const {
+  UCLEAN_CHECK(base_ != nullptr);
+  ProbabilisticDatabase out = *base_;
+  for (const auto& [xtuple, resolved_id] : outcomes_) {
+    Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
+        out.ApplyCleanOutcome(xtuple, resolved_id);
+    // Outcomes were validated when recorded, and replaying them in order
+    // reproduces the exact view the overlay served.
+    UCLEAN_CHECK(delta.ok());
+  }
+  out.CompactTombstones();
+  return out;
+}
+
+}  // namespace uclean

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "common/entropy_math.h"
 
@@ -18,9 +19,11 @@ inline double Omega(double e, double e_at_or_above) {
 
 /// Re-derives quality and the per-x-tuple aggregates from the per-tuple
 /// state (omega + PSR top-k probabilities), accumulating in scan order so
-/// every caller produces bitwise-identical sums.
-void AccumulateAggregates(const ProbabilisticDatabase& db,
-                          const PsrOutput& psr, TpOutput* out) {
+/// every caller produces bitwise-identical sums. `Db` is
+/// ProbabilisticDatabase or a per-session DatabaseOverlay view of one;
+/// both run the same arithmetic (see database_overlay.h).
+template <typename Db>
+void AccumulateAggregates(const Db& db, const PsrOutput& psr, TpOutput* out) {
   std::fill(out->xtuple_gain.begin(), out->xtuple_gain.end(), 0.0);
   std::fill(out->xtuple_topk_mass.begin(), out->xtuple_topk_mass.end(), 0.0);
   double quality = 0.0;
@@ -40,7 +43,8 @@ void AccumulateAggregates(const ProbabilisticDatabase& db,
 /// Shared implementation behind both Compute forms: omega is k-independent
 /// (Eq. 6 never mentions k), so the E/omega recurrence runs once over the
 /// deepest rung's scan range and every rung reuses the values.
-Result<std::vector<TpOutput>> ComputeImpl(const ProbabilisticDatabase& db,
+template <typename Db>
+Result<std::vector<TpOutput>> ComputeImpl(const Db& db,
                                           const PsrOutput* const* psrs,
                                           size_t rungs) {
   const size_t n = db.num_tuples();
@@ -84,9 +88,9 @@ Result<std::vector<TpOutput>> ComputeImpl(const ProbabilisticDatabase& db,
 
 /// Shared implementation behind both Update forms: re-derives the omega
 /// suffix once and re-masks/re-accumulates per rung.
-Status UpdateImpl(const ProbabilisticDatabase& db,
-                  const PsrOutput* const* psrs, TpOutput* const* tps,
-                  size_t rungs, size_t replay_begin) {
+template <typename Db>
+Status UpdateImpl(const Db& db, const PsrOutput* const* psrs,
+                  TpOutput* const* tps, size_t rungs, size_t replay_begin) {
   const size_t n = db.num_tuples();
   size_t max_end = replay_begin;
   for (size_t j = 0; j < rungs; ++j) {
@@ -133,6 +137,15 @@ Status UpdateImpl(const ProbabilisticDatabase& db,
     // and a replay only rewrites [replay_begin, psr.scan_end), so work is
     // bounded by the deeper of the two ends. A rung whose scans never
     // reach the boundary is untouched (the clean cannot affect it).
+    //
+    // The wipe below runs to the DEEPER end on purpose: when a replay
+    // moves the rung's scan_end backward (a clean that saturates an
+    // x-tuple earlier fires the Lemma-2 stop sooner), the entries in
+    // [psr.scan_end, tp->scan_end) must be zeroed or later delta passes
+    // -- whose wipe is bounded by the new, shallower scan_end -- would
+    // resurrect them once the scan grows again. This maintains the
+    // invariant that omega is identically zero at and past scan_end
+    // (regression-tested in ladder_test.cc).
     const size_t end = std::max(tp->scan_end, psr.scan_end);
     if (end <= replay_begin) continue;  // omega and scan_end stay valid
     std::fill(tp->omega.begin() + replay_begin, tp->omega.begin() + end, 0.0);
@@ -179,9 +192,12 @@ Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
   return UpdateImpl(db, &psr_ptr, &tp, 1, replay_begin);
 }
 
-Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
-                             const std::vector<PsrOutput>& psrs,
-                             size_t replay_begin, std::vector<TpOutput>* tps) {
+namespace {
+
+/// Shared ladder plumbing behind the database and overlay overloads.
+template <typename Db>
+Status UpdateLadderImpl(const Db& db, const std::vector<PsrOutput>& psrs,
+                        size_t replay_begin, std::vector<TpOutput>* tps) {
   if (psrs.size() != tps->size() || psrs.empty()) {
     return Status::InvalidArgument(
         "PSR and TP ladders must be non-empty and the same length");
@@ -196,6 +212,20 @@ Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
   }
   return UpdateImpl(db, psr_ptrs.data(), tp_ptrs.data(), psrs.size(),
                     replay_begin);
+}
+
+}  // namespace
+
+Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
+                             const std::vector<PsrOutput>& psrs,
+                             size_t replay_begin, std::vector<TpOutput>* tps) {
+  return UpdateLadderImpl(db, psrs, replay_begin, tps);
+}
+
+Status UpdateTpQualityLadder(const DatabaseOverlay& db,
+                             const std::vector<PsrOutput>& psrs,
+                             size_t replay_begin, std::vector<TpOutput>* tps) {
+  return UpdateLadderImpl(db, psrs, replay_begin, tps);
 }
 
 }  // namespace uclean

@@ -33,6 +33,7 @@
 
 #include "common/status.h"
 #include "model/database.h"
+#include "model/database_overlay.h"
 #include "rank/psr.h"
 
 namespace uclean {
@@ -98,6 +99,15 @@ Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
 /// rungs. Rungs whose scan never reaches the replay boundary are
 /// untouched (a clean below a rung's stop point cannot change it).
 Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
+                             const std::vector<PsrOutput>& psrs,
+                             size_t replay_begin, std::vector<TpOutput>* tps);
+
+/// Pooled-session form: the same delta pass over one session's
+/// copy-on-write overlay of a shared base database (the PSR ladder being
+/// the session's replayed PsrEngine::SessionState outputs). Identical
+/// arithmetic, so a pooled session's TP state stays bitwise equal to a
+/// dedicated session's.
+Status UpdateTpQualityLadder(const DatabaseOverlay& db,
                              const std::vector<PsrOutput>& psrs,
                              size_t replay_begin, std::vector<TpOutput>* tps);
 

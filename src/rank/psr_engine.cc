@@ -30,50 +30,57 @@ Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
   engine.ladder_ = ladder;
   psr_internal::InitLadderOutputs(db, ladder, options, &engine.outputs_);
   engine.core_.Init(db.num_xtuples());
-  engine.RunScan(db, 0);
+  ScanFrom(db, 0, engine.options_, &engine.core_, &engine.outputs_,
+           &engine.checkpoints_, &engine.checkpoint_interval_);
   return engine;
 }
 
-void PsrEngine::TakeCheckpoint(size_t pos) {
-  if (checkpoints_.size() >= kMaxCheckpoints) {
-    // Thin: keep every other checkpoint (always retaining the rank-0 one)
+void PsrEngine::SnapshotInto(const psr_internal::ScanCore& core, size_t pos,
+                             std::vector<Checkpoint>* cps, size_t* interval) {
+  if (cps->size() >= kMaxCheckpoints) {
+    // Thin: keep every other checkpoint (always retaining the first one)
     // and double the interval, bounding memory while preserving coverage.
     size_t kept = 0;
-    for (size_t j = 0; j < checkpoints_.size(); j += 2) {
+    for (size_t j = 0; j < cps->size(); j += 2) {
       // Guard the j == kept case: self-move-assignment empties the kept
       // checkpoint's vectors (corrupting the always-retained rank-0 one).
-      if (kept != j) checkpoints_[kept] = std::move(checkpoints_[j]);
+      if (kept != j) (*cps)[kept] = std::move((*cps)[j]);
       ++kept;
     }
-    checkpoints_.resize(kept);
-    checkpoint_interval_ *= 2;
+    cps->resize(kept);
+    *interval *= 2;
   }
   Checkpoint cp;
   cp.pos = pos;
-  cp.c = core_.c;
-  cp.active = core_.active;
-  cp.saturated = core_.saturated;
-  for (size_t l = 0; l < core_.state.size(); ++l) {
-    if (core_.state[l] == psr_internal::XTupleState::kInactive) continue;
-    cp.xs.push_back({static_cast<XTupleId>(l), core_.state[l], core_.q[l]});
+  cp.c = core.c;
+  cp.active = core.active;
+  cp.saturated = core.saturated;
+  for (size_t l = 0; l < core.state.size(); ++l) {
+    if (core.state[l] == psr_internal::XTupleState::kInactive) continue;
+    cp.xs.push_back({static_cast<XTupleId>(l), core.state[l], core.q[l]});
   }
-  checkpoints_.push_back(std::move(cp));
+  cps->push_back(std::move(cp));
 }
 
-void PsrEngine::RestoreCheckpoint(const Checkpoint& cp) {
-  core_.c = cp.c;
-  core_.active = cp.active;
-  core_.saturated = cp.saturated;
-  std::fill(core_.q.begin(), core_.q.end(), 0.0);
-  std::fill(core_.state.begin(), core_.state.end(),
+void PsrEngine::RestoreInto(const Checkpoint& cp,
+                            psr_internal::ScanCore* core) {
+  core->c = cp.c;
+  core->active = cp.active;
+  core->saturated = cp.saturated;
+  std::fill(core->q.begin(), core->q.end(), 0.0);
+  std::fill(core->state.begin(), core->state.end(),
             psr_internal::XTupleState::kInactive);
   for (const Checkpoint::XEntry& x : cp.xs) {
-    core_.q[x.xtuple] = x.q;
-    core_.state[x.xtuple] = x.state;
+    core->q[x.xtuple] = x.q;
+    core->state[x.xtuple] = x.state;
   }
 }
 
-void PsrEngine::RunScan(const ProbabilisticDatabase& db, size_t begin) {
+template <typename Db>
+void PsrEngine::ScanFrom(const Db& db, size_t begin, const PsrOptions& options,
+                         psr_internal::ScanCore* core,
+                         std::vector<PsrOutput>* outputs,
+                         std::vector<Checkpoint>* cps, size_t* interval) {
   // A rung whose scan already stopped at or before `begin` cannot be
   // affected: its output beyond scan_end is identically zero and the state
   // that produced its stop decision is prefix-only. Everything deeper
@@ -81,22 +88,22 @@ void PsrEngine::RunScan(const ProbabilisticDatabase& db, size_t begin) {
   // suffix of the ladder).
   size_t first_active = 0;
   if (begin > 0) {
-    while (first_active < outputs_.size() &&
-           outputs_[first_active].scan_end <= begin) {
+    while (first_active < outputs->size() &&
+           (*outputs)[first_active].scan_end <= begin) {
       ++first_active;
     }
   }
   std::vector<PsrOutput*> outs;
-  outs.reserve(outputs_.size());
-  for (PsrOutput& out : outputs_) outs.push_back(&out);
-  for (size_t j = first_active; j < outputs_.size(); ++j) {
-    PsrOutput& out = outputs_[j];
+  outs.reserve(outputs->size());
+  for (PsrOutput& out : *outputs) outs.push_back(&out);
+  for (size_t j = first_active; j < outputs->size(); ++j) {
+    PsrOutput& out = (*outputs)[j];
     // Everything at or past the rung's previous scan end is already zero
     // (scans only ever write below their stop point), so the wipe is
     // bounded by the old scanned range, not the database size.
     const size_t wipe_end = std::max(begin, out.scan_end);
-    std::fill(out.topk_prob.begin() + begin,
-              out.topk_prob.begin() + wipe_end, 0.0);
+    std::fill(out.topk_prob.begin() + begin, out.topk_prob.begin() + wipe_end,
+              0.0);
     if (out.has_rank_probabilities) {
       std::fill(out.rank_prob.begin() + begin * out.k,
                 out.rank_prob.begin() + wipe_end * out.k, 0.0);
@@ -110,8 +117,8 @@ void PsrEngine::RunScan(const ProbabilisticDatabase& db, size_t begin) {
     }
   }
   if (begin == 0) {
-    checkpoints_.clear();
-    TakeCheckpoint(0);
+    cps->clear();
+    SnapshotInto(*core, 0, cps, interval);
   }
 
   // Running argmaxes are only meaningful over a whole scan; a partial
@@ -119,21 +126,23 @@ void PsrEngine::RunScan(const ProbabilisticDatabase& db, size_t begin) {
   const bool track_best = begin == 0;
   size_t since_checkpoint = 0;
   psr_internal::RunLadderScan(
-      db, begin, options_.early_termination, core_, outs, first_active,
-      track_best, [this, &since_checkpoint](size_t i) {
-        if (since_checkpoint >= checkpoint_interval_) {
-          TakeCheckpoint(i);
+      db, begin, options.early_termination, *core, outs, first_active,
+      track_best, [core, cps, interval, &since_checkpoint](size_t i) {
+        if (since_checkpoint >= *interval) {
+          SnapshotInto(*core, i, cps, interval);
           since_checkpoint = 0;
         }
         ++since_checkpoint;
       });
-  FinalizeAggregates(db, begin, begin == 0);
+  FinalizeAggregates(db, begin, begin == 0, outputs);
 }
 
-void PsrEngine::FinalizeAggregates(const ProbabilisticDatabase& db,
-                                   size_t begin, bool from_rank_0) {
-  for (size_t j = 0; j < outputs_.size(); ++j) {
-    PsrOutput& out = outputs_[j];
+template <typename Db>
+void PsrEngine::FinalizeAggregates(const Db& db, size_t begin,
+                                   bool from_rank_0,
+                                   std::vector<PsrOutput>* outputs) {
+  for (size_t j = 0; j < outputs->size(); ++j) {
+    PsrOutput& out = (*outputs)[j];
     // Untouched rungs (stopped at or before the replay boundary) keep
     // every aggregate; recounting them would be wasted work.
     if (!from_rank_0 && out.scan_end <= begin) continue;
@@ -177,6 +186,9 @@ void PsrEngine::InvalidateBelow(size_t first_changed_rank) {
 
 Status PsrEngine::Replay(const ProbabilisticDatabase& db,
                          size_t first_changed_rank) {
+  if (outputs_.empty()) {
+    return Status::FailedPrecondition("PsrEngine was not initialized");
+  }
   if (outputs_.front().topk_prob.size() != db.num_tuples()) {
     return Status::FailedPrecondition(
         "PsrEngine state does not match the database (was the engine "
@@ -191,8 +203,95 @@ Status PsrEngine::Replay(const ProbabilisticDatabase& db,
   // Resume from the last remaining checkpoint (the rank-0 one always
   // survives, so the list is never empty here).
   const size_t replay_begin = checkpoints_.back().pos;
-  RestoreCheckpoint(checkpoints_.back());
-  RunScan(db, replay_begin);
+  RestoreInto(checkpoints_.back(), &core_);
+  ScanFrom(db, replay_begin, options_, &core_, &outputs_, &checkpoints_,
+           &checkpoint_interval_);
+  return Status::OK();
+}
+
+PsrEngine::SessionState PsrEngine::ForkSession() const {
+  SessionState state;
+  // Copy only each rung's live prefix onto a zeroed buffer: every output
+  // entry at or past scan_end is identically zero (scans never write past
+  // their stop point), and for ranked data the stop leaves the bulk of
+  // the array cold -- this is what keeps opening a pooled session an
+  // order of magnitude cheaper than a dedicated scan.
+  state.outputs_.resize(outputs_.size());
+  for (size_t j = 0; j < outputs_.size(); ++j) {
+    const PsrOutput& src = outputs_[j];
+    PsrOutput& dst = state.outputs_[j];
+    dst.k = src.k;
+    dst.num_nonzero = src.num_nonzero;
+    dst.scan_end = src.scan_end;
+    dst.topk_prob.assign(src.topk_prob.size(), 0.0);
+    std::copy(src.topk_prob.begin(), src.topk_prob.begin() + src.scan_end,
+              dst.topk_prob.begin());
+    dst.best_rank_prob = src.best_rank_prob;
+    dst.best_rank_index = src.best_rank_index;
+    dst.has_rank_probabilities = src.has_rank_probabilities;
+    if (src.has_rank_probabilities) {
+      dst.rank_prob.assign(src.rank_prob.size(), 0.0);
+      std::copy(src.rank_prob.begin(),
+                src.rank_prob.begin() + src.scan_end * src.k,
+                dst.rank_prob.begin());
+    }
+  }
+  state.core_.Init(core_.q.size());
+  state.checkpoint_interval_ = checkpoint_interval_;
+  return state;
+}
+
+Status PsrEngine::ReplaySession(const DatabaseOverlay& db,
+                                size_t first_changed_rank,
+                                SessionState* state) const {
+  if (outputs_.empty() || checkpoints_.empty()) {
+    return Status::FailedPrecondition("PsrEngine was not initialized");
+  }
+  if (state == nullptr || state->outputs_.size() != outputs_.size()) {
+    return Status::FailedPrecondition(
+        "session state was not forked from this engine");
+  }
+  if (state->outputs_.front().topk_prob.size() != db.num_tuples()) {
+    return Status::FailedPrecondition(
+        "session state does not match the overlay's base database");
+  }
+  if (first_changed_rank >= db.num_tuples()) return Status::OK();  // no-op
+  // The overlay is the single source of truth for how shallow the
+  // session's changes reach: every recorded outcome is reflected there,
+  // so a shared snapshot at or above its divergence rank is valid no
+  // matter what `first_changed_rank` the caller batched up (passing a
+  // conservatively shallow rank merely pops more private snapshots).
+  const size_t divergence = db.divergence_rank();
+
+  // The session's own snapshots taken past the change hold pre-clean
+  // state; drop them, same as InvalidateBelow on the single-session path.
+  while (!state->checkpoints_.empty() &&
+         state->checkpoints_.back().pos > first_changed_rank) {
+    state->checkpoints_.pop_back();
+  }
+
+  // Deepest restore point still valid for this session: a shared base
+  // snapshot is valid wherever the overlay still equals the base (at or
+  // above the divergence rank -- a snapshot at pos depends only on tuples
+  // ranked above pos); a surviving private snapshot is valid by the
+  // invalidation above. The shared rank-0 snapshot always qualifies.
+  const Checkpoint* restore = nullptr;
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->pos <= divergence) {
+      restore = &*it;
+      break;
+    }
+  }
+  if (!state->checkpoints_.empty() &&
+      (restore == nullptr || state->checkpoints_.back().pos >= restore->pos)) {
+    restore = &state->checkpoints_.back();
+  }
+  UCLEAN_CHECK(restore != nullptr);
+
+  const size_t replay_begin = restore->pos;
+  RestoreInto(*restore, &state->core_);
+  ScanFrom(db, replay_begin, options_, &state->core_, &state->outputs_,
+           &state->checkpoints_, &state->checkpoint_interval_);
   return Status::OK();
 }
 

@@ -23,6 +23,19 @@
 // cannot change its output -- while deeper rungs re-emit only their own
 // reachable suffix.
 //
+// Multi-session: the same checkpoints are additionally k-independent of
+// WHO is asking -- a snapshot at rank p depends only on the tuples above
+// p. A SessionPool therefore forks one SessionState per concurrent
+// session (a copy of the base outputs, no scan) and replays each
+// session's DatabaseOverlay through ReplaySession: the shared base
+// checkpoints cover the prefix above the session's own divergence rank
+// (where its overlay still equals the base), and the session's private
+// checkpoint list covers its post-divergence suffix, exactly the way the
+// base list covers the single-session case. The shared checkpoints and
+// base outputs are never written after Create (Replay is the
+// single-session path and must not be mixed with ForkSession use), so any
+// number of interleaved sessions can replay against them.
+//
 // Aggregate caveats after a replay:
 //  * num_nonzero and scan_end are always maintained, per rung.
 //  * best_rank_prob / best_rank_index are running argmaxes over the whole
@@ -45,12 +58,31 @@
 
 #include "common/status.h"
 #include "model/database.h"
+#include "model/database_overlay.h"
 #include "rank/psr.h"
 #include "rank/psr_scan_core.h"
 
 namespace uclean {
 
 class PsrEngine {
+ private:
+  /// Scan state snapshot taken just before processing rank `pos`. The
+  /// snapshot is k-independent, so one checkpoint set serves every rung;
+  /// it is also session-independent above the snapshotting session's own
+  /// changes, which is what lets pooled sessions share the base set.
+  struct Checkpoint {
+    size_t pos = 0;
+    std::vector<double> c;
+    size_t active = 0;
+    size_t saturated = 0;
+    struct XEntry {
+      XTupleId xtuple;
+      psr_internal::XTupleState state;
+      double q;
+    };
+    std::vector<XEntry> xs;  // every non-inactive x-tuple
+  };
+
  public:
   /// An empty engine; assign from Create before use.
   PsrEngine() = default;
@@ -114,6 +146,49 @@ class PsrEngine {
   Status ApplyCompaction(const ProbabilisticDatabase& db,
                          const std::vector<int32_t>& old_to_new);
 
+  // ----- pooled sessions over the shared scan -----
+
+  /// One pooled session's scan state: a complete per-rung PsrOutput set
+  /// plus the session's private post-divergence checkpoints. Forked from
+  /// the engine, advanced only through ReplaySession. The session's
+  /// divergence rank -- the bound on shared-checkpoint validity -- is
+  /// read from its overlay, the single source of truth for what the
+  /// session changed.
+  class SessionState {
+   public:
+    SessionState() = default;
+
+    const PsrOutput& output(size_t rung) const {
+      UCLEAN_DCHECK(rung < outputs_.size());
+      return outputs_[rung];
+    }
+    const std::vector<PsrOutput>& outputs() const { return outputs_; }
+
+   private:
+    friend class PsrEngine;
+    std::vector<PsrOutput> outputs_;       // one per rung, ascending k
+    std::vector<Checkpoint> checkpoints_;  // private suffix snapshots
+    psr_internal::ScanCore core_;          // session replay scratch
+    size_t checkpoint_interval_ = kInitialCheckpointInterval;
+  };
+
+  /// Forks a pooled session's state: a copy of the base outputs (O(rungs
+  /// * n) memcpy, NO scan -- this is why opening a pooled session is
+  /// orders of magnitude cheaper than starting a dedicated one).
+  SessionState ForkSession() const;
+
+  /// Session form of Replay: re-derives `state` after ApplyCleanOutcome
+  /// calls on the session's overlay `db` (a view of the database this
+  /// engine was created from). Restores the deepest checkpoint still
+  /// valid for the session -- its own post-divergence snapshot when one
+  /// survives the change, the last shared base snapshot at or above the
+  /// overlay's divergence_rank() otherwise -- and replays only the
+  /// suffix, taking fresh private checkpoints along the way. Shared
+  /// engine state is untouched, so interleaved sessions never observe
+  /// each other.
+  Status ReplaySession(const DatabaseOverlay& db, size_t first_changed_rank,
+                       SessionState* state) const;
+
   /// Checkpoint cadence: every `checkpoint_interval_` live tuples, thinned
   /// (drop every other one, double the interval) when the count exceeds
   /// kMaxCheckpoints so memory stays O(kMaxCheckpoints * m).
@@ -121,33 +196,30 @@ class PsrEngine {
   static constexpr size_t kMaxCheckpoints = 160;
 
  private:
-  /// Scan state snapshot taken just before processing rank `pos`. The
-  /// snapshot is k-independent, so one checkpoint set serves every rung.
-  struct Checkpoint {
-    size_t pos = 0;
-    std::vector<double> c;
-    size_t active = 0;
-    size_t saturated = 0;
-    struct XEntry {
-      XTupleId xtuple;
-      psr_internal::XTupleState state;
-      double q;
-    };
-    std::vector<XEntry> xs;  // every non-inactive x-tuple
-  };
+  /// Copies the scan state into a fresh checkpoint appended to `cps`,
+  /// thinning (and doubling `*interval`) at capacity.
+  static void SnapshotInto(const psr_internal::ScanCore& core, size_t pos,
+                           std::vector<Checkpoint>* cps, size_t* interval);
 
-  void TakeCheckpoint(size_t pos);
-  void RestoreCheckpoint(const Checkpoint& cp);
+  static void RestoreInto(const Checkpoint& cp, psr_internal::ScanCore* core);
 
-  /// Zeroes output from `begin` on and runs the scan loop to its stop
-  /// point, taking fresh checkpoints along the way. Rungs whose scan had
-  /// already stopped at or before `begin` are left untouched.
-  void RunScan(const ProbabilisticDatabase& db, size_t begin);
+  /// Zeroes `outputs` from `begin` on and runs the scan loop over `db` to
+  /// its stop point, snapshotting into `cps` along the way. Rungs whose
+  /// scan had already stopped at or before `begin` are left untouched.
+  /// `Db` is ProbabilisticDatabase (base/dedicated path) or
+  /// DatabaseOverlay (pooled-session path); both run identical
+  /// arithmetic.
+  template <typename Db>
+  static void ScanFrom(const Db& db, size_t begin, const PsrOptions& options,
+                       psr_internal::ScanCore* core,
+                       std::vector<PsrOutput>* outputs,
+                       std::vector<Checkpoint>* cps, size_t* interval);
 
   /// Recomputes num_nonzero and (from the matrix, when stored) the
   /// per-rank argmaxes after a scan, for every rung that re-emitted.
-  void FinalizeAggregates(const ProbabilisticDatabase& db, size_t begin,
-                          bool from_rank_0);
+  template <typename Db>
+  static void FinalizeAggregates(const Db& db, size_t begin, bool from_rank_0,
+                                 std::vector<PsrOutput>* outputs);
 
   PsrOptions options_;
   KLadder ladder_;

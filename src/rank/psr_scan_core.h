@@ -271,10 +271,14 @@ void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
 /// live position before it is processed -- the engine snapshots there, the
 /// one-shot drivers pass a no-op. On return `first_active` reflects the
 /// rungs still unstopped (scan_end == n).
-template <typename CheckpointFn>
-inline void RunLadderScan(const ProbabilisticDatabase& db, size_t begin,
-                          bool early_termination, ScanCore& core,
-                          const std::vector<PsrOutput*>& outs,
+///
+/// `Db` is ProbabilisticDatabase or any type exposing its read interface
+/// (num_tuples / tuple / is_tombstone) -- per-session DatabaseOverlay
+/// views run the exact same arithmetic, which keeps pooled sessions
+/// bitwise identical to dedicated ones.
+template <typename Db, typename CheckpointFn>
+inline void RunLadderScan(const Db& db, size_t begin, bool early_termination,
+                          ScanCore& core, const std::vector<PsrOutput*>& outs,
                           size_t& first_active, bool track_best,
                           CheckpointFn&& maybe_checkpoint) {
   const size_t n = db.num_tuples();

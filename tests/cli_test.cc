@@ -142,6 +142,75 @@ TEST_F(CliTest, FullWorkflow) {
             0)
       << out;
   EXPECT_NE(out.find("minimal budget"), std::string::npos);
+
+  // clean --adaptive --sessions N: pooled sessions over one shared scan.
+  ASSERT_EQ(Run("clean --db " + Path("db.csv") + " --profile " +
+                    Path("profile.csv") +
+                    " --k 5 --budget 20 --adaptive --sessions 3 --out " +
+                    Path("cleaned3.csv") + " --seed 3",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("session pool: 3 adaptive sessions"),
+            std::string::npos);
+  EXPECT_NE(out.find("session 2:"), std::string::npos);
+  Result<ProbabilisticDatabase> pooled =
+      ReadDatabaseCsvFile(Path("cleaned3.csv"));
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_EQ(pooled->num_xtuples(), 120u);
+}
+
+TEST_F(CliTest, KLadderParsingAndNormalization) {
+  std::string out;
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 40 --out " +
+                    Path("ladder_db.csv") + " --seed 6",
+                &out),
+            0);
+
+  // Reordered/duplicated input is served normalized WITH a printed note
+  // (the per-k output order would otherwise silently misattribute lines).
+  ASSERT_EQ(Run("query --db " + Path("ladder_db.csv") +
+                    " --k-ladder 10,5,10 --semantics ptk",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("normalized to {5, 10}"), std::string::npos);
+  EXPECT_NE(out.find("k-ladder {5, 10}"), std::string::npos);
+  // Already-normalized input gets no note.
+  ASSERT_EQ(Run("quality --db " + Path("ladder_db.csv") + " --k-ladder 5,10",
+                &out),
+            0);
+  EXPECT_EQ(out.find("normalized"), std::string::npos) << out;
+
+  // Hardened parsing: trailing/doubled commas, negatives, zero and
+  // values past int64 all fail with a clean error (no stoul wrapping).
+  for (const char* bad : {"5,10,", "5,,10", ",5", "-3,5", "0,5",
+                          "99999999999999999999999", "5,abc"}) {
+    EXPECT_NE(Run("query --db " + Path("ladder_db.csv") + " --k-ladder " +
+                      std::string(bad),
+                  &out),
+              0)
+        << "accepted bad ladder '" << bad << "'";
+    EXPECT_NE(out.find("k-ladder"), std::string::npos) << out;
+  }
+
+  // --sessions guards.
+  ASSERT_EQ(
+      Run("profile --xtuples 40 --out " + Path("ladder_profile.csv"), &out),
+      0);
+  EXPECT_NE(Run("clean --db " + Path("ladder_db.csv") + " --profile " +
+                    Path("ladder_profile.csv") +
+                    " --k 5 --budget 10 --sessions 0 --adaptive --out " +
+                    Path("x.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--sessions"), std::string::npos) << out;
+  EXPECT_NE(Run("clean --db " + Path("ladder_db.csv") + " --profile " +
+                    Path("ladder_profile.csv") +
+                    " --k 5 --budget 10 --sessions 2 --out " + Path("x.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--adaptive"), std::string::npos) << out;
 }
 
 TEST_F(CliTest, PwQualityOnTinyDatabase) {

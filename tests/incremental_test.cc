@@ -327,6 +327,55 @@ TEST(PsrEngine, RejectsZeroK) {
   EXPECT_FALSE(PsrEngine::Create(db, 0).ok());
 }
 
+TEST(Session, TakeDatabaseOnDirtySessionReflectsOutcomes) {
+  // TakeDatabase must hand back every applied outcome even when the
+  // session is still dirty (outcomes applied, no Refresh): the database
+  // mutations are eager, only the PSR/TP state refresh is deferred, and
+  // ending a session is a legitimate reason never to pay for one.
+  Rng maker(4242);
+  RandomDbOptions opts;
+  opts.num_xtuples = 12;
+  opts.max_alternatives = 3;
+  ProbabilisticDatabase base = MakeRandomDatabase(&maker, opts);
+
+  // Reference: the same outcomes collapsed directly on a copy.
+  ProbabilisticDatabase reference = base;
+
+  Result<CleaningSession> session =
+      CleaningSession::Start(ProbabilisticDatabase(base), /*k=*/3);
+  ASSERT_TRUE(session.ok());
+  Rng rng(17);
+  size_t applied = 0;
+  for (int draw = 0; draw < 4; ++draw) {
+    if (!ApplyRandomOutcome(&*session, &rng)) break;
+    ++applied;
+  }
+  ASSERT_GT(applied, 0u);
+  ASSERT_TRUE(session->dirty());
+  for (size_t l = 0; l < reference.num_xtuples(); ++l) {
+    // Mirror the session's collapses onto the reference via its db view.
+    const auto& members =
+        session->db().xtuple_members(static_cast<XTupleId>(l));
+    if (members.size() != 1) continue;
+    const Tuple& survivor = session->db().tuple(members[0]);
+    if (survivor.prob < 1.0) continue;
+    ASSERT_TRUE(reference
+                    .ApplyCleanOutcome(static_cast<XTupleId>(l),
+                                       survivor.is_null ? -1 : survivor.id)
+                    .ok());
+  }
+  reference.CompactTombstones();
+
+  const ProbabilisticDatabase taken = std::move(*session).TakeDatabase();
+  EXPECT_FALSE(taken.has_tombstones());  // compacted on the way out
+  ASSERT_EQ(taken.num_tuples(), reference.num_tuples());
+  for (size_t i = 0; i < reference.num_tuples(); ++i) {
+    EXPECT_EQ(taken.tuple(i).id, reference.tuple(i).id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(taken.tuple(i).prob, reference.tuple(i).prob)
+        << "rank " << i;
+  }
+}
+
 TEST(Session, ExecutePlanOverloadsAgree) {
   // The session overload of ExecutePlan must consume the same random
   // stream and land on the same cleaned state as the database overload.

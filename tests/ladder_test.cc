@@ -373,6 +373,70 @@ TEST(LadderSession, MatchesPerKSessionsUnderSharedOutcomeStream) {
   }
 }
 
+TEST(LadderSession, ShrinkingScanEndLeavesNoStaleOmega) {
+  // Regression for the delta-TP shrink case: a clean that resolves an
+  // x-tuple to a top-ranked certain tuple adds a saturated contributor
+  // early, so the Lemma-2 stop fires sooner and the replayed scan_end
+  // moves BACKWARD. UpdateTpQualityLadder must wipe omega to the deeper
+  // of the old and new ends, or the entries in [new_end, old_end) would
+  // survive as stale state that a later pass (whose wipe is bounded by
+  // the new, shallower scan_end) silently resurrects once the scan grows
+  // again. The test forces the shrink, asserts omega is identically zero
+  // at and past every rung's new stop point, and then pushes another
+  // clean through to prove later passes stay exact.
+  Rng maker(987);
+  RandomDbOptions opts;
+  opts.num_xtuples = 40;
+  opts.max_alternatives = 4;
+  opts.allow_subunit_mass = false;  // unit mass: saturation drives the stop
+  const ProbabilisticDatabase base = MakeRandomDatabase(&maker, opts);
+  const KLadder ladder = MakeLadder({2, 6});
+
+  CleaningSession::Options options;
+  options.compact_min_tombstones = static_cast<size_t>(-1);  // keep indices
+  bool shrunk = false;
+  for (size_t l = 0; l < base.num_xtuples() && !shrunk; ++l) {
+    const auto& members = base.xtuple_members(static_cast<XTupleId>(l));
+    if (members.size() < 2 || base.tuple(members.front()).is_null) continue;
+    Result<CleaningSession> session = CleaningSession::Start(
+        ProbabilisticDatabase(base), ladder, options);
+    ASSERT_TRUE(session.ok()) << session.status();
+    std::vector<size_t> old_ends;
+    for (size_t rung = 0; rung < ladder.size(); ++rung) {
+      old_ends.push_back(session->psr(rung).scan_end);
+    }
+    ASSERT_TRUE(session
+                    ->ApplyCleanOutcome(static_cast<XTupleId>(l),
+                                        base.tuple(members.front()).id)
+                    .ok());
+    ASSERT_TRUE(session->Refresh().ok());
+    for (size_t rung = 0; rung < ladder.size(); ++rung) {
+      shrunk |= session->psr(rung).scan_end < old_ends[rung];
+    }
+    if (!shrunk) continue;
+
+    for (size_t rung = 0; rung < ladder.size(); ++rung) {
+      const TpOutput& tp = session->tp(rung);
+      EXPECT_EQ(tp.scan_end, session->psr(rung).scan_end);
+      for (size_t i = tp.scan_end; i < tp.omega.size(); ++i) {
+        EXPECT_EQ(tp.omega[i], 0.0)
+            << "stale omega at rank " << i << " (scan_end " << tp.scan_end
+            << ", pre-clean scan_end " << old_ends[rung] << ")";
+      }
+      ExpectTpMatchesSingleK(session->db(), tp, ladder[rung]);
+    }
+    // A second clean (and replay) over the shrunken state must stay
+    // exact: this is the pass a stale omega suffix would poison.
+    ASSERT_TRUE(ApplyRandomOutcome(&*session, &maker));
+    ASSERT_TRUE(session->Refresh().ok());
+    for (size_t rung = 0; rung < ladder.size(); ++rung) {
+      ExpectTpMatchesSingleK(session->db(), session->tp(rung), ladder[rung]);
+    }
+  }
+  ASSERT_TRUE(shrunk) << "no clean shrank any rung's scan_end; the "
+                         "regression scenario was not exercised";
+}
+
 TEST(AggregatedProblem, SingleRungReducesToSingleK) {
   Rng maker(31);
   RandomDbOptions opts;

@@ -2,7 +2,8 @@
 """Bench-regression gate: compares BENCH_*.json speedups against
 checked-in floors and fails (exit 1) when any floor is broken.
 
-Usage: check_bench.py BENCH_incremental.json BENCH_multik.json ...
+Usage: check_bench.py BENCH_incremental.json BENCH_multik.json \
+       BENCH_pool.json ...
 
 The floors are deliberately well below locally measured medians (CI
 runners are slower and noisier; see bench/README.md for the measured
@@ -38,6 +39,23 @@ MULTIK_FLOORS = {
 # Per-rung quality trajectories must agree across arms; anything above
 # this is a correctness bug, not noise.
 MULTIK_QUALITY_TOL = 1e-9
+
+# bench_pool: SessionPool (N pooled copy-on-write sessions over one
+# shared scan) vs N dedicated CleaningSessions, keyed by
+# (workload, regime, sessions). Locally measured medians in
+# bench/README.md: oneshot ~2.5-2.9x, interactive ~2.0x, batch ~1.25x.
+POOL_FLOORS = {
+    ("unit", "oneshot", 8): 2.0,  # the >=2x acceptance gate
+    ("unit", "interactive", 8): 1.4,
+    ("unit", "batch", 8): 1.05,
+    ("subunit", "oneshot", 8): 2.0,
+    ("subunit", "interactive", 8): 1.4,
+}
+
+# Pooled and dedicated sessions run the exact same scan arithmetic from
+# the same snapshots; their per-session qualities agree bitwise, so the
+# tolerance is effectively "exactly equal".
+POOL_QUALITY_TOL = 1e-12
 
 
 def check_incremental(doc):
@@ -89,7 +107,41 @@ def check_multik(doc):
     return failures
 
 
-CHECKERS = {"incremental": check_incremental, "multik": check_multik}
+def check_pool(doc):
+    failures = []
+    seen = set()
+    for series in doc["series"]:
+        key = (series["workload"], series["regime"], series["sessions"])
+        seen.add(key)
+        if key not in POOL_FLOORS:
+            failures.append(f"pool {key}: no checked-in floor (add one)")
+            continue
+        floor = POOL_FLOORS[key]
+        speedup = series["speedup"]
+        diff = series["max_quality_diff"]
+        label = f"pool {key[0]}/{key[1]}/N={key[2]}"
+        print(
+            f"{label}: speedup {speedup:.2f}x (floor {floor}), "
+            f"quality diff {diff:.1e}"
+        )
+        if speedup < floor:
+            failures.append(f"{label}: {speedup:.2f}x < {floor}x")
+        if diff > POOL_QUALITY_TOL:
+            failures.append(
+                f"{label}: per-session qualities diverge by {diff:.3e} "
+                f"(tol {POOL_QUALITY_TOL})"
+            )
+    for key in POOL_FLOORS:
+        if key not in seen:
+            failures.append(f"pool {key}: series missing from the JSON")
+    return failures
+
+
+CHECKERS = {
+    "incremental": check_incremental,
+    "multik": check_multik,
+    "pool": check_pool,
+}
 
 
 def main(argv):

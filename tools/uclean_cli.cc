@@ -23,6 +23,7 @@
 #include "clean/agent.h"
 #include "clean/planners.h"
 #include "clean/profile_io.h"
+#include "clean/session_pool.h"
 #include "clean/target.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -60,13 +61,19 @@ commands:
            [--planner dp|greedy|randp|randu] [--seed S]
   clean    --db DB.csv --profile PROFILE.csv --k K --budget C --out OUT.csv
            [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
-           [--k-ladder K1,K2,...]
+           [--k-ladder K1,K2,...] [--sessions N]
   target   --db DB.csv --profile PROFILE.csv --k K --target Q
            [--max-budget 100000]
 
 --k-ladder serves every listed k from ONE shared PSR scan (query and
 quality report per-k results; adaptive cleaning plans against the uniform
-ladder aggregate). --k is ignored when --k-ladder is given.
+ladder aggregate). Input that is not ascending and deduped is normalized
+with a printed note. --k is ignored when --k-ladder is given.
+
+--sessions N (with --adaptive) runs N concurrent cleaning sessions over
+ONE shared scan via the session pool: each session plans and probes its
+own copy-on-write view with the full budget; session 0's cleaned database
+is written to --out.
 )";
 
 /// Minimal --key value flag map.
@@ -143,7 +150,13 @@ class Flags {
   auto decl = std::move(decl##_result).value()
 
 /// Parses "--k-ladder 5,10,25,50" (falling back to a one-rung ladder at
-/// --k when absent) into a validated KLadder.
+/// --k when absent) into a validated KLadder. Every entry must be a
+/// positive integer -- empty entries (trailing or doubled commas),
+/// negatives and values past int64 are rejected with a pointed message
+/// instead of being wrapped or dropped. When KLadder::Of had to reorder
+/// or dedup the input, the normalization is announced: every downstream
+/// consumer serves the NORMALIZED ladder, and silently printing results
+/// in an order the user did not ask for misattributes every per-k line.
 Result<KLadder> ParseKLadder(const Flags& flags) {
   if (!flags.Has("k-ladder")) {
     CLI_ASSIGN_OR_RETURN(k, flags.GetInt("k"));
@@ -153,13 +166,27 @@ Result<KLadder> ParseKLadder(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(raw, flags.GetString("k-ladder"));
   std::vector<size_t> ks;
   for (const std::string& part : SplitString(raw, ',')) {
-    Result<int64_t> k = ParseInt(StripWhitespace(part));
+    const std::string_view stripped = StripWhitespace(part);
+    if (stripped.empty()) {
+      return Status::InvalidArgument(
+          "bad --k-ladder '" + raw +
+          "': empty entry (trailing or doubled comma?)");
+    }
+    Result<int64_t> k = ParseInt(stripped);
     if (!k.ok() || *k <= 0) {
-      return Status::InvalidArgument("bad --k-ladder entry '" + part + "'");
+      return Status::InvalidArgument(
+          "bad --k-ladder entry '" + std::string(stripped) +
+          "': every k must be a positive integer");
     }
     ks.push_back(static_cast<size_t>(*k));
   }
-  return KLadder::Of(std::move(ks));
+  Result<KLadder> ladder = KLadder::Of(ks);
+  if (ladder.ok() && ladder->ks != ks) {
+    std::printf("note: --k-ladder %s normalized to %s; all per-k output "
+                "follows the normalized (ascending, deduped) order\n",
+                raw.c_str(), ladder->ToString().c_str());
+  }
+  return ladder;
 }
 
 Status RunGenerate(const Flags& flags) {
@@ -449,6 +476,96 @@ Status RunPlan(const Flags& flags) {
   return Status::OK();
 }
 
+/// `clean --adaptive --sessions N`: N concurrent adaptive cleaning
+/// sessions over ONE shared scan (SessionPool). Each session is an
+/// independent analyst running the plan/execute/re-plan loop with the
+/// full budget against their own copy-on-write view; the pool amortizes
+/// the database copy, PSR scan, checkpoint set and TP pass a dedicated
+/// session would pay per analyst. Session 0's merged database is written
+/// to --out (the others are what-if runs that close unmaterialized).
+Status RunCleanPool(const ProbabilisticDatabase& db,
+                    const CleaningProfile& profile, const KLadder& ladder,
+                    int64_t budget, size_t num_sessions, PlannerKind planner,
+                    uint64_t seed, const std::string& out) {
+  Result<SessionPool> pool =
+      SessionPool::Create(ProbabilisticDatabase(db), ladder);
+  if (!pool.ok()) return pool.status();
+  const size_t rungs = pool->num_rungs();
+  double initial = 0.0;
+  for (size_t j = 0; j < rungs; ++j) {
+    initial += LadderRungWeight({}, rungs, j) * pool->base_tp(j).quality;
+  }
+
+  std::vector<SessionPool::SessionId> ids;
+  std::vector<Rng> rngs;
+  std::vector<int64_t> remaining(num_sessions, budget);
+  std::vector<int64_t> spent(num_sessions, 0);
+  std::vector<bool> done(num_sessions, false);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    ids.push_back(pool->OpenSession());
+    rngs.emplace_back(seed + s);
+  }
+
+  // Round-robin rounds: sessions interleave applies and refreshes on the
+  // shared engine, each planning only from its own session state. The
+  // per-session round cap is the adaptive loop's own default, so the
+  // pooled and dedicated CLI paths can never drift apart.
+  const size_t max_rounds = AdaptiveOptions().max_rounds;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    bool progressed = false;
+    for (size_t s = 0; s < num_sessions; ++s) {
+      if (done[s] || remaining[s] <= 0) continue;
+      Result<CleaningProblem> problem =
+          MakeCleaningProblem(pool->tps(ids[s]), {}, profile, remaining[s]);
+      if (!problem.ok()) return problem.status();
+      Result<CleaningPlan> plan = RunPlanner(planner, *problem, &rngs[s]);
+      if (!plan.ok()) return plan.status();
+      if (plan->total_cost == 0 || plan->expected_improvement <= 0.0) {
+        done[s] = true;
+        continue;
+      }
+      Result<SessionExecutionReport> executed =
+          ExecutePlan(&*pool, ids[s], profile, plan->probes, &rngs[s]);
+      if (!executed.ok()) return executed.status();
+      if (executed->spent == 0) {
+        done[s] = true;
+        continue;
+      }
+      UCLEAN_RETURN_IF_ERROR(pool->Refresh(ids[s]));
+      remaining[s] -= executed->spent;
+      spent[s] += executed->spent;
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+
+  std::printf("session pool: %zu adaptive sessions over one shared scan, "
+              "k-ladder %s, initial quality %.6f\n",
+              num_sessions, pool->ladder().ToString().c_str(), initial);
+  for (size_t s = 0; s < num_sessions; ++s) {
+    double final_quality = 0.0;
+    for (size_t j = 0; j < rungs; ++j) {
+      final_quality +=
+          LadderRungWeight({}, rungs, j) * pool->quality(ids[s], j);
+    }
+    std::printf("  session %zu: spent %lld/%lld (%zu cleans), quality "
+                "%.6f -> %.6f\n",
+                s, static_cast<long long>(spent[s]),
+                static_cast<long long>(budget),
+                pool->overlay(ids[s]).num_outcomes(), initial, final_quality);
+    if (rungs > 1) {
+      for (size_t j = 0; j < rungs; ++j) {
+        std::printf("    k = %zu: quality %.6f -> %.6f\n",
+                    pool->ladder()[j], pool->base_tp(j).quality,
+                    pool->quality(ids[s], j));
+      }
+    }
+  }
+  Result<ProbabilisticDatabase> merged = pool->CloseAndMerge(ids[0]);
+  if (!merged.ok()) return merged.status();
+  return WriteDatabaseCsvFile(*merged, out);
+}
+
 Status RunClean(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
@@ -464,6 +581,23 @@ Status RunClean(const Flags& flags) {
   if (!profile.ok()) return profile.status();
   const size_t kk = cli_ladder.max_k();
   Rng rng(static_cast<uint64_t>(seed));
+
+  CLI_ASSIGN_OR_RETURN(sessions, flags.GetInt("sessions", 1));
+  if (sessions < 1) {
+    return Status::InvalidArgument("--sessions must be >= 1");
+  }
+  if (sessions > 1) {
+    if (!flags.Has("adaptive")) {
+      return Status::InvalidArgument(
+          "--sessions requires --adaptive (pooled cleaning sessions run "
+          "the adaptive loop)");
+    }
+    UCLEAN_RETURN_IF_ERROR(RunCleanPool(
+        *db, *profile, cli_ladder, budget, static_cast<size_t>(sessions),
+        planner, static_cast<uint64_t>(seed), out));
+    std::printf("cleaned database written to %s\n", out.c_str());
+    return Status::OK();
+  }
 
   if (flags.Has("adaptive")) {
     AdaptiveOptions options;
