@@ -60,8 +60,10 @@ Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
     }
   }
 
+  CleaningSession::Options session_options;
+  session_options.exec = options.exec;
   Result<CleaningSession> session =
-      CleaningSession::Start(std::move(db), *ladder);
+      CleaningSession::Start(std::move(db), *ladder, session_options);
   if (!session.ok()) return session.status();
 
   AdaptiveReport report;

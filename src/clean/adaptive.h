@@ -33,6 +33,7 @@
 #include "clean/planners.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "model/database.h"
 #include "rank/psr.h"
 
@@ -56,6 +57,11 @@ struct AdaptiveOptions {
   PlannerKind planner = PlannerKind::kGreedy;
   DpOptions dp_options;
   size_t max_rounds = 64;
+
+  /// Execution mode for the session's scans, replays and TP passes
+  /// (CleaningSession::Options::exec); the sequential default and any
+  /// thread count produce bitwise-identical state.
+  ExecOptions exec;
 };
 
 /// One round's summary.

@@ -22,13 +22,16 @@ Result<CleaningSession> CleaningSession::Start(ProbabilisticDatabase db,
   session.options_ = options;
   session.db_ = std::move(db);
 
-  Result<PsrEngine> engine = PsrEngine::Create(
-      session.db_, ladder, options.psr, options.checkpoint_interval);
+  Result<PsrEngine> engine =
+      PsrEngine::Create(session.db_, ladder, options.psr,
+                        options.checkpoint_interval, options.exec);
   if (!engine.ok()) return engine.status();
   session.engine_ = std::move(engine).value();
 
-  Result<std::vector<TpOutput>> tps =
-      ComputeTpQualityLadder(session.db_, session.engine_.outputs());
+  // The engine resolved the exec options (building the shared pool when
+  // asked to); every TP pass fans over that same pool.
+  Result<std::vector<TpOutput>> tps = ComputeTpQualityLadder(
+      session.db_, session.engine_.outputs(), session.engine_.exec());
   if (!tps.ok()) return tps.status();
   session.tps_ = std::move(tps).value();
   return session;
@@ -87,8 +90,8 @@ Status CleaningSession::Refresh() {
   }
 
   UCLEAN_RETURN_IF_ERROR(engine_.Replay(db_, replay_begin));
-  UCLEAN_RETURN_IF_ERROR(
-      UpdateTpQualityLadder(db_, engine_.outputs(), replay_begin, &tps_));
+  UCLEAN_RETURN_IF_ERROR(UpdateTpQualityLadder(
+      db_, engine_.outputs(), replay_begin, &tps_, engine_.exec()));
   pending_replay_begin_ = kNoPending;
   return Status::OK();
 }

@@ -41,6 +41,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "model/database.h"
 #include "quality/tp.h"
 #include "rank/psr.h"
@@ -52,6 +53,12 @@ class CleaningSession {
  public:
   struct Options {
     PsrOptions psr;
+
+    /// Execution mode: num_threads > 1 shards the initial scan and every
+    /// replay by rank range and fans the delta TP pass per rung, all on
+    /// one shared pool (see rank/sharded_scan.h -- maintained state is
+    /// bitwise identical to the sequential default).
+    ExecOptions exec;
 
     /// Initial PSR checkpoint cadence (see PsrEngine::Create).
     size_t checkpoint_interval = PsrEngine::kInitialCheckpointInterval;

@@ -1,11 +1,36 @@
 #include "clean/session_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <utility>
 
 namespace uclean {
+
+namespace {
+
+/// RAII arm of the debug-build serialized-caller contract: flags the
+/// pool busy for one public call; a second call overlapping it -- from
+/// another thread, or reentrantly -- aborts instead of corrupting the
+/// slot tables. Compiles to nothing under NDEBUG.
+class ScopedSerializedCall {
+ public:
+#ifndef NDEBUG
+  explicit ScopedSerializedCall(std::atomic<bool>* flag) : flag_(flag) {
+    UCLEAN_CHECK(!flag->exchange(true, std::memory_order_acquire) &&
+                 "SessionPool access must be serialized by the caller");
+  }
+  ~ScopedSerializedCall() { flag_->store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>* flag_;
+#else
+  explicit ScopedSerializedCall(std::atomic<bool>*) {}
+#endif
+};
+
+}  // namespace
 
 Result<SessionPool> SessionPool::Create(ProbabilisticDatabase base, size_t k,
                                         const Options& options) {
@@ -25,21 +50,28 @@ Result<SessionPool> SessionPool::Create(ProbabilisticDatabase base,
 
   SessionPool pool;
   pool.options_ = options;
+  // Resolve the executor ONCE: the engine's sharded scans, every TP
+  // pass and RefreshAll's session fan-out all share this pool.
+  Result<ExecOptions> exec = ResolveExec(options.exec);
+  if (!exec.ok()) return exec.status();
+  pool.options_.exec = std::move(exec).value();
   pool.base_ = std::make_unique<ProbabilisticDatabase>(std::move(base));
 
-  Result<PsrEngine> engine = PsrEngine::Create(
-      *pool.base_, ladder, options.psr, options.checkpoint_interval);
+  Result<PsrEngine> engine =
+      PsrEngine::Create(*pool.base_, ladder, options.psr,
+                        options.checkpoint_interval, pool.options_.exec);
   if (!engine.ok()) return engine.status();
   pool.engine_ = std::move(engine).value();
 
-  Result<std::vector<TpOutput>> tps =
-      ComputeTpQualityLadder(*pool.base_, pool.engine_.outputs());
+  Result<std::vector<TpOutput>> tps = ComputeTpQualityLadder(
+      *pool.base_, pool.engine_.outputs(), pool.options_.exec);
   if (!tps.ok()) return tps.status();
   pool.base_tps_ = std::move(tps).value();
   return pool;
 }
 
 SessionPool::SessionId SessionPool::OpenSession() {
+  ScopedSerializedCall guard(in_call_.get());
   SessionId id;
   if (!free_slots_.empty()) {
     id = free_slots_.back();
@@ -82,6 +114,7 @@ Status SessionPool::CheckOpen(SessionId id) const {
 
 Status SessionPool::ApplyCleanOutcome(SessionId id, XTupleId xtuple,
                                       TupleId resolved_id) {
+  ScopedSerializedCall guard(in_call_.get());
   UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
   Session& session = sessions_[id];
   Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
@@ -98,27 +131,64 @@ Status SessionPool::ApplyCleanOutcome(SessionId id, XTupleId xtuple,
   return Status::OK();
 }
 
-Status SessionPool::Refresh(SessionId id) {
-  UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
-  Session& session = sessions_[id];
-  if (session.pending_replay_begin == kNoPending) return Status::OK();
-  const size_t replay_begin = session.pending_replay_begin;
+Status SessionPool::RefreshSession(Session* session) {
+  if (session->pending_replay_begin == kNoPending) return Status::OK();
+  const size_t replay_begin = session->pending_replay_begin;
   UCLEAN_RETURN_IF_ERROR(
-      engine_.ReplaySession(session.overlay, replay_begin, &session.scan));
+      engine_.ReplaySession(session->overlay, replay_begin, &session->scan));
   UCLEAN_RETURN_IF_ERROR(UpdateTpQualityLadder(
-      session.overlay, session.scan.outputs(), replay_begin, &session.tps));
-  session.pending_replay_begin = kNoPending;
+      session->overlay, session->scan.outputs(), replay_begin, &session->tps,
+      options_.exec));
+  session->pending_replay_begin = kNoPending;
+  return Status::OK();
+}
+
+Status SessionPool::Refresh(SessionId id) {
+  ScopedSerializedCall guard(in_call_.get());
+  UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
+  return RefreshSession(&sessions_[id]);
+}
+
+Status SessionPool::RefreshAll() {
+  ScopedSerializedCall guard(in_call_.get());
+  std::vector<Session*> pending;
+  for (Session& session : sessions_) {
+    if (session.open && session.pending_replay_begin != kNoPending) {
+      pending.push_back(&session);
+    }
+  }
+  // Fan whole sessions across the pool: each task reads only the shared
+  // engine (immutable after Create) and writes only its own session, so
+  // per-session results are bitwise what Refresh(id) would produce. A
+  // session's own replay degrades to its sequential path on the worker
+  // (nested parallelism runs inline), which is exactly the right shape:
+  // the parallelism budget is spent across sessions.
+  std::vector<Status> statuses(pending.size(), Status::OK());
+  ExecParallelFor(options_.exec, pending.size(), [&](size_t i) {
+    statuses[i] = RefreshSession(pending[i]);
+  });
+  for (Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
   return Status::OK();
 }
 
 Result<ProbabilisticDatabase> SessionPool::CloseAndMerge(SessionId id) {
-  UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
-  ProbabilisticDatabase merged = sessions_[id].overlay.MaterializeCleaned();
+  ProbabilisticDatabase merged;
+  {
+    // Materialization reads the session's overlay, so it must sit
+    // inside the guarded window; scoped because Close takes the
+    // (non-recursive) guard itself.
+    ScopedSerializedCall guard(in_call_.get());
+    UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
+    merged = sessions_[id].overlay.MaterializeCleaned();
+  }
   UCLEAN_RETURN_IF_ERROR(Close(id));
   return merged;
 }
 
 Status SessionPool::Close(SessionId id) {
+  ScopedSerializedCall guard(in_call_.get());
   UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
   // Free the slot's heavy state eagerly; the slot is reused by the next
   // OpenSession.

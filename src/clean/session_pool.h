@@ -32,7 +32,20 @@
 // Sessions are logically concurrent: opens, applies, refreshes and closes
 // interleave freely and never observe each other. The pool itself is NOT
 // thread-safe; callers serialize access (the replay scratch is
-// per-session, but open/close mutate shared tables).
+// per-session, but open/close mutate shared tables). Debug builds
+// ENFORCE that contract: every public entry point carries a reentrancy
+// guard that turns two overlapping calls -- the misuse the line above
+// forbids -- into a hard UCLEAN_CHECK failure instead of silent state
+// corruption (death-tested in pool_test.cc).
+//
+// The sanctioned way to apply hardware parallelism is THROUGH the pool,
+// not around it: Options::exec shards the shared scan and every
+// session's suffix replay by rank range (rank/sharded_scan.h), and
+// RefreshAll runs many dirty sessions' refreshes concurrently on the
+// same ThreadPool from one caller thread -- each session's scratch,
+// overlay and TP state are private, and the shared engine state is
+// read-only after Create, so sessions fan out without locks while the
+// serialized-caller contract stays intact.
 //
 // Reading a dirty session (outcomes applied, not yet refreshed) is a hard
 // failure in every build type, matching CleaningSession.
@@ -40,6 +53,7 @@
 #ifndef UCLEAN_CLEAN_SESSION_POOL_H_
 #define UCLEAN_CLEAN_SESSION_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <utility>
@@ -47,6 +61,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "model/database.h"
 #include "model/database_overlay.h"
 #include "quality/tp.h"
@@ -64,6 +79,13 @@ class SessionPool {
 
   struct Options {
     PsrOptions psr;
+
+    /// Execution mode: num_threads > 1 shards the base scan and every
+    /// session replay by rank range, fans the TP passes per rung, and
+    /// lets RefreshAll run whole sessions concurrently -- all on ONE
+    /// shared pool. Per-session state stays bitwise identical to the
+    /// sequential default.
+    ExecOptions exec;
 
     /// Initial PSR checkpoint cadence of the shared scan (see
     /// PsrEngine::Create).
@@ -118,6 +140,15 @@ class SessionPool {
   /// valid (shared or private) checkpoint + one delta TP pass. No-op when
   /// the session is clean.
   Status Refresh(SessionId id);
+
+  /// Refreshes EVERY dirty open session, running the per-session
+  /// replay + TP work concurrently on Options::exec's pool (sequentially
+  /// without one). Sessions only read the shared engine state and write
+  /// their own, so the fan-out is race-free by construction and each
+  /// session's result is bitwise the result of calling Refresh(id)
+  /// itself. Returns the first error encountered (remaining sessions
+  /// are still attempted; a failed session stays dirty).
+  Status RefreshAll();
 
   /// True when outcomes were applied to `id` since its last Refresh.
   bool dirty(SessionId id) const {
@@ -185,6 +216,12 @@ class SessionPool {
 
   SessionPool() = default;
 
+  /// Refresh body without the serialized-call guard, shared by Refresh
+  /// and RefreshAll's fan-out (which must not re-enter the guard from
+  /// worker threads). Touches only `session`'s state plus the read-only
+  /// shared engine.
+  Status RefreshSession(Session* session);
+
   const Session& Slot(SessionId id) const {
     UCLEAN_CHECK(id < sessions_.size() && sessions_[id].open);
     return sessions_[id];
@@ -202,6 +239,13 @@ class SessionPool {
   std::vector<size_t> free_slots_;
   size_t num_open_ = 0;
   Options options_;
+
+  // Debug-build serialized-caller guard (see the header comment): set
+  // for the duration of every mutating public call; two overlapping
+  // calls trip a hard UCLEAN_CHECK. Heap-allocated so the pool stays
+  // movable.
+  mutable std::unique_ptr<std::atomic<bool>> in_call_ =
+      std::make_unique<std::atomic<bool>>(false);
 };
 
 }  // namespace uclean

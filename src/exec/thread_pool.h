@@ -1,0 +1,167 @@
+// Execution subsystem: a small fixed-size worker pool shared by every
+// parallel path in the library (sharded PSR scans and replays, per-rung
+// TP fan-out, concurrent pooled-session refreshes).
+//
+// Design constraints, in order:
+//  * DETERMINISM. Every parallel consumer in this codebase writes results
+//    into caller-owned slots addressed by index (shard ranges, rung
+//    indices, session slots), so the only scheduling guarantee the pool
+//    needs to give -- and the one it does give -- is that ParallelFor
+//    runs fn(i) exactly once for every i and TaskGroup::Wait returns only
+//    after every Run() task finished. Which thread runs which index is
+//    unspecified; results must not depend on it (all current consumers
+//    satisfy this by construction, which is what keeps parallel output
+//    bitwise equal to sequential output).
+//  * NO SURPRISE THREADS. The pool is fixed-size, created explicitly at
+//    the top of the stack (CLI --threads, SessionPool/CleaningSession
+//    options, bench harnesses) and handed down as a shared_ptr inside
+//    ExecOptions. A null pool -- the default everywhere -- means strictly
+//    sequential execution on the caller thread; the library never spawns
+//    a thread the caller did not ask for.
+//  * GRACEFUL NESTING. Work submitted from inside a pool worker runs
+//    inline on that worker instead of deadlocking or oversubscribing:
+//    when SessionPool::RefreshAll fans sessions onto the pool, each
+//    session's own sharded replay degrades to its sequential path on the
+//    worker thread.
+//
+// The caller thread always participates in ParallelFor and helps drain
+// the queue in TaskGroup::Wait, so a pool built for N threads applies N
+// threads of compute (N - 1 workers + the caller), and ParallelFor with a
+// single-thread pool is exactly the inline loop.
+
+#ifndef UCLEAN_EXEC_THREAD_POOL_H_
+#define UCLEAN_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uclean {
+
+class ThreadPool {
+ public:
+  /// Hard cap on pool size; protects against misparsed thread counts
+  /// turning into thousands of spawned threads.
+  static constexpr size_t kMaxThreads = 256;
+
+  /// A pool applying `num_threads` threads of compute: `num_threads - 1`
+  /// workers plus the submitting caller. Requires 1 <= num_threads <=
+  /// kMaxThreads (hard UCLEAN_CHECK; validate user input with
+  /// ResolveExec). A 1-thread pool spawns no workers and runs everything
+  /// inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// A set of tasks whose completion can be awaited together. Run() from
+  /// a pool worker (nested parallelism) executes inline; Wait() lets the
+  /// caller help drain the pool's queue instead of idling.
+  class TaskGroup {
+   public:
+    /// `pool` may be null: every Run() then executes inline and Wait()
+    /// is a no-op, which is the sequential path.
+    explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+    ~TaskGroup() { Wait(); }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    void Run(std::function<void()> fn);
+    void Wait();
+
+   private:
+    friend class ThreadPool;
+    void TaskDone();
+
+    ThreadPool* pool_ = nullptr;
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    size_t pending_ = 0;
+  };
+
+  /// Runs fn(i) exactly once for every i in [0, n), distributing indices
+  /// over the pool; blocks until all are done. The caller participates.
+  /// Deterministic in the sense documented above: output placement is
+  /// the callee's (indexed) responsibility, not the scheduler's.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (any pool). Nested submissions run inline.
+  static bool InWorker();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  void Enqueue(Task task);
+
+  /// Pops and runs one queued task on the calling thread; false when the
+  /// queue was empty.
+  bool RunOneQueued();
+
+  void WorkerLoop();
+
+  const size_t num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Task> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The parallelism knob threaded through the stack (PsrEngine,
+/// ComputePsrLadder, TP, CleaningSession, SessionPool, CLI --threads).
+struct ExecOptions {
+  /// Threads of compute to apply; 1 (the default) is the strictly
+  /// sequential path with no pool involvement at all.
+  size_t num_threads = 1;
+
+  /// Never split a scan range into shards smaller than this many rank
+  /// positions: below it, the per-shard boundary-state rebuild and merge
+  /// overhead outweighs the parallelism (and the sequential path is
+  /// already sub-millisecond).
+  size_t min_tuples_per_shard = 2048;
+
+  /// The shared pool. Normally left null and filled by ResolveExec; set
+  /// it explicitly to make several components share one pool (the CLI
+  /// and SessionPool do).
+  std::shared_ptr<ThreadPool> pool;
+
+  /// True when this options value asks for an actual parallel path.
+  bool parallel() const { return pool != nullptr && pool->num_threads() > 1; }
+};
+
+/// Validates `exec` and returns it with `pool` filled in: num_threads
+/// must be in [1, ThreadPool::kMaxThreads]; a pool is created when
+/// num_threads > 1 and none was provided (num_threads == 1 keeps pool
+/// null -- the sequential path). A pre-set pool is kept as-is and
+/// num_threads is aligned to it.
+Result<ExecOptions> ResolveExec(ExecOptions exec);
+
+/// ParallelFor over `exec`'s pool, or the plain inline loop when there is
+/// none (the sequential path compiles down to exactly the old code).
+inline void ExecParallelFor(const ExecOptions& exec, size_t n,
+                            const std::function<void(size_t)>& fn) {
+  if (exec.pool != nullptr) {
+    exec.pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace uclean
+
+#endif  // UCLEAN_EXEC_THREAD_POOL_H_

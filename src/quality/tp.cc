@@ -42,11 +42,14 @@ void AccumulateAggregates(const Db& db, const PsrOutput& psr, TpOutput* out) {
 
 /// Shared implementation behind both Compute forms: omega is k-independent
 /// (Eq. 6 never mentions k), so the E/omega recurrence runs once over the
-/// deepest rung's scan range and every rung reuses the values.
+/// deepest rung's scan range and every rung reuses the values. The
+/// per-rung masking/accumulation fans over `exec` (disjoint outputs, so
+/// parallel results are bitwise equal).
 template <typename Db>
 Result<std::vector<TpOutput>> ComputeImpl(const Db& db,
                                           const PsrOutput* const* psrs,
-                                          size_t rungs) {
+                                          size_t rungs,
+                                          const ExecOptions& exec) {
   const size_t n = db.num_tuples();
   size_t max_end = 0;
   for (size_t j = 0; j < rungs; ++j) {
@@ -70,7 +73,7 @@ Result<std::vector<TpOutput>> ComputeImpl(const Db& db,
   }
 
   std::vector<TpOutput> outs(rungs);
-  for (size_t j = 0; j < rungs; ++j) {
+  ExecParallelFor(exec, rungs, [&](size_t j) {
     const PsrOutput& psr = *psrs[j];
     TpOutput& out = outs[j];
     out.omega.assign(n, 0.0);
@@ -82,15 +85,17 @@ Result<std::vector<TpOutput>> ComputeImpl(const Db& db,
       out.omega[i] = shared_omega[i];
     }
     AccumulateAggregates(db, psr, &out);
-  }
+  });
   return outs;
 }
 
 /// Shared implementation behind both Update forms: re-derives the omega
-/// suffix once and re-masks/re-accumulates per rung.
+/// suffix once and re-masks/re-accumulates per rung, fanning the
+/// per-rung suffix work over `exec` (disjoint outputs, bitwise equal).
 template <typename Db>
 Status UpdateImpl(const Db& db, const PsrOutput* const* psrs,
-                  TpOutput* const* tps, size_t rungs, size_t replay_begin) {
+                  TpOutput* const* tps, size_t rungs, size_t replay_begin,
+                  const ExecOptions& exec) {
   const size_t n = db.num_tuples();
   size_t max_end = replay_begin;
   for (size_t j = 0; j < rungs; ++j) {
@@ -130,7 +135,7 @@ Status UpdateImpl(const Db& db, const PsrOutput* const* psrs,
     shared_omega[i] = Omega(t.prob, e_at_or_above);
   }
 
-  for (size_t j = 0; j < rungs; ++j) {
+  ExecParallelFor(exec, rungs, [&](size_t j) {
     const PsrOutput& psr = *psrs[j];
     TpOutput* tp = tps[j];
     // Every stored omega lives below the scan end it was computed under,
@@ -147,7 +152,7 @@ Status UpdateImpl(const Db& db, const PsrOutput* const* psrs,
     // invariant that omega is identically zero at and past scan_end
     // (regression-tested in ladder_test.cc).
     const size_t end = std::max(tp->scan_end, psr.scan_end);
-    if (end <= replay_begin) continue;  // omega and scan_end stay valid
+    if (end <= replay_begin) return;  // omega and scan_end stay valid
     std::fill(tp->omega.begin() + replay_begin, tp->omega.begin() + end, 0.0);
     for (size_t i = replay_begin; i < psr.scan_end; ++i) {
       if (db.is_tombstone(i) || psr.topk_prob[i] <= 0.0) continue;
@@ -155,7 +160,7 @@ Status UpdateImpl(const Db& db, const PsrOutput* const* psrs,
     }
     tp->scan_end = psr.scan_end;
     AccumulateAggregates(db, psr, tp);
-  }
+  });
   return Status::OK();
 }
 
@@ -164,7 +169,7 @@ Status UpdateImpl(const Db& db, const PsrOutput* const* psrs,
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
                                   const PsrOutput& psr) {
   const PsrOutput* ptr = &psr;
-  Result<std::vector<TpOutput>> outs = ComputeImpl(db, &ptr, 1);
+  Result<std::vector<TpOutput>> outs = ComputeImpl(db, &ptr, 1, {});
   if (!outs.ok()) return outs.status();
   return std::move((*outs)[0]);
 }
@@ -176,20 +181,21 @@ Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k) {
 }
 
 Result<std::vector<TpOutput>> ComputeTpQualityLadder(
-    const ProbabilisticDatabase& db, const std::vector<PsrOutput>& psrs) {
+    const ProbabilisticDatabase& db, const std::vector<PsrOutput>& psrs,
+    const ExecOptions& exec) {
   if (psrs.empty()) {
     return Status::InvalidArgument("quality ladder must not be empty");
   }
   std::vector<const PsrOutput*> ptrs;
   ptrs.reserve(psrs.size());
   for (const PsrOutput& psr : psrs) ptrs.push_back(&psr);
-  return ComputeImpl(db, ptrs.data(), ptrs.size());
+  return ComputeImpl(db, ptrs.data(), ptrs.size(), exec);
 }
 
 Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
                        size_t replay_begin, TpOutput* tp) {
   const PsrOutput* psr_ptr = &psr;
-  return UpdateImpl(db, &psr_ptr, &tp, 1, replay_begin);
+  return UpdateImpl(db, &psr_ptr, &tp, 1, replay_begin, {});
 }
 
 namespace {
@@ -197,7 +203,8 @@ namespace {
 /// Shared ladder plumbing behind the database and overlay overloads.
 template <typename Db>
 Status UpdateLadderImpl(const Db& db, const std::vector<PsrOutput>& psrs,
-                        size_t replay_begin, std::vector<TpOutput>* tps) {
+                        size_t replay_begin, std::vector<TpOutput>* tps,
+                        const ExecOptions& exec) {
   if (psrs.size() != tps->size() || psrs.empty()) {
     return Status::InvalidArgument(
         "PSR and TP ladders must be non-empty and the same length");
@@ -211,21 +218,23 @@ Status UpdateLadderImpl(const Db& db, const std::vector<PsrOutput>& psrs,
     tp_ptrs.push_back(&(*tps)[j]);
   }
   return UpdateImpl(db, psr_ptrs.data(), tp_ptrs.data(), psrs.size(),
-                    replay_begin);
+                    replay_begin, exec);
 }
 
 }  // namespace
 
 Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
                              const std::vector<PsrOutput>& psrs,
-                             size_t replay_begin, std::vector<TpOutput>* tps) {
-  return UpdateLadderImpl(db, psrs, replay_begin, tps);
+                             size_t replay_begin, std::vector<TpOutput>* tps,
+                             const ExecOptions& exec) {
+  return UpdateLadderImpl(db, psrs, replay_begin, tps, exec);
 }
 
 Status UpdateTpQualityLadder(const DatabaseOverlay& db,
                              const std::vector<PsrOutput>& psrs,
-                             size_t replay_begin, std::vector<TpOutput>* tps) {
-  return UpdateLadderImpl(db, psrs, replay_begin, tps);
+                             size_t replay_begin, std::vector<TpOutput>* tps,
+                             const ExecOptions& exec) {
+  return UpdateLadderImpl(db, psrs, replay_begin, tps, exec);
 }
 
 }  // namespace uclean

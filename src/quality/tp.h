@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "model/database.h"
 #include "model/database_overlay.h"
 #include "rank/psr.h"
@@ -73,9 +74,12 @@ Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k);
 /// k-independent omega recurrence runs ONCE for the deepest rung's scan
 /// range; each rung then pairs the shared omegas with its own top-k
 /// probabilities. Results are identical to calling ComputeTpQuality per
-/// rung.
+/// rung. `exec` fans the per-rung masking/accumulation over a shared
+/// pool (each rung touches only its own TpOutput, so parallel results
+/// are bitwise equal to sequential ones); the default runs inline.
 Result<std::vector<TpOutput>> ComputeTpQualityLadder(
-    const ProbabilisticDatabase& db, const std::vector<PsrOutput>& psrs);
+    const ProbabilisticDatabase& db, const std::vector<PsrOutput>& psrs,
+    const ExecOptions& exec = {});
 
 /// Delta overload for incremental cleaning sessions: brings `tp`
 /// (previously computed for `db` + the engine's PSR state) up to date
@@ -98,9 +102,12 @@ Status UpdateTpQuality(const ProbabilisticDatabase& db, const PsrOutput& psr,
 /// shared-engine replay, running the omega suffix recurrence once for all
 /// rungs. Rungs whose scan never reaches the replay boundary are
 /// untouched (a clean below a rung's stop point cannot change it).
+/// `exec` fans the per-rung wipe/mask/accumulate suffix work over a
+/// shared pool, bitwise equal to the inline default.
 Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
                              const std::vector<PsrOutput>& psrs,
-                             size_t replay_begin, std::vector<TpOutput>* tps);
+                             size_t replay_begin, std::vector<TpOutput>* tps,
+                             const ExecOptions& exec = {});
 
 /// Pooled-session form: the same delta pass over one session's
 /// copy-on-write overlay of a shared base database (the PSR ladder being
@@ -109,7 +116,8 @@ Status UpdateTpQualityLadder(const ProbabilisticDatabase& db,
 /// dedicated session's.
 Status UpdateTpQualityLadder(const DatabaseOverlay& db,
                              const std::vector<PsrOutput>& psrs,
-                             size_t replay_begin, std::vector<TpOutput>* tps);
+                             size_t replay_begin, std::vector<TpOutput>* tps,
+                             const ExecOptions& exec = {});
 
 }  // namespace uclean
 

@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "rank/psr_scan_core.h"
+#include "rank/sharded_scan.h"
 
 namespace uclean {
 
@@ -76,7 +77,16 @@ void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
 Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
                                                 const KLadder& ladder,
                                                 const PsrOptions& options) {
+  return ComputePsrLadder(db, ladder, options, ExecOptions());
+}
+
+Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
+                                                const KLadder& ladder,
+                                                const PsrOptions& options,
+                                                const ExecOptions& exec) {
   UCLEAN_RETURN_IF_ERROR(ladder.Validate());
+  Result<ExecOptions> resolved = ResolveExec(exec);
+  if (!resolved.ok()) return resolved.status();
 
   std::vector<PsrOutput> outputs;
   psr_internal::InitLadderOutputs(db, ladder, options, &outputs);
@@ -86,16 +96,30 @@ Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
 
   psr_internal::ScanCore core;
   core.Init(db.num_xtuples());
-  size_t first_active = 0;
-  psr_internal::RunLadderScan(db, 0, options.early_termination, core, outs,
-                              first_active, /*track_best=*/true,
-                              [](size_t) {});
-  for (PsrOutput& out : outputs) {
+  bool sharded = false;
+  if (resolved->parallel()) {
+    // One-shot scans keep no checkpoints: the snapshot hook is a no-op.
+    const auto no_checkpoints = [](size_t, size_t) {
+      return [](const psr_internal::ScanCore&, size_t, size_t) {};
+    };
+    sharded = psr_internal::RunShardedLadderScan(
+        db, 0, 0, options, resolved->pool.get(),
+        resolved->min_tuples_per_shard, core, outs, /*track_best=*/true,
+        no_checkpoints);
+  }
+  if (!sharded) {
+    size_t first_active = 0;
+    psr_internal::RunLadderScan(db, 0, 0, options.early_termination, core,
+                                outs, first_active, /*track_best=*/true,
+                                [](size_t, size_t) {});
+  }
+  ExecParallelFor(*resolved, outputs.size(), [&outputs](size_t j) {
+    PsrOutput& out = outputs[j];
     out.num_nonzero = 0;
     for (double p : out.topk_prob) {
       if (p > 0.0) ++out.num_nonzero;
     }
-  }
+  });
   return outputs;
 }
 

@@ -52,6 +52,7 @@
 
 #include "common/check.h"
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "model/database.h"
 
 namespace uclean {
@@ -148,6 +149,16 @@ Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
 Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
                                                 const KLadder& ladder,
                                                 const PsrOptions& options = {});
+
+/// Parallel form: the same one-shot ladder scan sharded by rank range
+/// over `exec` (exec/thread_pool.h). Results agree with the sequential
+/// form to 1e-12 for any thread/shard count (see rank/sharded_scan.h);
+/// ExecOptions{1} -- or a range too small to shard -- IS the sequential
+/// form. Fails with InvalidArgument when exec is invalid.
+Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
+                                                const KLadder& ladder,
+                                                const PsrOptions& options,
+                                                const ExecOptions& exec);
 
 }  // namespace uclean
 

@@ -1,57 +1,70 @@
 #include "rank/psr_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "rank/sharded_scan.h"
 
 namespace uclean {
 
 Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db, size_t k,
                                     const PsrOptions& options,
-                                    size_t checkpoint_interval) {
+                                    size_t checkpoint_interval,
+                                    const ExecOptions& exec) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
   KLadder ladder;
   ladder.ks = {k};
-  return Create(db, ladder, options, checkpoint_interval);
+  return Create(db, ladder, options, checkpoint_interval, exec);
 }
 
 Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
                                     const KLadder& ladder,
                                     const PsrOptions& options,
-                                    size_t checkpoint_interval) {
+                                    size_t checkpoint_interval,
+                                    const ExecOptions& exec) {
   UCLEAN_RETURN_IF_ERROR(ladder.Validate());
   if (checkpoint_interval == 0) {
     return Status::InvalidArgument("checkpoint interval must be positive");
   }
+  Result<ExecOptions> resolved = ResolveExec(exec);
+  if (!resolved.ok()) return resolved.status();
 
   PsrEngine engine;
+  engine.exec_ = std::move(resolved).value();
   engine.options_ = options;
   engine.checkpoint_interval_ = checkpoint_interval;
   engine.ladder_ = ladder;
   psr_internal::InitLadderOutputs(db, ladder, options, &engine.outputs_);
   engine.core_.Init(db.num_xtuples());
-  ScanFrom(db, 0, engine.options_, &engine.core_, &engine.outputs_,
-           &engine.checkpoints_, &engine.checkpoint_interval_);
+  ScanFrom(db, 0, 0, engine.options_, engine.exec_, &engine.core_,
+           &engine.outputs_, &engine.checkpoints_,
+           &engine.checkpoint_interval_);
   return engine;
 }
 
-void PsrEngine::SnapshotInto(const psr_internal::ScanCore& core, size_t pos,
-                             std::vector<Checkpoint>* cps, size_t* interval) {
-  if (cps->size() >= kMaxCheckpoints) {
-    // Thin: keep every other checkpoint (always retaining the first one)
-    // and double the interval, bounding memory while preserving coverage.
-    size_t kept = 0;
-    for (size_t j = 0; j < cps->size(); j += 2) {
-      // Guard the j == kept case: self-move-assignment empties the kept
-      // checkpoint's vectors (corrupting the always-retained rank-0 one).
-      if (kept != j) (*cps)[kept] = std::move((*cps)[j]);
-      ++kept;
-    }
-    cps->resize(kept);
-    *interval *= 2;
+void PsrEngine::ThinCheckpoints(std::vector<Checkpoint>* cps,
+                                size_t* interval) {
+  // Keep every other checkpoint (always retaining the first one) and
+  // double the interval, bounding memory while preserving coverage.
+  size_t kept = 0;
+  for (size_t j = 0; j < cps->size(); j += 2) {
+    // Guard the j == kept case: self-move-assignment empties the kept
+    // checkpoint's vectors (corrupting the always-retained rank-0 one).
+    if (kept != j) (*cps)[kept] = std::move((*cps)[j]);
+    ++kept;
   }
+  cps->resize(kept);
+  *interval *= 2;
+}
+
+void PsrEngine::SnapshotInto(const psr_internal::ScanCore& core, size_t pos,
+                             size_t live, std::vector<Checkpoint>* cps,
+                             size_t* interval) {
+  if (cps->size() >= kMaxCheckpoints) ThinCheckpoints(cps, interval);
   Checkpoint cp;
   cp.pos = pos;
+  cp.live = live;
   cp.c = core.c;
   cp.active = core.active;
   cp.saturated = core.saturated;
@@ -77,7 +90,8 @@ void PsrEngine::RestoreInto(const Checkpoint& cp,
 }
 
 template <typename Db>
-void PsrEngine::ScanFrom(const Db& db, size_t begin, const PsrOptions& options,
+void PsrEngine::ScanFrom(const Db& db, size_t begin, size_t live_at_begin,
+                         const PsrOptions& options, const ExecOptions& exec,
                          psr_internal::ScanCore* core,
                          std::vector<PsrOutput>* outputs,
                          std::vector<Checkpoint>* cps, size_t* interval) {
@@ -118,34 +132,85 @@ void PsrEngine::ScanFrom(const Db& db, size_t begin, const PsrOptions& options,
   }
   if (begin == 0) {
     cps->clear();
-    SnapshotInto(*core, 0, cps, interval);
+    SnapshotInto(*core, 0, 0, cps, interval);
   }
 
   // Running argmaxes are only meaningful over a whole scan; a partial
   // replay rebuilds them from the stored matrix in FinalizeAggregates.
   const bool track_best = begin == 0;
-  size_t since_checkpoint = 0;
-  psr_internal::RunLadderScan(
-      db, begin, options.early_termination, *core, outs, first_active,
-      track_best, [core, cps, interval, &since_checkpoint](size_t i) {
-        if (since_checkpoint >= *interval) {
-          SnapshotInto(*core, i, cps, interval);
-          since_checkpoint = 0;
+
+  // Parallel path: shard the active rungs' range over the pool. Shard s
+  // snapshots into its own list (its rebuilt boundary state first, then
+  // on the usual live-tuple cadence); the lists merge in shard order and
+  // thin to capacity, so checkpoint PLACEMENT differs from the
+  // sequential path while every snapshot remains a valid restore point.
+  bool sharded = false;
+  if (exec.parallel()) {
+    struct ShardCheckpoints {
+      std::vector<Checkpoint> cps;
+      size_t interval = 0;
+      size_t since = 0;
+      bool snapshot_first = false;
+    };
+    std::vector<ShardCheckpoints> shard_cps;
+    const size_t base_interval = *interval;
+    const auto make_checkpoint_fn = [&shard_cps, base_interval](
+                                        size_t s, size_t num_shards) {
+      if (shard_cps.empty()) shard_cps.resize(num_shards);
+      ShardCheckpoints* local = &shard_cps[s];
+      local->interval = base_interval;
+      local->snapshot_first = s > 0;
+      return [local](const psr_internal::ScanCore& core, size_t pos,
+                     size_t live) {
+        if (local->snapshot_first || local->since >= local->interval) {
+          SnapshotInto(core, pos, live, &local->cps, &local->interval);
+          local->snapshot_first = false;
+          local->since = 0;
         }
-        ++since_checkpoint;
-      });
-  FinalizeAggregates(db, begin, begin == 0, outputs);
+        ++local->since;
+      };
+    };
+    std::vector<PsrOutput*> active_outs(outs.begin() + first_active,
+                                        outs.end());
+    sharded = psr_internal::RunShardedLadderScan(
+        db, begin, live_at_begin, options, exec.pool.get(),
+        exec.min_tuples_per_shard, *core, active_outs, track_best,
+        make_checkpoint_fn);
+    if (sharded) {
+      for (ShardCheckpoints& local : shard_cps) {
+        for (Checkpoint& cp : local.cps) cps->push_back(std::move(cp));
+        *interval = std::max(*interval, local.interval);
+      }
+      while (cps->size() > kMaxCheckpoints) ThinCheckpoints(cps, interval);
+    }
+  }
+  if (!sharded) {
+    size_t since_checkpoint = 0;
+    psr_internal::RunLadderScan(
+        db, begin, live_at_begin, options.early_termination, *core, outs,
+        first_active, track_best,
+        [core, cps, interval, &since_checkpoint](size_t i, size_t live) {
+          if (since_checkpoint >= *interval) {
+            SnapshotInto(*core, i, live, cps, interval);
+            since_checkpoint = 0;
+          }
+          ++since_checkpoint;
+        });
+  }
+  FinalizeAggregates(db, begin, begin == 0, exec, outputs);
 }
 
 template <typename Db>
 void PsrEngine::FinalizeAggregates(const Db& db, size_t begin,
-                                   bool from_rank_0,
+                                   bool from_rank_0, const ExecOptions& exec,
                                    std::vector<PsrOutput>* outputs) {
-  for (size_t j = 0; j < outputs->size(); ++j) {
+  // Each rung's recount/argmax rebuild touches only that rung's output,
+  // so the per-rung work fans over the pool verbatim.
+  ExecParallelFor(exec, outputs->size(), [&](size_t j) {
     PsrOutput& out = (*outputs)[j];
     // Untouched rungs (stopped at or before the replay boundary) keep
     // every aggregate; recounting them would be wasted work.
-    if (!from_rank_0 && out.scan_end <= begin) continue;
+    if (!from_rank_0 && out.scan_end <= begin) return;
     out.num_nonzero = 0;
     for (size_t i = 0; i < out.scan_end; ++i) {  // zero past the stop point
       if (out.topk_prob[i] > 0.0) ++out.num_nonzero;
@@ -158,9 +223,9 @@ void PsrEngine::FinalizeAggregates(const Db& db, size_t begin,
         std::fill(out.best_rank_prob.begin(), out.best_rank_prob.end(), 0.0);
         std::fill(out.best_rank_index.begin(), out.best_rank_index.end(), -1);
       }
-      continue;
+      return;
     }
-    if (from_rank_0) continue;  // running argmaxes are exact for full scans
+    if (from_rank_0) return;  // running argmaxes are exact for full scans
     std::fill(out.best_rank_prob.begin(), out.best_rank_prob.end(), 0.0);
     std::fill(out.best_rank_index.begin(), out.best_rank_index.end(), -1);
     for (size_t i = 0; i < out.scan_end; ++i) {
@@ -174,7 +239,7 @@ void PsrEngine::FinalizeAggregates(const Db& db, size_t begin,
         }
       }
     }
-  }
+  });
 }
 
 void PsrEngine::InvalidateBelow(size_t first_changed_rank) {
@@ -204,8 +269,8 @@ Status PsrEngine::Replay(const ProbabilisticDatabase& db,
   // survives, so the list is never empty here).
   const size_t replay_begin = checkpoints_.back().pos;
   RestoreInto(checkpoints_.back(), &core_);
-  ScanFrom(db, replay_begin, options_, &core_, &outputs_, &checkpoints_,
-           &checkpoint_interval_);
+  ScanFrom(db, replay_begin, checkpoints_.back().live, options_, exec_,
+           &core_, &outputs_, &checkpoints_, &checkpoint_interval_);
   return Status::OK();
 }
 
@@ -290,8 +355,9 @@ Status PsrEngine::ReplaySession(const DatabaseOverlay& db,
 
   const size_t replay_begin = restore->pos;
   RestoreInto(*restore, &state->core_);
-  ScanFrom(db, replay_begin, options_, &state->core_, &state->outputs_,
-           &state->checkpoints_, &state->checkpoint_interval_);
+  ScanFrom(db, replay_begin, restore->live, options_, exec_, &state->core_,
+           &state->outputs_, &state->checkpoints_,
+           &state->checkpoint_interval_);
   return Status::OK();
 }
 

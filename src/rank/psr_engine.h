@@ -44,6 +44,18 @@
 //    empty answer (0 / -1) otherwise -- cleaning consumers (TP, planners)
 //    never read them, query serving should keep the matrix on.
 //
+// Parallel execution: Create with ExecOptions{num_threads > 1} and every
+// scan the engine runs -- the initial full scan, Replay suffixes,
+// ReplaySession suffixes -- is sharded by rank range over the shared
+// ThreadPool (rank/sharded_scan.h) whenever the range justifies it, with
+// per-rung argmax recomputation fanned over the same pool. Results agree
+// with the sequential path to 1e-12 (bitwise wherever the shard boundary
+// state comes from a checkpoint; see sharded_scan.h on rebuilt
+// boundaries); checkpoint PLACEMENT may differ between the two paths,
+// which changes replay cost, never replay results. Scans triggered from
+// inside a pool worker (nested parallelism, e.g. SessionPool::RefreshAll
+// fanning sessions) degrade to the sequential loop on that worker.
+//
 // Lifecycle: Create -> [ApplyCleanOutcome on the db]* -> Replay, repeated;
 // interleave ApplyCompaction whenever the database compacts its
 // tombstones. The engine never owns the database; the caller (normally
@@ -57,6 +69,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "model/database.h"
 #include "model/database_overlay.h"
 #include "rank/psr.h"
@@ -72,6 +85,10 @@ class PsrEngine {
   /// changes, which is what lets pooled sessions share the base set.
   struct Checkpoint {
     size_t pos = 0;
+    /// Live-tuple ordinal of `pos` (count of live tuples above it):
+    /// anchors the count-refresh grid across replays (see
+    /// psr_scan_core.h). Invariant under compaction by construction.
+    size_t live = 0;
     std::vector<double> c;
     size_t active = 0;
     size_t saturated = 0;
@@ -90,12 +107,15 @@ class PsrEngine {
   /// Runs the initial full scan over `db` and snapshots checkpoints.
   /// `checkpoint_interval` is the initial snapshot cadence in live tuples
   /// (smaller = cheaper replays, more snapshot memory; it doubles whenever
-  /// the checkpoint count would exceed kMaxCheckpoints). Fails with
-  /// InvalidArgument when k == 0 or the interval is 0.
+  /// the checkpoint count would exceed kMaxCheckpoints). `exec` selects
+  /// the execution mode for this and every later scan (sequential by
+  /// default; see the header note on parallel execution). Fails with
+  /// InvalidArgument when k == 0, the interval is 0, or exec is invalid.
   static Result<PsrEngine> Create(
       const ProbabilisticDatabase& db, size_t k,
       const PsrOptions& options = {},
-      size_t checkpoint_interval = kInitialCheckpointInterval);
+      size_t checkpoint_interval = kInitialCheckpointInterval,
+      const ExecOptions& exec = {});
 
   /// Ladder form: one shared scan maintains a complete PsrOutput per rung
   /// of `ladder` (ascending k). Fails with InvalidArgument when the ladder
@@ -103,7 +123,8 @@ class PsrEngine {
   static Result<PsrEngine> Create(
       const ProbabilisticDatabase& db, const KLadder& ladder,
       const PsrOptions& options = {},
-      size_t checkpoint_interval = kInitialCheckpointInterval);
+      size_t checkpoint_interval = kInitialCheckpointInterval,
+      const ExecOptions& exec = {});
 
   /// The ladder this engine serves (ascending).
   const KLadder& ladder() const { return ladder_; }
@@ -145,6 +166,20 @@ class PsrEngine {
   /// already-compacted database.
   Status ApplyCompaction(const ProbabilisticDatabase& db,
                          const std::vector<int32_t>& old_to_new);
+
+  /// The current checkpoint ranks, ascending (introspection: replay-cost
+  /// diagnostics and the shard cut-point equivalence tests restart scans
+  /// at every one of these).
+  std::vector<size_t> checkpoint_positions() const {
+    std::vector<size_t> positions;
+    positions.reserve(checkpoints_.size());
+    for (const Checkpoint& cp : checkpoints_) positions.push_back(cp.pos);
+    return positions;
+  }
+
+  /// The execution options the engine was created with (the pool is
+  /// shared with TP fan-out and session-refresh consumers).
+  const ExecOptions& exec() const { return exec_; }
 
   // ----- pooled sessions over the shared scan -----
 
@@ -197,30 +232,42 @@ class PsrEngine {
 
  private:
   /// Copies the scan state into a fresh checkpoint appended to `cps`,
-  /// thinning (and doubling `*interval`) at capacity.
+  /// thinning (and doubling `*interval`) at capacity. `live` is pos's
+  /// live-tuple ordinal.
   static void SnapshotInto(const psr_internal::ScanCore& core, size_t pos,
-                           std::vector<Checkpoint>* cps, size_t* interval);
+                           size_t live, std::vector<Checkpoint>* cps,
+                           size_t* interval);
+
+  /// Drops every other checkpoint (always retaining the first) and
+  /// doubles `*interval` -- the capacity response shared by SnapshotInto
+  /// and the sharded-scan checkpoint merge.
+  static void ThinCheckpoints(std::vector<Checkpoint>* cps, size_t* interval);
 
   static void RestoreInto(const Checkpoint& cp, psr_internal::ScanCore* core);
 
   /// Zeroes `outputs` from `begin` on and runs the scan loop over `db` to
-  /// its stop point, snapshotting into `cps` along the way. Rungs whose
-  /// scan had already stopped at or before `begin` are left untouched.
-  /// `Db` is ProbabilisticDatabase (base/dedicated path) or
-  /// DatabaseOverlay (pooled-session path); both run identical
+  /// its stop point, snapshotting into `cps` along the way -- sharded
+  /// over `exec`'s pool when the range justifies it, sequentially
+  /// otherwise. Rungs whose scan had already stopped at or before `begin`
+  /// are left untouched. `Db` is ProbabilisticDatabase (base/dedicated
+  /// path) or DatabaseOverlay (pooled-session path); both run identical
   /// arithmetic.
   template <typename Db>
-  static void ScanFrom(const Db& db, size_t begin, const PsrOptions& options,
+  static void ScanFrom(const Db& db, size_t begin, size_t live_at_begin,
+                       const PsrOptions& options, const ExecOptions& exec,
                        psr_internal::ScanCore* core,
                        std::vector<PsrOutput>* outputs,
                        std::vector<Checkpoint>* cps, size_t* interval);
 
   /// Recomputes num_nonzero and (from the matrix, when stored) the
-  /// per-rank argmaxes after a scan, for every rung that re-emitted.
+  /// per-rank argmaxes after a scan, for every rung that re-emitted; the
+  /// per-rung work fans over `exec`'s pool.
   template <typename Db>
   static void FinalizeAggregates(const Db& db, size_t begin, bool from_rank_0,
+                                 const ExecOptions& exec,
                                  std::vector<PsrOutput>* outputs);
 
+  ExecOptions exec_;
   PsrOptions options_;
   KLadder ladder_;
   std::vector<PsrOutput> outputs_;  // one per rung, ascending k

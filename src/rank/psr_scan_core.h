@@ -45,11 +45,30 @@
 //    seeded exactly from the top (c_excl[T-1] = c[T] / q) when q > 1/2
 //    (error ratio (1-q)/q < 1, division by q >= 1/2). Both directions are
 //    non-amplifying, so results hold to ~ulp for any mass skew and any k.
+//  * The divide/multiply error is non-amplifying in ABSOLUTE terms (at
+//    the scale of the vector's bulk, ~1), not relative to the smallest
+//    coefficients: across thousands of positions the tail entries --
+//    head masses near the stop threshold, low counts after many
+//    saturations -- accumulate a noise floor that is pure rounding
+//    lineage. The scan therefore REFRESHES the vector on a fixed grid:
+//    at every live tuple whose ordinal (count of live tuples since rank
+//    0) is a multiple of kCountRefreshInterval, the vector is
+//    reconstituted from the per-x-tuple masses (RebuildCounts, an exact
+//    product of the active factors). The grid is keyed to live ordinals,
+//    which are invariant under checkpoint replay, tombstone compaction
+//    and session overlays, so EVERY driver -- one-shot, engine replay,
+//    pooled session, and every shard of a sharded scan -- performs the
+//    refresh at the same tuples and stays bitwise identical to every
+//    other. Rank-range sharding (rank/sharded_scan.h) leans on this:
+//    shard cut points are grid points, so a shard's boundary state
+//    (mass bookkeeping forwarded cheaply, vector rebuilt on entry) is
+//    bit-for-bit the state the sequential scan has there.
 //
 // Cost: O(T) per tuple where T is the number of unsaturated x-tuples that
 // overlap the scan position (bounded by the tuples scanned so far, which
 // the Lemma-2 stop keeps small for ranked data), plus O(k_max) for
-// emission across the whole ladder.
+// emission across the whole ladder, plus an amortized O(T^2 /
+// kCountRefreshInterval) per tuple for the refresh grid.
 
 #ifndef UCLEAN_RANK_PSR_SCAN_CORE_H_
 #define UCLEAN_RANK_PSR_SCAN_CORE_H_
@@ -74,6 +93,14 @@ enum class XTupleState : uint8_t {
 };
 
 constexpr double kSaturationThreshold = 1.0 - 1e-12;
+
+/// Count-vector refresh cadence in live-tuple ordinals (see the file
+/// comment): every driver rebuilds the vector from the mass bookkeeping
+/// at live ordinals 0, G, 2G, ... counted from rank 0. One shared
+/// constant for the whole library -- the refresh points are part of the
+/// arithmetic lineage, and changing them between two drivers would break
+/// their bitwise agreement.
+constexpr size_t kCountRefreshInterval = 4096;
 
 /// Probabilistic generalization of the Lemma-2 stop: once the probability
 /// that fewer than k tuples rank above the scan position drops below this
@@ -117,6 +144,31 @@ struct ScanCore {
     saturated = 0;
     q.assign(num_xtuples, 0.0);
     state.assign(num_xtuples, XTupleState::kInactive);
+  }
+
+  /// Reconstitutes `c` from the mass bookkeeping alone: the product of
+  /// every active x-tuple's Bernoulli factor, multiplied in ascending
+  /// x-tuple order with exactly the arithmetic Advance's in-place
+  /// (aliased) multiply performs. A pure function of (q, state), so any
+  /// two cores with identical bookkeeping rebuild identical vectors --
+  /// the property the refresh grid and shard boundary hand-off rely on.
+  void RebuildCounts() {
+    c.assign(1, 1.0);
+    size_t rebuilt = 0;
+    for (size_t l = 0; l < state.size(); ++l) {
+      if (state[l] != XTupleState::kActive) continue;
+      const double ql = q[l];
+      const size_t top = c.size();
+      c.resize(top + 1);
+      // Reads of c[j] and c[j - 1] see pre-update values: writes descend.
+      c[top] = c[top - 1] * ql;
+      for (size_t j = top - 1; j > 0; --j) {
+        c[j] = c[j] * (1.0 - ql) + c[j - 1] * ql;
+      }
+      c[0] = c[0] * (1.0 - ql);
+      ++rebuilt;
+    }
+    UCLEAN_CHECK(rebuilt == active);
   }
 
   /// True when the (generalized) Lemma-2 rule says every tuple at or after
@@ -267,24 +319,33 @@ void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
 /// The scan loop shared by the one-shot drivers and the engine: runs
 /// positions [begin, n) of `db` through `core`, emitting into the ladder
 /// `outs` (ascending k; rungs before `first_active` are already stopped
-/// and keep their scan_end). `maybe_checkpoint(i)` is invoked for every
-/// live position before it is processed -- the engine snapshots there, the
-/// one-shot drivers pass a no-op. On return `first_active` reflects the
-/// rungs still unstopped (scan_end == n).
+/// and keep their scan_end). `live_at_begin` is the live-tuple ordinal of
+/// position `begin` (0 for full scans; checkpoints record it for
+/// replays): the count vector refreshes at every live ordinal that is a
+/// multiple of kCountRefreshInterval, BEFORE that position's stop checks,
+/// so every driver makes the same stop decisions from the same refreshed
+/// state. `maybe_checkpoint(i, live)` is invoked for every live position
+/// before it is processed -- the engine snapshots there, the one-shot
+/// drivers pass a no-op. On return `first_active` reflects the rungs
+/// still unstopped (scan_end == n).
 ///
 /// `Db` is ProbabilisticDatabase or any type exposing its read interface
 /// (num_tuples / tuple / is_tombstone) -- per-session DatabaseOverlay
 /// views run the exact same arithmetic, which keeps pooled sessions
 /// bitwise identical to dedicated ones.
 template <typename Db, typename CheckpointFn>
-inline void RunLadderScan(const Db& db, size_t begin, bool early_termination,
-                          ScanCore& core, const std::vector<PsrOutput*>& outs,
+inline void RunLadderScan(const Db& db, size_t begin, size_t live_at_begin,
+                          bool early_termination, ScanCore& core,
+                          const std::vector<PsrOutput*>& outs,
                           size_t& first_active, bool track_best,
                           CheckpointFn&& maybe_checkpoint) {
   const size_t n = db.num_tuples();
   const size_t rungs = outs.size();
+  size_t live = live_at_begin;
   size_t i = begin;
   for (; i < n; ++i) {
+    const bool is_live = !db.is_tombstone(i);
+    if (is_live && live % kCountRefreshInterval == 0) core.RebuildCounts();
     if (early_termination) {
       // The stop rule fires smallest-k first (head mass grows with k).
       while (first_active < rungs &&
@@ -294,12 +355,13 @@ inline void RunLadderScan(const Db& db, size_t begin, bool early_termination,
       }
       if (first_active == rungs) return;
     }
-    if (db.is_tombstone(i)) continue;  // cleaning-session garbage slot
-    maybe_checkpoint(i);
+    if (!is_live) continue;  // cleaning-session garbage slot
+    maybe_checkpoint(i, live);
     const Tuple& t = db.tuple(i);
     const ScanCore::Exclusion ex = core.BuildExclusion(t);
     EmitLadder(t, i, ex, outs, first_active, track_best);
     core.Advance(t, ex);
+    ++live;
   }
   for (size_t j = first_active; j < rungs; ++j) outs[j]->scan_end = n;
 }

@@ -213,6 +213,62 @@ TEST_F(CliTest, KLadderParsingAndNormalization) {
   EXPECT_NE(out.find("--adaptive"), std::string::npos) << out;
 }
 
+TEST_F(CliTest, ThreadsFlagValidationAndAnnouncement) {
+  std::string out;
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 60 --out " +
+                    Path("threads_db.csv") + " --seed 9",
+                &out),
+            0);
+
+  // The resolved count is always announced (like the --k-ladder
+  // normalization note): `auto` picks a machine-dependent value the
+  // user never typed.
+  ASSERT_EQ(Run("query --db " + Path("threads_db.csv") +
+                    " --k 5 --threads 2 --semantics ptk",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("--threads 2 resolved to 2 threads"), std::string::npos)
+      << out;
+  ASSERT_EQ(Run("quality --db " + Path("threads_db.csv") +
+                    " --k 5 --threads auto",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("--threads auto resolved to"), std::string::npos) << out;
+
+  // Parallel and sequential runs print the same quality line.
+  std::string seq_out;
+  ASSERT_EQ(
+      Run("quality --db " + Path("threads_db.csv") + " --k 5", &seq_out), 0);
+  ASSERT_EQ(Run("quality --db " + Path("threads_db.csv") +
+                    " --k 5 --threads 3",
+                &out),
+            0);
+  EXPECT_NE(out.find(seq_out), std::string::npos)
+      << "parallel quality output diverged:\n" << out << "\nvs\n" << seq_out;
+
+  // Hardened parsing: zero, negatives, garbage, and values past the
+  // pool's hard cap (including int64 overflow) all fail with a pointed
+  // message instead of spawning nonsense thread counts.
+  for (const char* bad :
+       {"0", "-3", "abc", "2.5", "1000", "99999999999999999999"}) {
+    EXPECT_NE(Run("query --db " + Path("threads_db.csv") + " --k 5 " +
+                      "--threads " + std::string(bad),
+                  &out),
+              0)
+        << "accepted bad --threads '" << bad << "'";
+    EXPECT_NE(out.find("--threads"), std::string::npos) << out;
+  }
+
+  // Non-TP quality algorithms have no shared-scan pipeline to shard.
+  EXPECT_NE(Run("quality --db " + Path("threads_db.csv") +
+                    " --k 3 --algo mc --samples 1000 --threads 2",
+                &out),
+            0);
+  EXPECT_NE(out.find("--algo tp"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, PwQualityOnTinyDatabase) {
   std::string out;
   ASSERT_EQ(Run("generate --type synthetic --xtuples 6 --bars 3 --out " +

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "quality/tp.h"
 #include "rank/psr.h"
 #include "tests/test_util.h"
+#include "workload/synthetic.h"
 
 namespace uclean {
 namespace {
@@ -467,6 +469,49 @@ TEST(SessionPoolDeathTest, DirtyReadsAreAHardFailureInEveryBuildType) {
   EXPECT_DEATH(session->psr(), "UCLEAN_CHECK failed");
   EXPECT_DEATH(session->tps(), "UCLEAN_CHECK failed");
 }
+
+#ifndef NDEBUG
+/// Two threads hammering a pool's mutating entry points from outside any
+/// serialization: the header's "callers serialize access" contract in
+/// violated form. The debug-build reentrancy guard must turn the overlap
+/// into a hard UCLEAN_CHECK failure (instead of the silent slot-table
+/// corruption a release build would risk). Nearly all of each thread's
+/// time is spent inside guarded calls (apply + replay-carrying refresh),
+/// so an overlap -- and the abort -- is certain within a few scheduler
+/// slices even on one core.
+TEST(SessionPoolDeathTest, ConcurrentUseTripsTheSerializedCallerGuard) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SyntheticOptions opts;
+        opts.num_xtuples = 500;
+        opts.real_mass_min = 0.4;
+        opts.real_mass_max = 0.9;
+        Result<ProbabilisticDatabase> base = GenerateSynthetic(opts);
+        UCLEAN_CHECK(base.ok());
+        Result<SessionPool> pool =
+            SessionPool::Create(std::move(base).value(), 8);
+        UCLEAN_CHECK(pool.ok());
+        const auto hammer = [&pool](uint64_t seed) {
+          Rng rng(seed);
+          const SessionPool::SessionId id = pool->OpenSession();
+          for (int iter = 0; iter < 4000; ++iter) {
+            const DatabaseOverlay& view = pool->overlay(id);
+            const size_t rank = static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(view.num_tuples() - 1)));
+            if (view.is_tombstone(rank)) continue;
+            const Tuple& t = view.tuple(rank);
+            (void)pool->ApplyCleanOutcome(id, t.xtuple, t.id);
+            (void)pool->Refresh(id);
+          }
+        };
+        std::thread other([&hammer] { hammer(2); });
+        hammer(1);
+        other.join();
+      },
+      "serialized");
+}
+#endif  // NDEBUG
 
 }  // namespace
 }  // namespace uclean

@@ -57,6 +57,36 @@ POOL_FLOORS = {
 # tolerance is effectively "exactly equal".
 POOL_QUALITY_TOL = 1e-12
 
+# bench_shard: the rank-range sharded parallel scan vs the sequential
+# path, keyed by (regime, threads). Speedup floors are HARDWARE-RELATIVE
+# -- the JSON records the machine's hardware_concurrency, and the floor
+# applied is the first row whose core minimum the machine meets:
+#   >= 4 cores: the full floors (the >=2x oneshot acceptance gate;
+#               locally-measured numbers in bench/README.md),
+#   2-3 cores:  scaled-down floors,
+#   1 core:     only "not pathologically slower" (threads cost overhead
+#               but the sharded path must stay within ~2x of sequential).
+# Correctness is NOT hardware-relative: parallel output must match the
+# sequential scan to 1e-12 (bitwise in practice -- shard cuts sit on the
+# count-refresh grid) on every machine, every arm.
+SHARD_FLOORS = {
+    # (regime, threads): [(min_cores, floor), ...] first match wins.
+    ("oneshot", 8): [(4, 2.0), (2, 1.2), (1, 0.45)],
+    ("oneshot", 4): [(4, 1.8), (2, 1.2), (1, 0.45)],
+    ("oneshot", 2): [(2, 1.3), (1, 0.45)],
+    ("oneshot", 1): [(1, 0.8)],  # the 1-thread arm IS the sequential path
+    ("ladder", 8): [(4, 1.4), (2, 1.1), (1, 0.45)],
+    ("ladder", 4): [(4, 1.4), (2, 1.1), (1, 0.45)],
+    ("ladder", 2): [(2, 1.15), (1, 0.45)],
+    ("ladder", 1): [(1, 0.8)],
+    ("pooled", 8): [(4, 1.3), (2, 1.1), (1, 0.45)],
+    ("pooled", 4): [(4, 1.3), (2, 1.1), (1, 0.45)],
+    ("pooled", 2): [(2, 1.1), (1, 0.45)],
+    ("pooled", 1): [(1, 0.8)],
+}
+
+SHARD_EQUALITY_TOL = 1e-12
+
 
 def check_incremental(doc):
     failures = []
@@ -137,10 +167,44 @@ def check_pool(doc):
     return failures
 
 
+def check_shard(doc):
+    failures = []
+    cores = doc.get("hardware_concurrency", 1) or 1
+    seen = set()
+    for series in doc["series"]:
+        key = (series["regime"], series["threads"])
+        seen.add(key)
+        if key not in SHARD_FLOORS:
+            failures.append(f"shard {key}: no checked-in floor (add one)")
+            continue
+        floor = next(
+            f for min_cores, f in SHARD_FLOORS[key] if cores >= min_cores
+        )
+        speedup = series["speedup"]
+        diff = series["max_abs_diff"]
+        label = f"shard {key[0]}/threads={key[1]}"
+        print(
+            f"{label}: speedup {speedup:.2f}x "
+            f"(floor {floor} at {cores} cores), max diff {diff:.1e}"
+        )
+        if speedup < floor:
+            failures.append(f"{label}: {speedup:.2f}x < {floor}x")
+        if diff > SHARD_EQUALITY_TOL:
+            failures.append(
+                f"{label}: parallel output diverges from sequential by "
+                f"{diff:.3e} (tol {SHARD_EQUALITY_TOL})"
+            )
+    for key in SHARD_FLOORS:
+        if key not in seen:
+            failures.append(f"shard {key}: series missing from the JSON")
+    return failures
+
+
 CHECKERS = {
     "incremental": check_incremental,
     "multik": check_multik,
     "pool": check_pool,
+    "shard": check_shard,
 }
 
 

@@ -14,9 +14,12 @@
 //
 // Run `uclean_cli help` or any subcommand with missing flags for usage.
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "clean/adaptive.h"
@@ -27,6 +30,7 @@
 #include "clean/target.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "exec/thread_pool.h"
 #include "extend/monte_carlo.h"
 #include "model/csv_io.h"
 #include "pworld/pw_quality.h"
@@ -53,15 +57,15 @@ commands:
            [--sc-pdf uniform|normal] [--sc-lo 0] [--sc-hi 1]
            [--sc-mean 0.5] [--sc-sigma 0.167] [--seed S]
   inspect  --db DB.csv [--rows 20]
-  query    --db DB.csv --k K [--k-ladder K1,K2,...]
+  query    --db DB.csv --k K [--k-ladder K1,K2,...] [--threads N|auto]
            [--semantics all|ptk|ukranks|global] [--threshold 0.1]
-  quality  --db DB.csv --k K [--k-ladder K1,K2,...]
+  quality  --db DB.csv --k K [--k-ladder K1,K2,...] [--threads N|auto]
            [--algo tp|pwr|pw|mc] [--samples 100000] [--seed S]
   plan     --db DB.csv --profile PROFILE.csv --k K --budget C
            [--planner dp|greedy|randp|randu] [--seed S]
   clean    --db DB.csv --profile PROFILE.csv --k K --budget C --out OUT.csv
            [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
-           [--k-ladder K1,K2,...] [--sessions N]
+           [--k-ladder K1,K2,...] [--sessions N] [--threads N|auto]
   target   --db DB.csv --profile PROFILE.csv --k K --target Q
            [--max-budget 100000]
 
@@ -74,6 +78,11 @@ with a printed note. --k is ignored when --k-ladder is given.
 ONE shared scan via the session pool: each session plans and probes its
 own copy-on-write view with the full budget; session 0's cleaned database
 is written to --out.
+
+--threads N runs the PSR scans, replays and TP passes on N threads
+(rank-range sharded over one fixed-size pool; results are identical to
+--threads 1). `auto` uses the machine's hardware concurrency. With
+--sessions, dirty sessions also refresh concurrently.
 )";
 
 /// Minimal --key value flag map.
@@ -189,6 +198,45 @@ Result<KLadder> ParseKLadder(const Flags& flags) {
   return ladder;
 }
 
+/// Parses "--threads N|auto" into resolved ExecOptions (pool built here,
+/// shared by every downstream consumer of the command). Absent flag =
+/// the sequential default. Every explicit value is validated -- zero,
+/// negatives, non-numbers and anything past ThreadPool::kMaxThreads
+/// (including int64 overflow) are rejected with a pointed message -- and
+/// the RESOLVED count is announced in the --k-ladder normalization
+/// style, because `auto` picks a machine-dependent value the user never
+/// typed and downstream timings are meaningless without it.
+Result<ExecOptions> ParseThreads(const Flags& flags) {
+  ExecOptions exec;
+  if (!flags.Has("threads")) return exec;
+  CLI_ASSIGN_OR_RETURN(raw, flags.GetString("threads"));
+  if (raw == "auto") {
+    const unsigned hw = std::thread::hardware_concurrency();
+    exec.num_threads = hw == 0 ? 1 : static_cast<size_t>(hw);
+    // hardware_concurrency() can legitimately report more cores than
+    // the pool supports; clamp instead of rejecting a value the user
+    // never chose.
+    exec.num_threads = std::min(exec.num_threads, ThreadPool::kMaxThreads);
+  } else {
+    Result<int64_t> parsed = ParseInt(raw);
+    if (!parsed.ok() || *parsed <= 0 ||
+        *parsed > static_cast<int64_t>(ThreadPool::kMaxThreads)) {
+      return Status::InvalidArgument(
+          "bad --threads '" + raw + "': expected a positive integer <= " +
+          std::to_string(ThreadPool::kMaxThreads) + " or 'auto'");
+    }
+    exec.num_threads = static_cast<size_t>(*parsed);
+  }
+  Result<ExecOptions> resolved = ResolveExec(std::move(exec));
+  if (!resolved.ok()) return resolved.status();
+  std::printf("note: --threads %s resolved to %zu thread%s%s\n", raw.c_str(),
+              resolved->num_threads, resolved->num_threads == 1 ? "" : "s",
+              resolved->num_threads == 1
+                  ? " (sequential execution)"
+                  : " (rank-range sharded scans on one shared pool)");
+  return resolved;
+}
+
 Status RunGenerate(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(type, flags.GetString("type"));
   CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
@@ -281,14 +329,15 @@ Status RunInspect(const Flags& flags) {
 
 /// Prints the requested per-k answers from one shared ladder scan.
 Status RunQueryLadder(const ProbabilisticDatabase& db, const KLadder& ladder,
-                      const std::string& semantics, double threshold) {
+                      const std::string& semantics, double threshold,
+                      const ExecOptions& exec) {
   const bool ukranks = semantics == "all" || semantics == "ukranks";
   const bool ptk = semantics == "all" || semantics == "ptk";
   const bool global_topk = semantics == "all" || semantics == "global";
   if (!ukranks && !ptk && !global_topk) {
     return Status::InvalidArgument("unknown --semantics '" + semantics + "'");
   }
-  Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(db, ladder);
+  Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(db, ladder, {}, exec);
   if (!psrs.ok()) return psrs.status();
   std::printf("k-ladder %s from one shared PSR scan:\n",
               ladder.ToString().c_str());
@@ -321,11 +370,14 @@ Status RunQuery(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(ladder, ParseKLadder(flags));
   CLI_ASSIGN_OR_RETURN(threshold, flags.GetDouble("threshold", 0.1));
+  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
   const std::string semantics = flags.GetString("semantics", "all");
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
   if (!db.ok()) return db.status();
-  if (flags.Has("k-ladder")) {
-    return RunQueryLadder(*db, ladder, semantics, threshold);
+  if (flags.Has("k-ladder") || exec.parallel()) {
+    // The shared-scan pipeline carries the parallel path; a plain --k
+    // query with --threads runs it as a one-rung ladder.
+    return RunQueryLadder(*db, ladder, semantics, threshold, exec);
   }
   const size_t k = ladder.max_k();
 
@@ -375,19 +427,24 @@ Status RunQuery(const Flags& flags) {
 Status RunQuality(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(ladder, ParseKLadder(flags));
+  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
   const std::string algo = flags.GetString("algo", "tp");
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
   if (!db.ok()) return db.status();
   const size_t kk = ladder.max_k();
 
-  if (flags.Has("k-ladder") && algo != "tp") {
+  if (algo != "tp" && (flags.Has("k-ladder") || exec.parallel())) {
     return Status::InvalidArgument(
-        "--k-ladder quality requires --algo tp (the shared-scan pipeline)");
+        (flags.Has("k-ladder") ? std::string("--k-ladder")
+                               : std::string("--threads")) +
+        " quality requires --algo tp (the shared-scan pipeline)");
   }
   if (flags.Has("k-ladder")) {
-    Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(*db, ladder);
+    Result<std::vector<PsrOutput>> psrs =
+        ComputePsrLadder(*db, ladder, {}, exec);
     if (!psrs.ok()) return psrs.status();
-    Result<std::vector<TpOutput>> tps = ComputeTpQualityLadder(*db, *psrs);
+    Result<std::vector<TpOutput>> tps =
+        ComputeTpQualityLadder(*db, *psrs, exec);
     if (!tps.ok()) return tps.status();
     std::printf("PWS-quality (TP, one shared scan for k-ladder %s):\n",
                 ladder.ToString().c_str());
@@ -398,9 +455,13 @@ Status RunQuality(const Flags& flags) {
   }
 
   if (algo == "tp") {
-    Result<TpOutput> tp = ComputeTpQuality(*db, kk);
-    if (!tp.ok()) return tp.status();
-    std::printf("PWS-quality (TP): %.6f\n", tp->quality);
+    Result<std::vector<PsrOutput>> psrs =
+        ComputePsrLadder(*db, ladder, {}, exec);
+    if (!psrs.ok()) return psrs.status();
+    Result<std::vector<TpOutput>> tps =
+        ComputeTpQualityLadder(*db, *psrs, exec);
+    if (!tps.ok()) return tps.status();
+    std::printf("PWS-quality (TP): %.6f\n", tps->front().quality);
   } else if (algo == "pwr") {
     PwrOptions options;
     options.collect_results = false;
@@ -486,9 +547,12 @@ Status RunPlan(const Flags& flags) {
 Status RunCleanPool(const ProbabilisticDatabase& db,
                     const CleaningProfile& profile, const KLadder& ladder,
                     int64_t budget, size_t num_sessions, PlannerKind planner,
-                    uint64_t seed, const std::string& out) {
+                    uint64_t seed, const ExecOptions& exec,
+                    const std::string& out) {
+  SessionPool::Options pool_options;
+  pool_options.exec = exec;
   Result<SessionPool> pool =
-      SessionPool::Create(ProbabilisticDatabase(db), ladder);
+      SessionPool::Create(ProbabilisticDatabase(db), ladder, pool_options);
   if (!pool.ok()) return pool.status();
   const size_t rungs = pool->num_rungs();
   double initial = 0.0;
@@ -506,10 +570,14 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
     rngs.emplace_back(seed + s);
   }
 
-  // Round-robin rounds: sessions interleave applies and refreshes on the
-  // shared engine, each planning only from its own session state. The
-  // per-session round cap is the adaptive loop's own default, so the
-  // pooled and dedicated CLI paths can never drift apart.
+  // Round-robin rounds: sessions interleave applies on the shared
+  // engine, each planning only from its own session state; the round's
+  // dirty sessions then refresh together through RefreshAll (suffix
+  // replays run concurrently when --threads is given). Per-session
+  // results are identical to refreshing one by one -- sessions never
+  // observe each other. The per-session round cap is the adaptive
+  // loop's own default, so the pooled and dedicated CLI paths can never
+  // drift apart.
   const size_t max_rounds = AdaptiveOptions().max_rounds;
   for (size_t round = 0; round < max_rounds; ++round) {
     bool progressed = false;
@@ -531,11 +599,11 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
         done[s] = true;
         continue;
       }
-      UCLEAN_RETURN_IF_ERROR(pool->Refresh(ids[s]));
       remaining[s] -= executed->spent;
       spent[s] += executed->spent;
       progressed = true;
     }
+    UCLEAN_RETURN_IF_ERROR(pool->RefreshAll());
     if (!progressed) break;
   }
 
@@ -573,6 +641,7 @@ Status RunClean(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(cli_ladder, ParseKLadder(flags));
   CLI_ASSIGN_OR_RETURN(budget, flags.GetInt("budget"));
   CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 1));
+  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
   CLI_ASSIGN_OR_RETURN(planner,
                        ParsePlanner(flags.GetString("planner", "greedy")));
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
@@ -594,7 +663,7 @@ Status RunClean(const Flags& flags) {
     }
     UCLEAN_RETURN_IF_ERROR(RunCleanPool(
         *db, *profile, cli_ladder, budget, static_cast<size_t>(sessions),
-        planner, static_cast<uint64_t>(seed), out));
+        planner, static_cast<uint64_t>(seed), exec, out));
     std::printf("cleaned database written to %s\n", out.c_str());
     return Status::OK();
   }
@@ -604,6 +673,7 @@ Status RunClean(const Flags& flags) {
     options.k = kk;
     if (flags.Has("k-ladder")) options.k_ladder = cli_ladder.ks;
     options.planner = planner;
+    options.exec = exec;
     Result<AdaptiveReport> report =
         RunAdaptiveCleaning(*db, *profile, budget, options, &rng);
     if (!report.ok()) return report.status();
