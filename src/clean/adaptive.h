@@ -96,6 +96,13 @@ struct AdaptiveReport {
 /// Runs the adaptive plan/execute loop on `db` with total budget `budget`.
 /// The rvalue overload moves the database into the session instead of
 /// copying it; prefer it when the caller is done with `db`.
+///
+/// Threading: a pure function of its arguments -- concurrent calls on
+/// DISTINCT (db, rng) pairs are safe; two calls must never share an Rng.
+/// Parallelism stays inside the call (options.exec shards the session's
+/// scans); the probe loop itself runs inline. For overlapping probe
+/// waiting with planning across many concurrent sessions, use the pooled
+/// driver in clean/pipeline.h instead.
 Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
                                            const CleaningProfile& profile,
                                            int64_t budget,

@@ -1,6 +1,7 @@
 #include "clean/agent.h"
 
 #include <string>
+#include <thread>
 #include <utility>
 
 namespace uclean {
@@ -20,18 +21,20 @@ Status ValidateProbeInputs(size_t num_xtuples, const CleaningProfile& profile,
   return Status::OK();
 }
 
-/// The probe loop shared by every ExecutePlan form: spends budget, draws
-/// successes and revealed outcomes, and hands each success to `apply`
-/// (which collapses the x-tuple in its respective target). Draws from
-/// `rng` in a fixed order so all forms consume identical streams. `Db` is
-/// ProbabilisticDatabase or a pooled session's DatabaseOverlay view.
-/// Inputs must have passed ValidateProbeInputs.
-template <typename Db, typename ApplyOutcomeFn>
-Result<SessionExecutionReport> RunProbes(const Db& db,
-                                         const CleaningProfile& profile,
-                                         const std::vector<int64_t>& probes,
-                                         Rng* rng, ApplyOutcomeFn apply) {
-  SessionExecutionReport report;
+/// The probe loop shared by every form: spends budget, draws successes
+/// and revealed outcomes, and RECORDS each success instead of applying
+/// it. Draws from `rng` in a fixed order, and reads only the probed
+/// x-tuple's own members/probabilities -- state no other x-tuple's
+/// collapse can touch -- so the stream is identical whether outcomes are
+/// applied between probes (inline ExecutePlan) or all at the end
+/// (draw/commit, pipelined). `Db` is ProbabilisticDatabase or a pooled
+/// session's DatabaseOverlay view. Inputs must have passed
+/// ValidateProbeInputs.
+template <typename Db>
+Result<ProbeDraws> RunDraws(const Db& db, const CleaningProfile& profile,
+                            const std::vector<int64_t>& probes, Rng* rng,
+                            const ProbeOptions& options) {
+  ProbeDraws draws;
   int64_t planned_cost = 0;
   for (size_t l = 0; l < probes.size(); ++l) {
     if (probes[l] <= 0) continue;
@@ -42,6 +45,13 @@ Result<SessionExecutionReport> RunProbes(const Db& db,
     for (int64_t attempt = 0; attempt < probes[l]; ++attempt) {
       ++record.attempts;
       record.spent += profile.costs[l];
+      // The field operation itself: a probe takes `latency` before its
+      // result is known. Sleeping (not spinning) is the point -- waiting
+      // probes release the core, which is what the pipelined driver
+      // overlaps.
+      if (options.latency.count() > 0) {
+        std::this_thread::sleep_for(options.latency);
+      }
       if (rng->Bernoulli(profile.sc_probs[l])) {
         record.success = true;
         break;  // the agent stops probing once the entity is cleaned
@@ -56,17 +66,126 @@ Result<SessionExecutionReport> RunProbes(const Db& db,
       for (int32_t idx : members) weights.push_back(db.tuple(idx).prob);
       const Tuple& revealed = db.tuple(members[rng->Discrete(weights)]);
       record.resolved_id = revealed.id;
-      UCLEAN_RETURN_IF_ERROR(apply(static_cast<XTupleId>(l), revealed));
-      ++report.successes;
+      draws.outcomes.emplace_back(static_cast<XTupleId>(l), revealed.id);
+      ++draws.report.successes;
     }
-    report.spent += record.spent;
-    report.log.push_back(std::move(record));
+    draws.report.spent += record.spent;
+    draws.report.log.push_back(std::move(record));
   }
-  report.leftover = planned_cost - report.spent;
-  return report;
+  draws.report.leftover = planned_cost - draws.report.spent;
+  return draws;
+}
+
+/// Applies a draw's recorded outcomes in order through `apply`.
+template <typename ApplyOutcomeFn>
+Status ApplyDraws(const ProbeDraws& draws, ApplyOutcomeFn apply) {
+  for (const auto& [xtuple, resolved_id] : draws.outcomes) {
+    UCLEAN_RETURN_IF_ERROR(apply(xtuple, resolved_id));
+  }
+  return Status::OK();
 }
 
 }  // namespace
+
+Result<ProbeDraws> DrawProbes(const ProbabilisticDatabase& db,
+                              const CleaningProfile& profile,
+                              const std::vector<int64_t>& probes, Rng* rng,
+                              const ProbeOptions& options) {
+  UCLEAN_RETURN_IF_ERROR(
+      ValidateProbeInputs(db.num_xtuples(), profile, probes, rng));
+  return RunDraws(db, profile, probes, rng, options);
+}
+
+Result<ProbeDraws> DrawProbes(const DatabaseOverlay& view,
+                              const CleaningProfile& profile,
+                              const std::vector<int64_t>& probes, Rng* rng,
+                              const ProbeOptions& options) {
+  UCLEAN_RETURN_IF_ERROR(
+      ValidateProbeInputs(view.num_xtuples(), profile, probes, rng));
+  return RunDraws(view, profile, probes, rng, options);
+}
+
+Status CommitProbeDraws(SessionPool* pool, SessionPool::SessionId id,
+                        const ProbeDraws& draws) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("CommitProbeDraws requires a pool");
+  }
+  if (!pool->is_open(id)) {
+    return Status::InvalidArgument("session " + std::to_string(id) +
+                                   " is not open");
+  }
+  return ApplyDraws(draws,
+                    [pool, id](XTupleId l, TupleId resolved_id) -> Status {
+                      return pool->ApplyCleanOutcome(id, l, resolved_id);
+                    });
+}
+
+// ----------------------------------------------------------- ProbeBatch
+
+// `draws` is declared BEFORE `group` so destruction waits the group (and
+// with it the task writing `draws`) before the slot goes away.
+struct ProbeBatch::State {
+  explicit State(ThreadPool* pool)
+      : draws(Status::Internal("probe batch still in flight")), group(pool) {}
+
+  Result<ProbeDraws> draws;
+  ThreadPool::TaskGroup group;
+};
+
+ProbeBatch::ProbeBatch() = default;
+ProbeBatch::~ProbeBatch() = default;
+ProbeBatch::ProbeBatch(ProbeBatch&&) noexcept = default;
+ProbeBatch& ProbeBatch::operator=(ProbeBatch&&) noexcept = default;
+
+bool ProbeBatch::done() const {
+  UCLEAN_CHECK(state_ != nullptr);
+  return state_->group.Finished();
+}
+
+const Result<ProbeDraws>& ProbeBatch::Wait() {
+  UCLEAN_CHECK(state_ != nullptr);
+  state_->group.Wait();
+  return state_->draws;
+}
+
+Result<ProbeDraws> ProbeBatch::Take() {
+  Wait();
+  Result<ProbeDraws> out = std::move(state_->draws);
+  state_.reset();
+  return out;
+}
+
+Result<ProbeBatch> SubmitProbes(const SessionPool& pool,
+                                SessionPool::SessionId id,
+                                const CleaningProfile& profile,
+                                std::vector<int64_t> probes, Rng* rng,
+                                const ProbeOptions& options,
+                                ThreadPool* exec) {
+  if (!pool.is_open(id)) {
+    return Status::InvalidArgument("session " + std::to_string(id) +
+                                   " is not open");
+  }
+  // Resolve the view and validate on the caller thread, so the task body
+  // is the pure draw loop and submission errors surface synchronously.
+  const DatabaseOverlay& view = pool.overlay(id);
+  UCLEAN_RETURN_IF_ERROR(
+      ValidateProbeInputs(view.num_xtuples(), profile, probes, rng));
+
+  ProbeBatch batch;
+  batch.state_ = std::make_unique<ProbeBatch::State>(exec);
+  ProbeBatch::State* state = batch.state_.get();
+  // The closure reads the overlay, the profile and the session's Rng --
+  // all owned by the caller, all guaranteed stable until Wait() by the
+  // submission contract in the header. State sits on the heap, so moving
+  // the ProbeBatch handle never moves the result slot under the task.
+  state->group.Run([state, &view, &profile, probes = std::move(probes), rng,
+                    options] {
+    state->draws = RunDraws(view, profile, probes, rng, options);
+  });
+  return batch;
+}
+
+// ---------------------------------------------------------- ExecutePlan
 
 Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
                                     const CleaningProfile& profile,
@@ -77,21 +196,21 @@ Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
   // Collapse outcomes on a copy in place: rank order is untouched by a
   // collapse, so the historical DatabaseBuilder round-trip (re-validate +
   // re-sort) is pure overhead.
+  Result<ProbeDraws> draws = RunDraws(db, profile, probes, rng, {});
+  if (!draws.ok()) return draws.status();
   ExecutionReport report;
   report.cleaned_db = db;
-  Result<SessionExecutionReport> probe_result = RunProbes(
-      db, profile, probes, rng,
-      [&report](XTupleId l, const Tuple& revealed) -> Status {
+  UCLEAN_RETURN_IF_ERROR(ApplyDraws(
+      *draws, [&report](XTupleId l, TupleId resolved_id) -> Status {
         Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
-            report.cleaned_db.ApplyCleanOutcome(l, revealed.id);
+            report.cleaned_db.ApplyCleanOutcome(l, resolved_id);
         return delta.status();
-      });
-  if (!probe_result.ok()) return probe_result.status();
+      }));
   report.cleaned_db.CompactTombstones();
-  report.spent = probe_result->spent;
-  report.leftover = probe_result->leftover;
-  report.successes = probe_result->successes;
-  report.log = std::move(probe_result->log);
+  report.spent = draws->report.spent;
+  report.leftover = draws->report.leftover;
+  report.successes = draws->report.successes;
+  report.log = std::move(draws->report.log);
   return report;
 }
 
@@ -104,17 +223,22 @@ Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
   }
   UCLEAN_RETURN_IF_ERROR(
       ValidateProbeInputs(session->db().num_xtuples(), profile, probes, rng));
-  return RunProbes(session->db(), profile, probes, rng,
-                   [session](XTupleId l, const Tuple& revealed) -> Status {
-                     return session->ApplyCleanOutcome(l, revealed.id);
-                   });
+  Result<ProbeDraws> draws =
+      RunDraws(session->db(), profile, probes, rng, {});
+  if (!draws.ok()) return draws.status();
+  UCLEAN_RETURN_IF_ERROR(ApplyDraws(
+      *draws, [session](XTupleId l, TupleId resolved_id) -> Status {
+        return session->ApplyCleanOutcome(l, resolved_id);
+      }));
+  return std::move(draws->report);
 }
 
 Result<SessionExecutionReport> ExecutePlan(SessionPool* pool,
                                            SessionPool::SessionId id,
                                            const CleaningProfile& profile,
                                            const std::vector<int64_t>& probes,
-                                           Rng* rng) {
+                                           Rng* rng,
+                                           const ProbeOptions& options) {
   if (pool == nullptr) {
     return Status::InvalidArgument("ExecutePlan requires a pool");
   }
@@ -122,13 +246,11 @@ Result<SessionExecutionReport> ExecutePlan(SessionPool* pool,
     return Status::InvalidArgument("session " + std::to_string(id) +
                                    " is not open");
   }
-  const DatabaseOverlay& view = pool->overlay(id);
-  UCLEAN_RETURN_IF_ERROR(
-      ValidateProbeInputs(view.num_xtuples(), profile, probes, rng));
-  return RunProbes(view, profile, probes, rng,
-                   [pool, id](XTupleId l, const Tuple& revealed) -> Status {
-                     return pool->ApplyCleanOutcome(id, l, revealed.id);
-                   });
+  Result<ProbeDraws> draws =
+      DrawProbes(pool->overlay(id), profile, probes, rng, options);
+  if (!draws.ok()) return draws.status();
+  UCLEAN_RETURN_IF_ERROR(CommitProbeDraws(pool, id, *draws));
+  return std::move(draws->report);
 }
 
 }  // namespace uclean

@@ -8,11 +8,49 @@
 // distribution (Definition 5), possibly the null outcome -- the x-tuple
 // collapses to that certain state, and remaining probes for it are skipped,
 // leaving budget unspent (the leftovers adaptive re-planning reinvests).
+//
+// Synchronous and asynchronous forms. The ExecutePlan overloads run the
+// probe loop inline and apply outcomes to their target before returning.
+// The async form splits a plan execution into two phases whose separation
+// is what makes probe batches overlappable (clean/pipeline.h):
+//
+//  * DRAW (SubmitProbes / DrawProbes): run the probe loop against a fixed
+//    read-only view of the session's database, recording successes instead
+//    of applying them. A draw touches only the view, the profile and the
+//    session's own Rng, so draws for DIFFERENT sessions of one pool are
+//    race-free by construction and run concurrently on an exec TaskGroup
+//    while the caller keeps planning.
+//  * COMMIT (CommitProbeDraws): apply the recorded outcomes to the pooled
+//    session, on the caller thread, under the pool's serialized-caller
+//    contract.
+//
+// Every form consumes the SAME per-session random stream in the same
+// order (the probe loop reads only the probed x-tuple's own members, which
+// no other x-tuple's collapse can touch), so a drawn-then-committed batch
+// is bitwise identical to an inline ExecutePlan -- the equivalence the
+// pipelined adaptive loop rests on (tests/pipeline_test.cc).
+//
+// Threading contracts:
+//  * ExecutePlan / DrawProbes / CommitProbeDraws: not thread-safe on
+//    shared arguments; call them the way you would any mutating member of
+//    the target (for pooled sessions: under SessionPool's
+//    serialized-caller rule).
+//  * SubmitProbes: call on the pool's caller thread. Until the returned
+//    batch is waited, the submitting caller must keep the pool, session,
+//    profile and Rng alive, must not mutate, refresh or close THAT
+//    session (other sessions are fine -- their state is disjoint), must
+//    not open/close any pool session (slot-table growth could move the
+//    overlay), and must not touch that session's Rng. ProbeBatch::Wait
+//    runs queued work inline while draining, so it may execute other
+//    batches' draw loops on the calling thread.
 
 #ifndef UCLEAN_CLEAN_AGENT_H_
 #define UCLEAN_CLEAN_AGENT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "clean/problem.h"
@@ -20,7 +58,9 @@
 #include "clean/session_pool.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "exec/thread_pool.h"
 #include "model/database.h"
+#include "model/database_overlay.h"
 
 namespace uclean {
 
@@ -31,6 +71,12 @@ struct ProbeRecord {
   int64_t spent = 0;         ///< attempts * cost
   bool success = false;
   TupleId resolved_id = -1;  ///< the revealed tuple (negative: null outcome)
+
+  friend bool operator==(const ProbeRecord& a, const ProbeRecord& b) {
+    return a.xtuple == b.xtuple && a.attempts == b.attempts &&
+           a.spent == b.spent && a.success == b.success &&
+           a.resolved_id == b.resolved_id;
+  }
 };
 
 /// Outcome of executing a plan.
@@ -53,6 +99,92 @@ struct SessionExecutionReport {
   std::vector<ProbeRecord> log;
 };
 
+/// Knobs of the probe loop itself (not of what is probed).
+struct ProbeOptions {
+  /// Simulated per-probe field latency: every probe attempt takes this
+  /// long before its result is known (the agent contacts a source, a
+  /// sensor, a person). 0 -- the default -- draws back-to-back. The knob
+  /// models the regime the async pipeline targets: once a round's state
+  /// refresh is sub-millisecond, waiting on probes IS the round.
+  std::chrono::microseconds latency{0};
+};
+
+/// A drawn-but-uncommitted plan execution: the full report plus the
+/// successful outcomes in draw order, ready for CommitProbeDraws.
+struct ProbeDraws {
+  SessionExecutionReport report;
+  std::vector<std::pair<XTupleId, TupleId>> outcomes;
+};
+
+/// Runs the probe loop against a fixed view without applying anything.
+/// Pure except for `rng` (advanced) and the simulated latency; never
+/// touches the view. The overlay form is the pooled-session draw phase;
+/// the database form serves dedicated sessions and tests.
+Result<ProbeDraws> DrawProbes(const ProbabilisticDatabase& db,
+                              const CleaningProfile& profile,
+                              const std::vector<int64_t>& probes, Rng* rng,
+                              const ProbeOptions& options = {});
+Result<ProbeDraws> DrawProbes(const DatabaseOverlay& view,
+                              const CleaningProfile& profile,
+                              const std::vector<int64_t>& probes, Rng* rng,
+                              const ProbeOptions& options = {});
+
+/// Applies a draw's outcomes to pooled session `id`, in draw order. Call
+/// on the pool's caller thread (serialized-caller contract); the session
+/// stays dirty until the next Refresh/RefreshAll.
+Status CommitProbeDraws(SessionPool* pool, SessionPool::SessionId id,
+                        const ProbeDraws& draws);
+
+/// A future for one in-flight probe draw: the handle SubmitProbes returns.
+/// Move-only. Destroying an unwaited batch blocks until the draw finished
+/// (the underlying task must not outlive its result slot).
+class ProbeBatch {
+ public:
+  ProbeBatch();
+  ~ProbeBatch();
+  ProbeBatch(ProbeBatch&&) noexcept;
+  ProbeBatch& operator=(ProbeBatch&&) noexcept;
+  ProbeBatch(const ProbeBatch&) = delete;
+  ProbeBatch& operator=(const ProbeBatch&) = delete;
+
+  /// True when this batch holds (or held) a submitted draw.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking completion poll. Requires valid().
+  bool done() const;
+
+  /// Blocks until the draw finished and returns it; idempotent. While
+  /// draining, the calling thread may execute other queued work inline.
+  /// Requires valid().
+  const Result<ProbeDraws>& Wait();
+
+  /// Wait() + move the draws out; the batch becomes invalid.
+  Result<ProbeDraws> Take();
+
+ private:
+  friend Result<ProbeBatch> SubmitProbes(const SessionPool& pool,
+                                         SessionPool::SessionId id,
+                                         const CleaningProfile& profile,
+                                         std::vector<int64_t> probes,
+                                         Rng* rng,
+                                         const ProbeOptions& options,
+                                         ThreadPool* exec);
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// Starts the draw phase for pooled session `id` on `exec` and returns
+/// immediately; the probe loop runs against the session's overlay on a
+/// pool worker (inline when `exec` is null or single-threaded -- the
+/// sequential path). Validation happens here, on the caller thread. See
+/// the header note for what the caller must (not) do while the batch is
+/// in flight.
+Result<ProbeBatch> SubmitProbes(const SessionPool& pool,
+                                SessionPool::SessionId id,
+                                const CleaningProfile& profile,
+                                std::vector<int64_t> probes, Rng* rng,
+                                const ProbeOptions& options, ThreadPool* exec);
+
 /// Executes `plan.probes` on `db` with per-x-tuple costs/sc-probabilities
 /// from `profile`, drawing success and revealed values from `rng`. The
 /// cleaned database is an in-place-collapsed copy of `db` (compacted;
@@ -74,12 +206,15 @@ Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
 /// Pooled-session form: probes against session `id`'s own overlay view
 /// (base + its previous outcomes) and records each success in that
 /// overlay only; the shared base and every other session are untouched.
-/// Same fixed random-stream order as the other overloads.
+/// Same fixed random-stream order as the other overloads; implemented as
+/// DrawProbes + CommitProbeDraws, so an inline execution and a pipelined
+/// one are the same arithmetic by construction.
 Result<SessionExecutionReport> ExecutePlan(SessionPool* pool,
                                            SessionPool::SessionId id,
                                            const CleaningProfile& profile,
                                            const std::vector<int64_t>& probes,
-                                           Rng* rng);
+                                           Rng* rng,
+                                           const ProbeOptions& options = {});
 
 }  // namespace uclean
 

@@ -4,6 +4,9 @@
 // with exponential cost. They exist as ground-truth oracles for the
 // closed-form Theorem-2 evaluator and the DP/Greedy planners, and are only
 // usable on small instances.
+//
+// Threading: pure functions of their arguments; concurrent calls on
+// databases/problems nobody is mutating are safe.
 
 #ifndef UCLEAN_CLEAN_BRUTE_FORCE_H_
 #define UCLEAN_CLEAN_BRUTE_FORCE_H_

@@ -26,6 +26,13 @@
 // (cost <= remaining budget); they stop when nothing is affordable. This
 // realizes the paper's "with replacement until the budget is exhausted"
 // without non-terminating rejection loops.
+//
+// Threading: every planner is a pure function of (problem, rng) --
+// concurrent calls on distinct arguments are safe, and a call may run on
+// an exec pool worker. Two calls must never share an Rng: the randomized
+// planners advance it, and even the deterministic ones sit in loops
+// (clean/pipeline.h) whose per-session stream ordering is part of the
+// reproducibility contract.
 
 #ifndef UCLEAN_CLEAN_PLANNERS_H_
 #define UCLEAN_CLEAN_PLANNERS_H_

@@ -12,6 +12,12 @@
 // The j-th probe of tau_l therefore contributes the marginal value
 // b(l,j) = -(1-P_l)^{j-1} P_l g(l,D) (Eq. 21), which decreases
 // geometrically in j (Lemma 4) -- the structure every planner exploits.
+//
+// Threading: plain value types and pure functions. MakeCleaningProblem
+// only reads its inputs; concurrent calls are safe as long as nobody is
+// mutating the database/TP state they read (for pooled sessions: call it
+// under the pool's serialized-caller rule, the way clean/pipeline.h
+// does on the caller thread between submissions).
 
 #ifndef UCLEAN_CLEAN_PROBLEM_H_
 #define UCLEAN_CLEAN_PROBLEM_H_

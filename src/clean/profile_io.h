@@ -7,6 +7,10 @@
 //     0,3,0.75
 //
 // Rows must cover x-tuples 0..m-1 exactly once each (any order).
+//
+// Threading: stateless serialization; concurrent calls are safe on
+// distinct streams/paths (the functions add no synchronization around
+// a shared stream).
 
 #ifndef UCLEAN_CLEAN_PROFILE_IO_H_
 #define UCLEAN_CLEAN_PROFILE_IO_H_

@@ -30,6 +30,15 @@
 // aggregate over all of them, so the adaptive loop runs at most one
 // (partial) PSR pass per round. All maintained state is bitwise identical
 // to recomputing from scratch on the cleaned database at every rung.
+//
+// Threading: SERIALIZED CALLER. One thread drives a session at a time
+// (mutators and accessors alike); the session is not internally
+// synchronized. Options::exec parallelism stays INSIDE calls -- a
+// Start/Refresh may shard its scan over the pool, but the session's
+// public surface must still be entered by one thread. A whole session
+// may run on a pool worker (SessionPool::RefreshAll does this with its
+// per-session state), in which case its nested scans degrade to the
+// sequential path inline.
 
 #ifndef UCLEAN_CLEAN_SESSION_H_
 #define UCLEAN_CLEAN_SESSION_H_

@@ -47,6 +47,16 @@
 // read-only after Create, so sessions fan out without locks while the
 // serialized-caller contract stays intact.
 //
+// The same reasoning admits ASYNC PROBE BATCHES (clean/agent.h's
+// SubmitProbes + clean/pipeline.h): a batch is a pure read of one
+// session's overlay running on a pool worker. While a session has a
+// batch in flight, the (single) caller thread may keep using the pool
+// -- plan, apply/commit to OTHER sessions, wait batches -- but must not
+// mutate, refresh or close the in-flight session itself, and must not
+// open/close ANY session (slot-table growth could move overlays) until
+// every in-flight batch is waited. Refresh/RefreshAll the committed
+// outcomes only after the round's batches are all committed.
+//
 // Reading a dirty session (outcomes applied, not yet refreshed) is a hard
 // failure in every build type, matching CleaningSession.
 
@@ -118,6 +128,11 @@ class SessionPool {
 
   /// The base TP state of rung `rung` (what a fresh session starts from).
   const TpOutput& base_tp(size_t rung = 0) const { return base_tps_[rung]; }
+
+  /// The resolved execution options (Options::exec after ResolveExec):
+  /// the ONE executor shared by the base scan, session replays, RefreshAll
+  /// and -- through clean/pipeline.h -- in-flight probe batches.
+  const ExecOptions& exec() const { return options_.exec; }
 
   /// Opens a session: forks the shared scan state (a memcpy, no scan).
   /// Never fails on a live pool; returns a handle for every other call.

@@ -30,6 +30,9 @@ struct BudgetSearchReport {
 /// Finds the smallest budget C <= max_budget whose optimal expected
 /// post-cleaning quality reaches `target_quality` (a PWS-quality, <= 0).
 /// When unattainable, reports the best expected quality at max_budget.
+///
+/// Threading: pure function of its arguments (reads `db`, writes
+/// nothing); concurrent calls on databases nobody is mutating are safe.
 Result<BudgetSearchReport> MinimalBudgetForTarget(
     const ProbabilisticDatabase& db, size_t k, const CleaningProfile& profile,
     double target_quality, int64_t max_budget,

@@ -93,6 +93,11 @@ void ThreadPool::TaskGroup::TaskDone() {
   if (--pending_ == 0) done_cv_.notify_all();
 }
 
+bool ThreadPool::TaskGroup::Finished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_ == 0;
+}
+
 void ThreadPool::TaskGroup::Wait() {
   if (pool_ == nullptr) return;
   // Help drain the pool while our tasks are outstanding. The popped task

@@ -80,6 +80,12 @@ class ThreadPool {
     void Run(std::function<void()> fn);
     void Wait();
 
+    /// True when every Run() task has finished (trivially true before the
+    /// first Run and on the null-pool path). Non-blocking: the completion
+    /// poll that lets async consumers (clean/agent.h's ProbeBatch) check
+    /// a batch without parking the caller. Safe to call from any thread.
+    bool Finished();
+
    private:
     friend class ThreadPool;
     void TaskDone();

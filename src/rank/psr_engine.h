@@ -61,6 +61,21 @@
 // tombstones. The engine never owns the database; the caller (normally
 // CleaningSession) guarantees the db passed to Replay is the one the
 // engine last saw, mutated only through ApplyCleanOutcome.
+//
+// Threading contract, per entry point:
+//  * Replay / ApplyCompaction / InvalidateBelow MUTATE the engine:
+//    serialized caller, one thread at a time, never concurrently with
+//    any other engine call.
+//  * After Create, the shared state (checkpoints, base outputs, ladder)
+//    is read-only for the pooled path: ForkSession and ReplaySession are
+//    const and safe to call CONCURRENTLY from multiple threads as long
+//    as (a) each concurrent ReplaySession targets a DISTINCT
+//    (overlay, SessionState) pair and (b) no mutating call runs
+//    meanwhile. This is exactly SessionPool::RefreshAll's fan-out: many
+//    sessions replay on pool workers against one frozen engine.
+//  * Any scan-running call may itself execute ON a pool worker; its
+//    nested sharded scan then degrades to the sequential loop inline
+//    (exec/thread_pool.h's nesting rule), never deadlocking the pool.
 
 #ifndef UCLEAN_RANK_PSR_ENGINE_H_
 #define UCLEAN_RANK_PSR_ENGINE_H_

@@ -158,6 +158,30 @@ TEST_F(CliTest, FullWorkflow) {
       ReadDatabaseCsvFile(Path("cleaned3.csv"));
   ASSERT_TRUE(pooled.ok());
   EXPECT_EQ(pooled->num_xtuples(), 120u);
+
+  // --pipeline overlaps probe batches with planning; the per-session
+  // lines and the merged database must be identical to the serial pool
+  // run above (same seed, bitwise-equal state).
+  ASSERT_EQ(Run("clean --db " + Path("db.csv") + " --profile " +
+                    Path("profile.csv") +
+                    " --k 5 --budget 20 --adaptive --sessions 3 "
+                    "--pipeline --threads 2 --probe-latency-us 100 --out " +
+                    Path("cleaned4.csv") + " --seed 3",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("--pipeline overlaps probe batches"),
+            std::string::npos);
+  EXPECT_NE(out.find("session pool: 3 adaptive sessions"),
+            std::string::npos);
+  Result<ProbabilisticDatabase> piped =
+      ReadDatabaseCsvFile(Path("cleaned4.csv"));
+  ASSERT_TRUE(piped.ok());
+  ASSERT_EQ(piped->num_tuples(), pooled->num_tuples());
+  for (size_t i = 0; i < piped->num_tuples(); ++i) {
+    EXPECT_EQ(piped->tuple(i).id, pooled->tuple(i).id);
+    EXPECT_EQ(piped->tuple(i).prob, pooled->tuple(i).prob);
+  }
 }
 
 TEST_F(CliTest, KLadderParsingAndNormalization) {
@@ -211,6 +235,29 @@ TEST_F(CliTest, KLadderParsingAndNormalization) {
                 &out),
             0);
   EXPECT_NE(out.find("--adaptive"), std::string::npos) << out;
+
+  // --pipeline / --probe-latency-us guards: both need the adaptive
+  // pooled loop, and the latency must be sane microseconds.
+  EXPECT_NE(Run("clean --db " + Path("ladder_db.csv") + " --profile " +
+                    Path("ladder_profile.csv") +
+                    " --k 5 --budget 10 --pipeline --out " + Path("x.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--adaptive"), std::string::npos) << out;
+  EXPECT_NE(Run("clean --db " + Path("ladder_db.csv") + " --profile " +
+                    Path("ladder_profile.csv") +
+                    " --k 5 --budget 10 --adaptive --probe-latency-us 10 "
+                    "--out " + Path("x.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--probe-latency-us"), std::string::npos) << out;
+  EXPECT_NE(Run("clean --db " + Path("ladder_db.csv") + " --profile " +
+                    Path("ladder_profile.csv") +
+                    " --k 5 --budget 10 --adaptive --pipeline "
+                    "--probe-latency-us -5 --out " + Path("x.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--probe-latency-us"), std::string::npos) << out;
 }
 
 TEST_F(CliTest, ThreadsFlagValidationAndAnnouncement) {

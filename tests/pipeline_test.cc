@@ -1,0 +1,324 @@
+// Pipelined-vs-serial equivalence for the async probe pipeline
+// (clean/pipeline.h + the draw/commit split in clean/agent.h):
+//
+//  * a full pipelined campaign (probe batches on workers, overlapped with
+//    planning) must leave every session's quality, probe log, overlay
+//    outcomes and Rng ENGINE STATE bitwise equal to the serial loop,
+//  * under seeded shuffles of batch COMPLETION order (per-session latency
+//    jitter permutes which batch finishes first -- the schedule the
+//    determinism claim must be independent of),
+//  * and the draw/commit split itself must consume exactly the random
+//    stream the inline ExecutePlan forms consume.
+//
+// The pipelined arms run on a real multi-thread executor, so this test is
+// also the TSan workload for the async probe path (CI runs it under
+// -fsanitize=thread).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "clean/agent.h"
+#include "clean/pipeline.h"
+#include "clean/session_pool.h"
+#include "common/rng.h"
+#include "model/database.h"
+#include "rank/psr.h"
+#include "workload/cleaning_profile_gen.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+using std::chrono::microseconds;
+
+constexpr uint64_t kRngBase = 1000;
+
+KLadder MakeLadder(std::vector<size_t> ks) {
+  Result<KLadder> ladder = KLadder::Of(std::move(ks));
+  UCLEAN_CHECK(ladder.ok());
+  return std::move(ladder).value();
+}
+
+ProbabilisticDatabase MakeDb(size_t xtuples = 600) {
+  SyntheticOptions opts;
+  opts.num_xtuples = xtuples;
+  opts.tuples_per_xtuple = 5;
+  opts.real_mass_min = 0.7;  // sub-unit masses: null outcomes occur too
+  opts.real_mass_max = 1.0;
+  opts.seed = 20260728;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  UCLEAN_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+CleaningProfile MakeProfile(size_t xtuples) {
+  CleaningProfileOptions opts;
+  opts.sc_pdf = ScPdf::Uniform(0.2, 0.9);  // several attempts per success
+  opts.seed = 77;
+  Result<CleaningProfile> profile = GenerateCleaningProfile(xtuples, opts);
+  UCLEAN_CHECK(profile.ok());
+  return std::move(profile).value();
+}
+
+/// Everything a campaign leaves behind that the equivalence claim covers.
+struct CampaignResult {
+  PipelineReport report;
+  /// quality[s][rung] read back from the pool after the run.
+  std::vector<std::vector<double>> quality;
+  /// Each session's overlay outcome record (xtuple, resolved id), order
+  /// included.
+  std::vector<std::vector<std::pair<XTupleId, TupleId>>> outcomes;
+  /// Final Rng engine states -- the strictest stream fingerprint: equal
+  /// engines mean the two runs drew EXACTLY the same randomness.
+  std::vector<std::mt19937_64> engines;
+};
+
+CampaignResult RunCampaign(const ProbabilisticDatabase& db,
+                           const KLadder& ladder,
+                           const CleaningProfile& profile, size_t sessions,
+                           int64_t budget, size_t threads, bool overlap,
+                           std::vector<microseconds> jitter = {}) {
+  SessionPool::Options pool_options;
+  pool_options.exec.num_threads = threads;
+  Result<SessionPool> pool =
+      SessionPool::Create(ProbabilisticDatabase(db), ladder, pool_options);
+  UCLEAN_CHECK(pool.ok());
+
+  std::vector<SessionPool::SessionId> ids;
+  std::vector<Rng> rngs;
+  for (size_t s = 0; s < sessions; ++s) {
+    ids.push_back(pool->OpenSession());
+    rngs.emplace_back(kRngBase + s);
+  }
+
+  PipelineOptions options;
+  options.overlap = overlap;
+  options.max_rounds = 4;
+  options.session_latency_jitter = std::move(jitter);
+  Result<PipelineReport> report =
+      RunPipelinedCleaning(&*pool, ids, profile, budget, &rngs, options);
+  UCLEAN_CHECK(report.ok());
+
+  CampaignResult result;
+  result.report = std::move(report).value();
+  for (size_t s = 0; s < sessions; ++s) {
+    std::vector<double> quality;
+    for (size_t rung = 0; rung < pool->num_rungs(); ++rung) {
+      quality.push_back(pool->quality(ids[s], rung));
+    }
+    result.quality.push_back(std::move(quality));
+    result.outcomes.push_back(pool->overlay(ids[s]).outcomes());
+    result.engines.push_back(rngs[s].engine());
+  }
+  return result;
+}
+
+/// The equivalence oracle: every observable of `a` and `b` must be
+/// BITWISE equal (exact ==, not a tolerance -- both runs must execute the
+/// same arithmetic on the same operands in the same order).
+void ExpectCampaignsIdentical(const CampaignResult& a,
+                              const CampaignResult& b) {
+  EXPECT_EQ(a.report.rounds, b.report.rounds);
+  ASSERT_EQ(a.report.sessions.size(), b.report.sessions.size());
+  for (size_t s = 0; s < a.report.sessions.size(); ++s) {
+    SCOPED_TRACE("session " + std::to_string(s));
+    const PipelineSessionReport& sa = a.report.sessions[s];
+    const PipelineSessionReport& sb = b.report.sessions[s];
+    EXPECT_EQ(sa.spent, sb.spent);
+    EXPECT_EQ(sa.leftover, sb.leftover);
+    EXPECT_EQ(sa.successes, sb.successes);
+    EXPECT_EQ(sa.rounds, sb.rounds);
+    EXPECT_EQ(sa.log, sb.log);
+    ASSERT_EQ(sa.final_quality.size(), sb.final_quality.size());
+    for (size_t rung = 0; rung < sa.final_quality.size(); ++rung) {
+      EXPECT_EQ(sa.final_quality[rung], sb.final_quality[rung]);
+    }
+    EXPECT_EQ(a.quality[s], b.quality[s]);
+    EXPECT_EQ(a.outcomes[s], b.outcomes[s]);
+    EXPECT_TRUE(a.engines[s] == b.engines[s])
+        << "session " << s << " drew a different random stream";
+  }
+}
+
+TEST(PipelineTest, PipelinedMatchesSerialSameExecutor) {
+  const ProbabilisticDatabase db = MakeDb();
+  const KLadder ladder = MakeLadder({5, 20});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  // Same 4-thread executor both arms: the only difference is WHERE the
+  // probe loops run, so every observable must be bitwise equal.
+  CampaignResult serial =
+      RunCampaign(db, ladder, profile, 6, 60, 4, /*overlap=*/false);
+  CampaignResult pipelined =
+      RunCampaign(db, ladder, profile, 6, 60, 4, /*overlap=*/true);
+  ExpectCampaignsIdentical(serial, pipelined);
+  // The campaign must have actually cleaned something, or the test
+  // compares two no-ops.
+  EXPECT_GT(pipelined.report.rounds, 0u);
+  EXPECT_GT(pipelined.report.sessions[0].spent, 0);
+}
+
+TEST(PipelineTest, PipelinedMatchesSequentialReference) {
+  const ProbabilisticDatabase db = MakeDb();
+  const KLadder ladder = MakeLadder({5, 20});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  // Strictly sequential reference (1 thread, inline draws) vs the full
+  // pipelined path: the sharded-scan grid keeps even cross-thread-count
+  // state bitwise equal.
+  CampaignResult reference =
+      RunCampaign(db, ladder, profile, 6, 60, 1, /*overlap=*/false);
+  CampaignResult pipelined =
+      RunCampaign(db, ladder, profile, 6, 60, 4, /*overlap=*/true);
+  ExpectCampaignsIdentical(reference, pipelined);
+}
+
+TEST(PipelineTest, CompletionOrderShufflesAreInvisible) {
+  const ProbabilisticDatabase db = MakeDb(300);
+  const KLadder ladder = MakeLadder({10});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  const size_t sessions = 5;
+  const CampaignResult reference =
+      RunCampaign(db, ladder, profile, sessions, 40, 4, /*overlap=*/false);
+
+  // Seeded shuffles of per-session latency permute which batch COMPLETES
+  // first (the last-submitted batch can finish long before the first);
+  // no schedule may leak into any session's state.
+  std::vector<microseconds> jitter;
+  for (size_t s = 0; s < sessions; ++s) {
+    jitter.push_back(microseconds(150 * s));
+  }
+  for (uint32_t trial = 0; trial < 4; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    std::mt19937 shuffle_rng(trial);
+    std::shuffle(jitter.begin(), jitter.end(), shuffle_rng);
+    CampaignResult shuffled = RunCampaign(db, ladder, profile, sessions, 40,
+                                          4, /*overlap=*/true, jitter);
+    ExpectCampaignsIdentical(reference, shuffled);
+  }
+}
+
+TEST(PipelineTest, DrawCommitMatchesInlineExecutePlan) {
+  const ProbabilisticDatabase db = MakeDb(200);
+  const KLadder ladder = MakeLadder({8});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  Result<SessionPool> pool =
+      SessionPool::Create(ProbabilisticDatabase(db), ladder);
+  ASSERT_TRUE(pool.ok());
+  const SessionPool::SessionId inline_id = pool->OpenSession();
+  const SessionPool::SessionId split_id = pool->OpenSession();
+
+  // A plan probing a spread of x-tuples a few times each.
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  for (size_t l = 0; l < probes.size(); l += 7) probes[l] = 2;
+
+  Rng inline_rng(42), split_rng(42);
+  Result<SessionExecutionReport> executed =
+      ExecutePlan(&*pool, inline_id, profile, probes, &inline_rng);
+  ASSERT_TRUE(executed.ok());
+
+  Result<ProbeDraws> draws =
+      DrawProbes(pool->overlay(split_id), profile, probes, &split_rng);
+  ASSERT_TRUE(draws.ok());
+  // The draw phase is pure: nothing applied yet, session still clean.
+  EXPECT_EQ(pool->overlay(split_id).num_outcomes(), 0u);
+  EXPECT_FALSE(pool->dirty(split_id));
+  ASSERT_TRUE(CommitProbeDraws(&*pool, split_id, *draws).ok());
+
+  EXPECT_EQ(executed->spent, draws->report.spent);
+  EXPECT_EQ(executed->leftover, draws->report.leftover);
+  EXPECT_EQ(executed->successes, draws->report.successes);
+  EXPECT_EQ(executed->log, draws->report.log);
+  EXPECT_TRUE(inline_rng.engine() == split_rng.engine());
+  EXPECT_EQ(pool->overlay(inline_id).outcomes(),
+            pool->overlay(split_id).outcomes());
+}
+
+TEST(PipelineTest, ProbeBatchFutureSemantics) {
+  const ProbabilisticDatabase db = MakeDb(150);
+  const KLadder ladder = MakeLadder({5});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  SessionPool::Options pool_options;
+  pool_options.exec.num_threads = 2;
+  Result<SessionPool> pool =
+      SessionPool::Create(ProbabilisticDatabase(db), ladder, pool_options);
+  ASSERT_TRUE(pool.ok());
+  const SessionPool::SessionId id = pool->OpenSession();
+
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[0] = probes[3] = 3;
+  Rng rng(7);
+  ProbeOptions slow;
+  slow.latency = microseconds(200);
+  Result<ProbeBatch> batch = SubmitProbes(*pool, id, profile, probes, &rng,
+                                          slow, pool->exec().pool.get());
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(batch->valid());
+
+  // Wait() is idempotent and returns the same draws.
+  const Result<ProbeDraws>& first = batch->Wait();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(batch->done());
+  EXPECT_GT(first->report.spent, 0);
+  const Result<ProbeDraws>& second = batch->Wait();
+  EXPECT_EQ(&first, &second);
+
+  // Take() hands the draws out and invalidates the batch.
+  Result<ProbeDraws> taken = batch->Take();
+  ASSERT_TRUE(taken.ok());
+  EXPECT_FALSE(batch->valid());
+  ASSERT_TRUE(CommitProbeDraws(&*pool, id, *taken).ok());
+  EXPECT_TRUE(pool->dirty(id));
+  ASSERT_TRUE(pool->Refresh(id).ok());
+
+  // A default-constructed batch is invalid.
+  ProbeBatch empty;
+  EXPECT_FALSE(empty.valid());
+}
+
+TEST(PipelineTest, ValidationErrors) {
+  const ProbabilisticDatabase db = MakeDb(100);
+  const KLadder ladder = MakeLadder({5});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  Result<SessionPool> pool =
+      SessionPool::Create(ProbabilisticDatabase(db), ladder);
+  ASSERT_TRUE(pool.ok());
+  const SessionPool::SessionId id = pool->OpenSession();
+  std::vector<SessionPool::SessionId> ids = {id};
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  Rng rng(1);
+
+  // SubmitProbes: closed session / size mismatch / null rng.
+  EXPECT_FALSE(
+      SubmitProbes(*pool, id + 17, profile, probes, &rng, {}, nullptr).ok());
+  EXPECT_FALSE(SubmitProbes(*pool, id, profile, {1, 2, 3}, &rng, {}, nullptr)
+                   .ok());
+  EXPECT_FALSE(SubmitProbes(*pool, id, profile, probes, nullptr, {}, nullptr)
+                   .ok());
+
+  // RunPipelinedCleaning: null pool, rng arity, dirty session.
+  std::vector<Rng> rngs;
+  rngs.emplace_back(1);
+  PipelineOptions options;
+  EXPECT_FALSE(
+      RunPipelinedCleaning(nullptr, ids, profile, 10, &rngs, options).ok());
+  std::vector<Rng> wrong_arity;
+  EXPECT_FALSE(
+      RunPipelinedCleaning(&*pool, ids, profile, 10, &wrong_arity, options)
+          .ok());
+  const auto& members = pool->overlay(id).base().xtuple_members(0);
+  ASSERT_TRUE(
+      pool->ApplyCleanOutcome(id, 0, pool->base().tuple(members[0]).id)
+          .ok());
+  Result<PipelineReport> dirty_run =
+      RunPipelinedCleaning(&*pool, ids, profile, 10, &rngs, options);
+  EXPECT_FALSE(dirty_run.ok());
+  EXPECT_EQ(dirty_run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace uclean

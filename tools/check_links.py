@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree: every RELATIVE link must
+point at an existing file (or directory), and every anchor -- same-file
+or cross-file -- must match a heading in its target. External http(s)
+and mailto links are skipped (CI has no business depending on the
+network). Pure stdlib; run from anywhere:
+
+    python3 tools/check_links.py README.md ROADMAP.md docs/*.md
+
+Exit status 1 when any link is broken, listing file:line for each.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) -- excluding images' srcs is pointless (same rule) but
+# ``` fenced blocks are stripped so code samples can show link syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+# Fences may be indented (list items) and a file may mix ``` and ~~~;
+# a block closes only on its own opening marker.
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_anchor(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = re.sub(r"[`*_~]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        anchors = set()
+        counts = {}
+        try:
+            with open(path, encoding="utf-8") as f:
+                fence = None
+                for line in f:
+                    m = FENCE_RE.match(line)
+                    if m:
+                        if fence is None:
+                            fence = m.group(1)
+                        elif m.group(1) == fence:
+                            fence = None
+                        continue
+                    if fence is not None:
+                        continue
+                    m = HEADING_RE.match(line)
+                    if m:
+                        slug = github_anchor(m.group(1))
+                        n = counts.get(slug, 0)
+                        counts[slug] = n + 1
+                        anchors.add(slug if n == 0 else f"{slug}-{n}")
+        except OSError:
+            pass
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(path):
+    failures = []
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as f:
+        fence = None
+        for lineno, line in enumerate(f, 1):
+            fm = FENCE_RE.match(line)
+            if fm:
+                if fence is None:
+                    fence = fm.group(1)
+                elif fm.group(1) == fence:
+                    fence = None
+                continue
+            if fence is not None:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                    continue  # http(s), mailto, ... -- not checked
+                target, _, anchor = target.partition("#")
+                if target:
+                    resolved = os.path.normpath(os.path.join(base, target))
+                else:
+                    resolved = path  # same-file anchor
+                if not os.path.exists(resolved):
+                    failures.append(
+                        f"{path}:{lineno}: broken link -> {target}"
+                    )
+                    continue
+                if anchor and resolved.endswith(".md"):
+                    if anchor not in anchors_of(resolved):
+                        failures.append(
+                            f"{path}:{lineno}: missing anchor "
+                            f"#{anchor} in {resolved}"
+                        )
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        failures.extend(check_file(path))
+    if failures:
+        print("BROKEN LINKS:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"all links resolve across {len(argv) - 1} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -15,6 +15,7 @@
 // Run `uclean_cli help` or any subcommand with missing flags for usage.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -24,6 +25,7 @@
 
 #include "clean/adaptive.h"
 #include "clean/agent.h"
+#include "clean/pipeline.h"
 #include "clean/planners.h"
 #include "clean/profile_io.h"
 #include "clean/session_pool.h"
@@ -66,6 +68,7 @@ commands:
   clean    --db DB.csv --profile PROFILE.csv --k K --budget C --out OUT.csv
            [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
            [--k-ladder K1,K2,...] [--sessions N] [--threads N|auto]
+           [--pipeline] [--probe-latency-us U]
   target   --db DB.csv --profile PROFILE.csv --k K --target Q
            [--max-budget 100000]
 
@@ -83,6 +86,14 @@ is written to --out.
 (rank-range sharded over one fixed-size pool; results are identical to
 --threads 1). `auto` uses the machine's hardware concurrency. With
 --sessions, dirty sessions also refresh concurrently.
+
+--pipeline (with --adaptive --sessions) overlaps each round's probe
+batches with planning on the --threads executor: probes draw against each
+session's own view on workers while the caller plans the other sessions,
+then one concurrent RefreshAll commits the round. Per-session results are
+bitwise identical to the serial pool loop. --probe-latency-us simulates
+per-probe field latency (source lookups, sensors, people) -- the regime
+the pipeline is built for.
 )";
 
 /// Minimal --key value flag map.
@@ -97,7 +108,7 @@ class Flags {
                                        std::string(arg) + "'");
       }
       std::string key(arg.substr(2));
-      if (key == "adaptive") {  // boolean flag
+      if (key == "adaptive" || key == "pipeline") {  // boolean flags
         flags.values_[key] = "true";
         continue;
       }
@@ -537,18 +548,22 @@ Status RunPlan(const Flags& flags) {
   return Status::OK();
 }
 
-/// `clean --adaptive --sessions N`: N concurrent adaptive cleaning
-/// sessions over ONE shared scan (SessionPool). Each session is an
-/// independent analyst running the plan/execute/re-plan loop with the
+/// `clean --adaptive --sessions N [--pipeline]`: N concurrent adaptive
+/// cleaning sessions over ONE shared scan (SessionPool). Each session is
+/// an independent analyst running the plan/execute/re-plan loop with the
 /// full budget against their own copy-on-write view; the pool amortizes
 /// the database copy, PSR scan, checkpoint set and TP pass a dedicated
-/// session would pay per analyst. Session 0's merged database is written
-/// to --out (the others are what-if runs that close unmaterialized).
+/// session would pay per analyst. The round loop itself lives in
+/// clean/pipeline.h: serial (probe batches drawn inline) by default,
+/// overlapped (batches on the --threads executor while the caller keeps
+/// planning) with --pipeline -- per-session results are bitwise equal
+/// either way. Session 0's merged database is written to --out (the
+/// others are what-if runs that close unmaterialized).
 Status RunCleanPool(const ProbabilisticDatabase& db,
                     const CleaningProfile& profile, const KLadder& ladder,
                     int64_t budget, size_t num_sessions, PlannerKind planner,
-                    uint64_t seed, const ExecOptions& exec,
-                    const std::string& out) {
+                    uint64_t seed, const ExecOptions& exec, bool pipeline,
+                    int64_t probe_latency_us, const std::string& out) {
   SessionPool::Options pool_options;
   pool_options.exec = exec;
   Result<SessionPool> pool =
@@ -562,50 +577,33 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
 
   std::vector<SessionPool::SessionId> ids;
   std::vector<Rng> rngs;
-  std::vector<int64_t> remaining(num_sessions, budget);
-  std::vector<int64_t> spent(num_sessions, 0);
-  std::vector<bool> done(num_sessions, false);
   for (size_t s = 0; s < num_sessions; ++s) {
     ids.push_back(pool->OpenSession());
     rngs.emplace_back(seed + s);
   }
 
-  // Round-robin rounds: sessions interleave applies on the shared
-  // engine, each planning only from its own session state; the round's
-  // dirty sessions then refresh together through RefreshAll (suffix
-  // replays run concurrently when --threads is given). Per-session
-  // results are identical to refreshing one by one -- sessions never
-  // observe each other. The per-session round cap is the adaptive
-  // loop's own default, so the pooled and dedicated CLI paths can never
-  // drift apart.
-  const size_t max_rounds = AdaptiveOptions().max_rounds;
-  for (size_t round = 0; round < max_rounds; ++round) {
-    bool progressed = false;
-    for (size_t s = 0; s < num_sessions; ++s) {
-      if (done[s] || remaining[s] <= 0) continue;
-      Result<CleaningProblem> problem =
-          MakeCleaningProblem(pool->tps(ids[s]), {}, profile, remaining[s]);
-      if (!problem.ok()) return problem.status();
-      Result<CleaningPlan> plan = RunPlanner(planner, *problem, &rngs[s]);
-      if (!plan.ok()) return plan.status();
-      if (plan->total_cost == 0 || plan->expected_improvement <= 0.0) {
-        done[s] = true;
-        continue;
-      }
-      Result<SessionExecutionReport> executed =
-          ExecutePlan(&*pool, ids[s], profile, plan->probes, &rngs[s]);
-      if (!executed.ok()) return executed.status();
-      if (executed->spent == 0) {
-        done[s] = true;
-        continue;
-      }
-      remaining[s] -= executed->spent;
-      spent[s] += executed->spent;
-      progressed = true;
+  PipelineOptions pipeline_options;
+  pipeline_options.planner = planner;
+  pipeline_options.overlap = pipeline;
+  pipeline_options.probe.latency =
+      std::chrono::microseconds(probe_latency_us);
+  if (pipeline) {
+    // Honest note: a 1-thread executor has no workers, so SubmitProbes
+    // draws inline and the "pipelined" loop is the serial wall clock.
+    if (exec.num_threads > 1) {
+      std::printf("note: --pipeline overlaps probe batches with planning "
+                  "on %zu threads; per-session results are identical to "
+                  "the serial pool loop\n",
+                  exec.num_threads);
+    } else {
+      std::printf("note: --pipeline with 1 thread runs probe batches "
+                  "inline (no overlap); pass --threads N|auto to overlap "
+                  "them with planning\n");
     }
-    UCLEAN_RETURN_IF_ERROR(pool->RefreshAll());
-    if (!progressed) break;
   }
+  Result<PipelineReport> report = RunPipelinedCleaning(
+      &*pool, ids, profile, budget, &rngs, pipeline_options);
+  if (!report.ok()) return report.status();
 
   std::printf("session pool: %zu adaptive sessions over one shared scan, "
               "k-ladder %s, initial quality %.6f\n",
@@ -618,7 +616,7 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
     }
     std::printf("  session %zu: spent %lld/%lld (%zu cleans), quality "
                 "%.6f -> %.6f\n",
-                s, static_cast<long long>(spent[s]),
+                s, static_cast<long long>(report->sessions[s].spent),
                 static_cast<long long>(budget),
                 pool->overlay(ids[s]).num_outcomes(), initial, final_quality);
     if (rungs > 1) {
@@ -655,15 +653,31 @@ Status RunClean(const Flags& flags) {
   if (sessions < 1) {
     return Status::InvalidArgument("--sessions must be >= 1");
   }
-  if (sessions > 1) {
-    if (!flags.Has("adaptive")) {
-      return Status::InvalidArgument(
-          "--sessions requires --adaptive (pooled cleaning sessions run "
-          "the adaptive loop)");
-    }
+  CLI_ASSIGN_OR_RETURN(probe_latency_us,
+                       flags.GetInt("probe-latency-us", 0));
+  if (probe_latency_us < 0 || probe_latency_us > 60000000) {
+    return Status::InvalidArgument(
+        "bad --probe-latency-us '" +
+        flags.GetString("probe-latency-us", "") +
+        "': expected microseconds in [0, 60000000]");
+  }
+  const bool pipeline = flags.Has("pipeline");
+  const bool pooled = sessions > 1 || pipeline;
+  if ((pooled || probe_latency_us > 0) && !flags.Has("adaptive")) {
+    return Status::InvalidArgument(
+        "--sessions/--pipeline/--probe-latency-us require --adaptive "
+        "(pooled cleaning sessions run the adaptive loop)");
+  }
+  if (probe_latency_us > 0 && !pooled) {
+    return Status::InvalidArgument(
+        "--probe-latency-us requires the pooled loop (--sessions N "
+        "and/or --pipeline)");
+  }
+  if (pooled) {
     UCLEAN_RETURN_IF_ERROR(RunCleanPool(
         *db, *profile, cli_ladder, budget, static_cast<size_t>(sessions),
-        planner, static_cast<uint64_t>(seed), exec, out));
+        planner, static_cast<uint64_t>(seed), exec, pipeline,
+        probe_latency_us, out));
     std::printf("cleaned database written to %s\n", out.c_str());
     return Status::OK();
   }
