@@ -1,7 +1,9 @@
 #include "clean/adaptive.h"
 
+#include <optional>
 #include <utility>
 
+#include "clean/fault.h"
 #include "clean/session.h"
 #include "quality/tp.h"
 
@@ -60,6 +62,14 @@ Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
     }
   }
 
+  std::optional<FaultInjector> injector;
+  ProbeOptions probe_options;
+  if (options.fault.enabled) {
+    UCLEAN_RETURN_IF_ERROR(options.fault.Validate());
+    injector.emplace(options.fault);
+    probe_options.fault = &*injector;
+  }
+
   CleaningSession::Options session_options;
   session_options.exec = options.exec;
   Result<CleaningSession> session =
@@ -83,15 +93,31 @@ Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
     Result<CleaningProblem> problem = MakeCleaningProblem(
         session->tps(), options.plan_weights, profile, remaining);
     if (!problem.ok()) return problem.status();
+    // Degradation: sources with an open breaker cannot answer this round,
+    // so their gain is masked and the planner reinvests the budget in the
+    // members that can still improve the query.
+    MaskUnavailableSources(probe_options.fault, &*problem);
     Result<CleaningPlan> plan =
         RunPlanner(options.planner, *problem, rng, options.dp_options);
     if (!plan.ok()) return plan.status();
-    if (plan->total_cost == 0 || plan->expected_improvement <= 0.0) break;
+    if (plan->total_cost == 0 || plan->expected_improvement <= 0.0) {
+      // Nothing probeable right now. If that is only because breakers are
+      // cooling down, wait one cooldown out (simulated) and re-plan; with
+      // no blocked sources the campaign is genuinely done.
+      if (injector && injector->num_open_sources() > 0) {
+        injector->AdvanceClock(options.fault.breaker.cooldown_us);
+        continue;
+      }
+      break;
+    }
 
     Result<SessionExecutionReport> executed =
-        ExecutePlan(&*session, profile, plan->probes, rng);
+        ExecutePlan(&*session, profile, plan->probes, rng, probe_options);
     if (!executed.ok()) return executed.status();
-    if (executed->spent == 0) break;  // nothing was affordable after all
+    // A round that spent nothing AND had nothing blocked by faults made no
+    // progress and never will; a blocked round keeps going -- its budget
+    // is still unspent and the blocked sources may recover.
+    if (executed->spent == 0 && executed->faults.BlockedProbes() == 0) break;
 
     UCLEAN_RETURN_IF_ERROR(session->Refresh());
     remaining -= executed->spent;
@@ -106,6 +132,8 @@ Result<AdaptiveReport> RunAdaptiveCleaning(ProbabilisticDatabase&& db,
     summary.successes = executed->successes;
     summary.quality_after = report.final_quality;
     summary.quality_after_per_k = report.final_quality_per_k;
+    summary.faults = executed->faults;
+    report.faults += executed->faults;
     report.rounds.push_back(summary);
   }
   report.final_db = std::move(*session).TakeDatabase();

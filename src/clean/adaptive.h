@@ -62,6 +62,14 @@ struct AdaptiveOptions {
   /// (CleaningSession::Options::exec); the sequential default and any
   /// thread count produce bitwise-identical state.
   ExecOptions exec;
+
+  /// Fault injection + retry/deadline/breaker policy for the probe loop
+  /// (clean/fault.h). Disabled by default; when enabled the loop degrades
+  /// gracefully instead of failing: failed probes leave their budget
+  /// unspent, the planner masks sources with open breakers, and an
+  /// all-blocked round waits out one breaker cooldown (simulated) before
+  /// re-planning.
+  FaultOptions fault;
 };
 
 /// One round's summary.
@@ -75,6 +83,9 @@ struct AdaptiveRound {
   double quality_after = 0.0;
   /// Per-rung qualities, ladder order (one entry for single-k runs).
   std::vector<double> quality_after_per_k;
+  /// Fault/retry/breaker counters of this round's execution (all zero
+  /// unless AdaptiveOptions::fault is enabled).
+  FaultStats faults;
 };
 
 /// Outcome of an adaptive cleaning session.
@@ -91,6 +102,8 @@ struct AdaptiveReport {
   std::vector<double> final_quality_per_k;
   int64_t total_spent = 0;
   std::vector<AdaptiveRound> rounds;
+  /// Campaign-wide fault aggregate (sum of the per-round counters).
+  FaultStats faults;
 };
 
 /// Runs the adaptive plan/execute loop on `db` with total budget `budget`.

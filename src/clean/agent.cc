@@ -21,6 +21,98 @@ Status ValidateProbeInputs(size_t num_xtuples, const CleaningProfile& profile,
   return Status::OK();
 }
 
+/// Fault-aware execution of x-tuple `l`'s planned probes: each planned
+/// probe gets up to RetryPolicy::max_attempts tries with backed-off
+/// retries, gated by the plan deadline, the per-probe deadline and `l`'s
+/// circuit breaker. Only completed probes spend budget and consume the
+/// probe Rng (one success draw); every fault decision comes from the
+/// injector's dedicated stream, in plan order. Sets `record->success`
+/// when `l` was cleaned (the caller then reveals the outcome from `rng`).
+void RunFaultedProbes(const CleaningProfile& profile, XTupleId l,
+                      int64_t planned, Rng* rng, const ProbeOptions& options,
+                      ProbeRecord* record, FaultStats* stats) {
+  FaultInjector& fault = *options.fault;
+  const RetryPolicy& retry = fault.retry();
+  const int64_t cost = profile.costs[l];
+  const int64_t latency_us = options.latency.count();
+  for (int64_t p = 0; p < planned; ++p) {
+    if (retry.plan_deadline_us > 0 &&
+        fault.now_us() >= retry.plan_deadline_us) {
+      stats->deadline_skips += planned - p;
+      stats->budget_unspent += (planned - p) * cost;
+      record->last_error = StatusCode::kDeadlineExceeded;
+      return;
+    }
+    if (!fault.AdmitProbe(l)) {
+      stats->breaker_skips += planned - p;
+      stats->budget_unspent += (planned - p) * cost;
+      record->last_error = StatusCode::kUnavailable;
+      return;
+    }
+    const int64_t probe_start_us = fault.now_us();
+    bool completed = false;
+    StatusCode probe_error = StatusCode::kUnavailable;
+    for (int64_t tries = 1; tries <= retry.max_attempts; ++tries) {
+      // The backoff wait is part of the retry, so the per-probe deadline
+      // is enforced both after it and after each attempt's own latency.
+      if (tries > 1) {
+        ++record->retries;
+        ++stats->retries;
+        fault.BackoffWithJitter(tries - 1);
+      }
+      if (retry.probe_deadline_us > 0 &&
+          fault.now_us() - probe_start_us >= retry.probe_deadline_us) {
+        probe_error = StatusCode::kDeadlineExceeded;
+        break;
+      }
+      const FaultKind kind = fault.DrawAttemptFault(l);
+      if (kind == FaultKind::kNone) {
+        fault.AdvanceClock(latency_us);
+        if (options.latency.count() > 0) {
+          std::this_thread::sleep_for(options.latency);
+        }
+        completed = true;
+        break;
+      }
+      switch (kind) {
+        case FaultKind::kTransient:
+          ++stats->transient;
+          fault.AdvanceClock(latency_us);
+          break;
+        case FaultKind::kTimeout:
+          ++stats->timeouts;
+          // A timeout burns the whole per-probe deadline (the attempt
+          // latency when no deadline is configured).
+          fault.AdvanceClock(retry.probe_deadline_us > 0
+                                 ? retry.probe_deadline_us
+                                 : latency_us);
+          break;
+        case FaultKind::kSourceDown:
+          ++stats->source_down;
+          fault.AdvanceClock(latency_us);
+          break;
+        case FaultKind::kNone:
+          break;
+      }
+      if (kind == FaultKind::kSourceDown) break;  // retrying is pointless
+    }
+    fault.RecordProbeOutcome(l, completed);
+    if (!completed) {
+      ++record->failures;
+      ++stats->failed_probes;
+      stats->budget_unspent += cost;
+      record->last_error = probe_error;
+      continue;  // the next planned probe tries again (breaker permitting)
+    }
+    ++record->attempts;
+    record->spent += cost;
+    if (rng->Bernoulli(profile.sc_probs[l])) {
+      record->success = true;
+      return;
+    }
+  }
+}
+
 /// The probe loop shared by every form: spends budget, draws successes
 /// and revealed outcomes, and RECORDS each success instead of applying
 /// it. Draws from `rng` in a fixed order, and reads only the probed
@@ -42,19 +134,24 @@ Result<ProbeDraws> RunDraws(const Db& db, const CleaningProfile& profile,
 
     ProbeRecord record;
     record.xtuple = static_cast<XTupleId>(l);
-    for (int64_t attempt = 0; attempt < probes[l]; ++attempt) {
-      ++record.attempts;
-      record.spent += profile.costs[l];
-      // The field operation itself: a probe takes `latency` before its
-      // result is known. Sleeping (not spinning) is the point -- waiting
-      // probes release the core, which is what the pipelined driver
-      // overlaps.
-      if (options.latency.count() > 0) {
-        std::this_thread::sleep_for(options.latency);
-      }
-      if (rng->Bernoulli(profile.sc_probs[l])) {
-        record.success = true;
-        break;  // the agent stops probing once the entity is cleaned
+    if (options.fault != nullptr) {
+      RunFaultedProbes(profile, static_cast<XTupleId>(l), probes[l], rng,
+                       options, &record, &draws.report.faults);
+    } else {
+      for (int64_t attempt = 0; attempt < probes[l]; ++attempt) {
+        ++record.attempts;
+        record.spent += profile.costs[l];
+        // The field operation itself: a probe takes `latency` before its
+        // result is known. Sleeping (not spinning) is the point -- waiting
+        // probes release the core, which is what the pipelined driver
+        // overlaps.
+        if (options.latency.count() > 0) {
+          std::this_thread::sleep_for(options.latency);
+        }
+        if (rng->Bernoulli(profile.sc_probs[l])) {
+          record.success = true;
+          break;  // the agent stops probing once the entity is cleaned
+        }
       }
     }
     if (record.success) {
@@ -190,13 +287,13 @@ Result<ProbeBatch> SubmitProbes(const SessionPool& pool,
 Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
                                     const CleaningProfile& profile,
                                     const std::vector<int64_t>& probes,
-                                    Rng* rng) {
+                                    Rng* rng, const ProbeOptions& options) {
   UCLEAN_RETURN_IF_ERROR(
       ValidateProbeInputs(db.num_xtuples(), profile, probes, rng));
   // Collapse outcomes on a copy in place: rank order is untouched by a
   // collapse, so the historical DatabaseBuilder round-trip (re-validate +
   // re-sort) is pure overhead.
-  Result<ProbeDraws> draws = RunDraws(db, profile, probes, rng, {});
+  Result<ProbeDraws> draws = RunDraws(db, profile, probes, rng, options);
   if (!draws.ok()) return draws.status();
   ExecutionReport report;
   report.cleaned_db = db;
@@ -211,20 +308,22 @@ Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
   report.leftover = draws->report.leftover;
   report.successes = draws->report.successes;
   report.log = std::move(draws->report.log);
+  report.faults = draws->report.faults;
   return report;
 }
 
 Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
                                            const CleaningProfile& profile,
                                            const std::vector<int64_t>& probes,
-                                           Rng* rng) {
+                                           Rng* rng,
+                                           const ProbeOptions& options) {
   if (session == nullptr) {
     return Status::InvalidArgument("ExecutePlan requires a session");
   }
   UCLEAN_RETURN_IF_ERROR(
       ValidateProbeInputs(session->db().num_xtuples(), profile, probes, rng));
   Result<ProbeDraws> draws =
-      RunDraws(session->db(), profile, probes, rng, {});
+      RunDraws(session->db(), profile, probes, rng, options);
   if (!draws.ok()) return draws.status();
   UCLEAN_RETURN_IF_ERROR(ApplyDraws(
       *draws, [session](XTupleId l, TupleId resolved_id) -> Status {

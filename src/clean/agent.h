@@ -40,9 +40,23 @@
 //    profile and Rng alive, must not mutate, refresh or close THAT
 //    session (other sessions are fine -- their state is disjoint), must
 //    not open/close any pool session (slot-table growth could move the
-//    overlay), and must not touch that session's Rng. ProbeBatch::Wait
-//    runs queued work inline while draining, so it may execute other
-//    batches' draw loops on the calling thread.
+//    overlay), and must not touch that session's Rng or FaultInjector
+//    (both are per-session draw state the in-flight loop consumes).
+//    ProbeBatch::Wait runs queued work inline while draining, so it may
+//    execute other batches' draw loops on the calling thread.
+//
+// Fault tolerance (clean/fault.h). With ProbeOptions::fault set, every
+// attempt first consults the session's FaultInjector: faulted attempts
+// retry under the injector's RetryPolicy (exponential backoff with seeded
+// jitter on the SIMULATED clock), probes whose retries exhaust or whose
+// deadline passes fail WITHOUT spending budget, open circuit breakers
+// skip their source outright, and a plan past its deadline abandons the
+// rest. Execution still returns OK: degradation is partial completion,
+// reported through ProbeRecord::last_error and the reports' FaultStats,
+// never an error status. Faults draw from the injector's dedicated
+// stream, so the probe value stream -- and with it every bitwise
+// equivalence above -- is untouched; a null `fault` (the default) is the
+// exact pre-fault code path.
 
 #ifndef UCLEAN_CLEAN_AGENT_H_
 #define UCLEAN_CLEAN_AGENT_H_
@@ -53,6 +67,7 @@
 #include <utility>
 #include <vector>
 
+#include "clean/fault.h"
 #include "clean/problem.h"
 #include "clean/session.h"
 #include "clean/session_pool.h"
@@ -67,15 +82,22 @@ namespace uclean {
 /// What happened to one selected x-tuple during plan execution.
 struct ProbeRecord {
   XTupleId xtuple = 0;
-  int64_t attempts = 0;      ///< probes actually performed (<= planned)
-  int64_t spent = 0;         ///< attempts * cost
+  int64_t attempts = 0;      ///< probes that got an answer (<= planned)
+  int64_t spent = 0;         ///< completed probes * cost
   bool success = false;
   TupleId resolved_id = -1;  ///< the revealed tuple (negative: null outcome)
+  int64_t failures = 0;      ///< probes with no answer after all retries
+  int64_t retries = 0;       ///< extra attempts after faulted ones
+  /// kOk: every planned probe ran (or stopped early on success).
+  /// kUnavailable: retries exhausted / source down / breaker open.
+  /// kDeadlineExceeded: the probe or plan deadline cut this x-tuple off.
+  StatusCode last_error = StatusCode::kOk;
 
   friend bool operator==(const ProbeRecord& a, const ProbeRecord& b) {
     return a.xtuple == b.xtuple && a.attempts == b.attempts &&
            a.spent == b.spent && a.success == b.success &&
-           a.resolved_id == b.resolved_id;
+           a.resolved_id == b.resolved_id && a.failures == b.failures &&
+           a.retries == b.retries && a.last_error == b.last_error;
   }
 };
 
@@ -83,9 +105,12 @@ struct ProbeRecord {
 struct ExecutionReport {
   ProbabilisticDatabase cleaned_db;
   int64_t spent = 0;          ///< total budget consumed
-  int64_t leftover = 0;       ///< plan cost minus spent (early successes)
+  /// Plan cost minus spent: early successes plus, under faults, the
+  /// budget of failed/skipped/abandoned probes (reinvestable).
+  int64_t leftover = 0;
   size_t successes = 0;       ///< x-tuples actually cleaned
   std::vector<ProbeRecord> log;
+  FaultStats faults;          ///< all zero without a FaultInjector
 };
 
 /// Outcome of executing a plan inside a cleaning session: like
@@ -97,6 +122,7 @@ struct SessionExecutionReport {
   int64_t leftover = 0;
   size_t successes = 0;
   std::vector<ProbeRecord> log;
+  FaultStats faults;
 };
 
 /// Knobs of the probe loop itself (not of what is probed).
@@ -107,6 +133,12 @@ struct ProbeOptions {
   /// models the regime the async pipeline targets: once a round's state
   /// refresh is sub-millisecond, waiting on probes IS the round.
   std::chrono::microseconds latency{0};
+
+  /// Per-session fault injector (clean/fault.h), or null for the exact
+  /// fault-free code path. NOT owned; must outlive the call (for
+  /// submitted batches: until Wait). Mutated by the probe loop under the
+  /// same contract as the session's Rng.
+  FaultInjector* fault = nullptr;
 };
 
 /// A drawn-but-uncommitted plan execution: the full report plus the
@@ -192,7 +224,8 @@ Result<ProbeBatch> SubmitProbes(const SessionPool& pool,
 Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
                                     const CleaningProfile& profile,
                                     const std::vector<int64_t>& probes,
-                                    Rng* rng);
+                                    Rng* rng,
+                                    const ProbeOptions& options = {});
 
 /// Session form: applies each successful outcome to `session` in place
 /// and leaves the state refresh to the caller. Draws the same random
@@ -201,7 +234,8 @@ Result<ExecutionReport> ExecutePlan(const ProbabilisticDatabase& db,
 Result<SessionExecutionReport> ExecutePlan(CleaningSession* session,
                                            const CleaningProfile& profile,
                                            const std::vector<int64_t>& probes,
-                                           Rng* rng);
+                                           Rng* rng,
+                                           const ProbeOptions& options = {});
 
 /// Pooled-session form: probes against session `id`'s own overlay view
 /// (base + its previous outcomes) and records each success in that

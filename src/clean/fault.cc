@@ -1,0 +1,204 @@
+#include "clean/fault.h"
+
+#include <algorithm>
+#include <string>
+
+#include "clean/problem.h"
+#include "common/check.h"
+
+namespace uclean {
+
+namespace {
+
+Status CheckProbability(double value, const char* name) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be a probability in [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status CheckNonNegative(int64_t value, const char* name) {
+  if (value < 0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be non-negative");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultProfile::Validate() const {
+  UCLEAN_RETURN_IF_ERROR(CheckProbability(fail_rate, "fail_rate"));
+  UCLEAN_RETURN_IF_ERROR(CheckProbability(timeout_share, "timeout_share"));
+  UCLEAN_RETURN_IF_ERROR(CheckProbability(down_rate, "down_rate"));
+  return Status::OK();
+}
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument(
+        "max_attempts must be >= 1 (1 = no retries)");
+  }
+  UCLEAN_RETURN_IF_ERROR(CheckNonNegative(backoff_us, "backoff_us"));
+  if (!(jitter >= 0.0 && jitter < 1.0)) {
+    return Status::InvalidArgument("jitter must be in [0, 1)");
+  }
+  UCLEAN_RETURN_IF_ERROR(
+      CheckNonNegative(probe_deadline_us, "probe_deadline_us"));
+  UCLEAN_RETURN_IF_ERROR(
+      CheckNonNegative(plan_deadline_us, "plan_deadline_us"));
+  return Status::OK();
+}
+
+Status BreakerOptions::Validate() const {
+  if (threshold < 1) {
+    return Status::InvalidArgument("breaker threshold must be >= 1");
+  }
+  UCLEAN_RETURN_IF_ERROR(CheckNonNegative(cooldown_us, "cooldown_us"));
+  return Status::OK();
+}
+
+Status FaultOptions::Validate() const {
+  UCLEAN_RETURN_IF_ERROR(profile.Validate());
+  UCLEAN_RETURN_IF_ERROR(retry.Validate());
+  UCLEAN_RETURN_IF_ERROR(breaker.Validate());
+  return Status::OK();
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& other) {
+  transient += other.transient;
+  timeouts += other.timeouts;
+  source_down += other.source_down;
+  retries += other.retries;
+  failed_probes += other.failed_probes;
+  breaker_skips += other.breaker_skips;
+  deadline_skips += other.deadline_skips;
+  budget_unspent += other.budget_unspent;
+  return *this;
+}
+
+FaultInjector::FaultInjector(const FaultOptions& options)
+    : profile_(options.profile),
+      retry_(options.retry),
+      breaker_options_(options.breaker),
+      rng_(options.seed) {
+  UCLEAN_CHECK(options.Validate().ok());
+}
+
+FaultKind FaultInjector::DrawAttemptFault(XTupleId source) {
+  // Down-ness is drawn lazily, once per source, from the same dedicated
+  // stream; a down source fails every attempt without further draws, so
+  // the stream stays deterministic in plan order.
+  if (profile_.down_rate > 0.0) {
+    auto [it, inserted] = down_.try_emplace(source, false);
+    if (inserted) it->second = rng_.Bernoulli(profile_.down_rate);
+    if (it->second) return FaultKind::kSourceDown;
+  }
+  if (!rng_.Bernoulli(profile_.fail_rate)) return FaultKind::kNone;
+  return rng_.Bernoulli(profile_.timeout_share) ? FaultKind::kTimeout
+                                                : FaultKind::kTransient;
+}
+
+bool FaultInjector::SourceAvailable(XTupleId source) const {
+  auto it = breakers_.find(source);
+  if (it == breakers_.end()) return true;
+  const Breaker& breaker = it->second;
+  switch (breaker.state) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      return now_us_ >= breaker.open_until_us;
+  }
+  return true;
+}
+
+bool FaultInjector::AdmitProbe(XTupleId source) {
+  if (breakers_.empty()) return true;  // fault-free fast path
+  auto it = breakers_.find(source);
+  if (it == breakers_.end()) return true;
+  Breaker& breaker = it->second;
+  switch (breaker.state) {
+    case BreakerState::kClosed:
+    case BreakerState::kHalfOpen:
+      return true;
+    case BreakerState::kOpen:
+      if (now_us_ < breaker.open_until_us) return false;
+      breaker.state = BreakerState::kHalfOpen;  // the trial begins
+      return true;
+  }
+  return true;
+}
+
+void FaultInjector::RecordProbeOutcome(XTupleId source, bool completed) {
+  if (completed) {
+    // Fast path: a completed probe against an untracked source changes
+    // nothing -- materializing a closed breaker per source would make the
+    // zero-fault regime pay a hash insert per probe for no information.
+    if (breakers_.empty()) return;
+    auto it = breakers_.find(source);
+    if (it == breakers_.end()) return;
+    it->second.state = BreakerState::kClosed;
+    it->second.consecutive_failures = 0;
+    return;
+  }
+  Breaker& breaker = breakers_[source];
+  ++breaker.consecutive_failures;
+  // A failed half-open trial reopens immediately; a closed breaker trips
+  // once the consecutive-failure threshold is met.
+  if (breaker.state == BreakerState::kHalfOpen ||
+      breaker.consecutive_failures >= breaker_options_.threshold) {
+    breaker.state = BreakerState::kOpen;
+    breaker.open_until_us = now_us_ + breaker_options_.cooldown_us;
+    ever_opened_ = true;
+  }
+}
+
+int64_t FaultInjector::BackoffWithJitter(int64_t retry_index) {
+  UCLEAN_CHECK(retry_index >= 1);
+  // Exponential base, capped at 2^20 doublings to keep the shift defined.
+  const int64_t doublings =
+      std::min<int64_t>(retry_index - 1, 20);
+  const int64_t base = retry_.backoff_us << doublings;
+  int64_t backoff = base;
+  if (retry_.jitter > 0.0 && base > 0) {
+    const double factor =
+        rng_.Uniform(1.0 - retry_.jitter, 1.0 + retry_.jitter);
+    backoff = static_cast<int64_t>(static_cast<double>(base) * factor);
+  }
+  AdvanceClock(backoff);
+  return backoff;
+}
+
+BreakerState FaultInjector::breaker_state(XTupleId source) const {
+  auto it = breakers_.find(source);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+size_t FaultInjector::num_open_sources() const {
+  size_t open = 0;
+  for (const auto& [source, breaker] : breakers_) {
+    if (breaker.state == BreakerState::kOpen &&
+        now_us_ < breaker.open_until_us) {
+      ++open;
+    }
+  }
+  return open;
+}
+
+void MaskUnavailableSources(const FaultInjector* fault,
+                            CleaningProblem* problem) {
+  if (fault == nullptr || problem == nullptr) return;
+  // Until some breaker has tripped, every source is available and the
+  // per-source scan below would be a pure per-round tax on the zero-fault
+  // regime (the overhead guard bench_faults gates).
+  if (!fault->ever_opened()) return;
+  for (size_t l = 0; l < problem->gain.size(); ++l) {
+    if (!fault->SourceAvailable(static_cast<XTupleId>(l))) {
+      problem->gain[l] = 0.0;  // no expected improvement: never selected
+    }
+  }
+}
+
+}  // namespace uclean

@@ -2,7 +2,9 @@
 
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "clean/fault.h"
 #include "clean/problem.h"
 
 namespace uclean {
@@ -47,6 +49,21 @@ Result<PipelineReport> RunPipelinedCleaning(
   const size_t n = ids.size();
   ThreadPool* exec = options.overlap ? pool->exec().pool.get() : nullptr;
 
+  // Per-session fault injectors, seeded `fault.seed + s` like the probe
+  // Rngs. Each one is consumed only by its own session's draw loop (the
+  // in-flight contract of clean/agent.h), so batches stay race-free and
+  // serial and pipelined campaigns draw identical fault streams.
+  std::vector<FaultInjector> injectors;
+  if (options.fault.enabled) {
+    UCLEAN_RETURN_IF_ERROR(options.fault.Validate());
+    injectors.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      FaultOptions session_fault = options.fault;
+      session_fault.seed = options.fault.seed + s;
+      injectors.emplace_back(session_fault);
+    }
+  }
+
   PipelineReport report;
   report.sessions.resize(n);
   std::vector<int64_t> remaining(n, budget);
@@ -64,20 +81,35 @@ Result<PipelineReport> RunPipelinedCleaning(
   for (size_t round = 0; round < options.max_rounds; ++round) {
     // ---- plan + submit: batches start drawing while later sessions plan.
     bool submitted_any = false;
+    bool waiting_any = false;
     for (size_t s = 0; s < n; ++s) {
       in_flight[s] = false;
       if (done[s] || remaining[s] <= 0) continue;
+      FaultInjector* injector =
+          options.fault.enabled ? &injectors[s] : nullptr;
       Result<CleaningProblem> problem = MakeCleaningProblem(
           pool->tps(ids[s]), options.plan_weights, profile, remaining[s]);
       if (!problem.ok()) return problem.status();
+      // Degradation: mask sources this session's open breakers block, so
+      // the plan reinvests its budget in members that can still answer.
+      MaskUnavailableSources(injector, &*problem);
       Result<CleaningPlan> plan = RunPlanner(options.planner, *problem,
                                              &(*rngs)[s], options.dp_options);
       if (!plan.ok()) return plan.status();
       if (plan->total_cost == 0 || plan->expected_improvement <= 0.0) {
-        done[s] = true;
+        // Nothing probeable. Breakers cooling down are a temporary
+        // condition: wait one cooldown out (simulated) and re-plan next
+        // round; otherwise this session's campaign is done.
+        if (injector != nullptr && injector->num_open_sources() > 0) {
+          injector->AdvanceClock(options.fault.breaker.cooldown_us);
+          waiting_any = true;
+        } else {
+          done[s] = true;
+        }
         continue;
       }
-      const ProbeOptions probe = SessionProbeOptions(options, s);
+      ProbeOptions probe = SessionProbeOptions(options, s);
+      probe.fault = injector;
       if (options.overlap) {
         Result<ProbeBatch> batch =
             SubmitProbes(*pool, ids[s], profile, std::move(plan->probes),
@@ -91,7 +123,10 @@ Result<PipelineReport> RunPipelinedCleaning(
       in_flight[s] = true;
       submitted_any = true;
     }
-    if (!submitted_any) break;
+    if (!submitted_any) {
+      if (waiting_any) continue;  // breakers cooling down; re-plan
+      break;
+    }
     report.rounds = round + 1;
 
     // ---- wait + commit, fixed session order: completion order of the
@@ -110,12 +145,19 @@ Result<PipelineReport> RunPipelinedCleaning(
       session.successes += draws->report.successes;
       session.log.insert(session.log.end(), draws->report.log.begin(),
                          draws->report.log.end());
-      if (draws->report.spent == 0) {
+      session.faults += draws->report.faults;
+      // A session that spent nothing and had nothing blocked by faults is
+      // finished; a fault-blocked one keeps its unspent budget and stays
+      // in the campaign (its sources may recover).
+      if (draws->report.spent == 0 &&
+          draws->report.faults.BlockedProbes() == 0) {
         done[s] = true;
         continue;
       }
-      remaining[s] -= draws->report.spent;
-      ++session.rounds;
+      if (draws->report.spent > 0) {
+        remaining[s] -= draws->report.spent;
+        ++session.rounds;
+      }
       progressed = true;
     }
 

@@ -78,8 +78,18 @@ struct PipelineOptions {
   bool overlap = true;
 
   /// Probe-loop knobs (simulated per-probe latency) applied to every
-  /// session's batches.
+  /// session's batches. ProbeOptions::fault is ignored here: fault
+  /// injection is configured through `fault` below, which gives every
+  /// session its own injector (a shared one would couple the sessions'
+  /// fault streams and break the serial/pipelined equivalence).
   ProbeOptions probe;
+
+  /// Fault injection + retry/deadline/breaker policy (clean/fault.h).
+  /// When enabled, session s draws faults from a dedicated injector
+  /// seeded `fault.seed + s` -- the same per-session stream convention as
+  /// the probe Rngs -- so serial and pipelined campaigns with equal seeds
+  /// commit identical outcomes at any fail rate.
+  FaultOptions fault;
 
   /// Test hook: extra per-probe latency added for session s (index into
   /// this vector; missing entries add nothing). Seeded shuffles of this
@@ -98,6 +108,9 @@ struct PipelineSessionReport {
   std::vector<ProbeRecord> log;
   /// Final per-rung qualities, ladder order (refreshed).
   std::vector<double> final_quality;
+  /// Campaign-wide fault counters of this session's probe loop (all zero
+  /// unless PipelineOptions::fault is enabled).
+  FaultStats faults;
 };
 
 /// Outcome of a pipelined (or serial-reference) pool campaign.

@@ -26,6 +26,11 @@ enum class StatusCode {
   kResourceExhausted = 5, ///< A configured limit (worlds, budget) was exceeded.
   kInternal = 6,          ///< An invariant inside the library was violated.
   kIOError = 7,           ///< File/stream input or output failed.
+  /// An external dependency (a probe source, a service) is not reachable
+  /// right now; retrying later may succeed.
+  kUnavailable = 8,
+  /// A configured deadline elapsed before the operation completed.
+  kDeadlineExceeded = 9,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -69,6 +74,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -135,6 +135,229 @@ TEST(Agent, NullOutcomePossibleForSubUnitMass) {
   EXPECT_NEAR(static_cast<double>(null_outcomes) / trials, 0.8, 0.03);
 }
 
+// ---------------------------------------------------------------- faults
+// The fault layer's two contracts (clean/fault.h): at rate 0 it is
+// bitwise invisible, and at any rate it is deterministic -- equal seeds
+// replay the exact same faults, retries and outcomes on every overload.
+
+FaultOptions TransientFaults(double fail_rate) {
+  FaultOptions fault;
+  fault.enabled = true;
+  fault.profile.fail_rate = fail_rate;
+  fault.profile.timeout_share = 0.0;
+  fault.seed = 99;
+  return fault;
+}
+
+TEST(AgentFaults, Rate0IsBitwiseInvisibleAndDrawsNothing) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 2, 0.5);
+  std::vector<int64_t> probes(db.num_xtuples(), 3);
+
+  Rng plain_rng(11);
+  Result<ExecutionReport> plain = ExecutePlan(db, profile, probes, &plain_rng);
+  ASSERT_TRUE(plain.ok());
+
+  FaultInjector injector(TransientFaults(0.0));
+  const FaultInjector fresh(TransientFaults(0.0));
+  ProbeOptions options;
+  options.fault = &injector;
+  Rng faulted_rng(11);
+  Result<ExecutionReport> faulted =
+      ExecutePlan(db, profile, probes, &faulted_rng, options);
+  ASSERT_TRUE(faulted.ok());
+
+  EXPECT_EQ(plain->spent, faulted->spent);
+  EXPECT_EQ(plain->leftover, faulted->leftover);
+  EXPECT_EQ(plain->successes, faulted->successes);
+  EXPECT_TRUE(plain->log == faulted->log);
+  EXPECT_TRUE(faulted->faults == FaultStats());
+  // The probe streams stayed in lockstep...
+  EXPECT_TRUE(plain_rng.engine() == faulted_rng.engine());
+  // ...and the fault stream was never consulted: zero-probability draws
+  // never consume the engine.
+  EXPECT_TRUE(injector.engine() == fresh.engine());
+}
+
+TEST(AgentFaults, EqualSeedsReplayIdenticalFaultsAcrossOverloads) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 0.4);
+  std::vector<int64_t> probes(db.num_xtuples(), 4);
+
+  ExecutionReport runs[2];
+  for (int r = 0; r < 2; ++r) {
+    FaultInjector injector(TransientFaults(0.3));
+    ProbeOptions options;
+    options.fault = &injector;
+    Rng rng(17);
+    Result<ExecutionReport> report =
+        ExecutePlan(db, profile, probes, &rng, options);
+    ASSERT_TRUE(report.ok());
+    runs[r] = std::move(report).value();
+  }
+  EXPECT_TRUE(runs[0].log == runs[1].log);
+  EXPECT_TRUE(runs[0].faults == runs[1].faults);
+  EXPECT_EQ(runs[0].spent, runs[1].spent);
+
+  // Pooled-session overload: same seeds, same faults, same outcomes.
+  Result<SessionPool> pool = SessionPool::Create(db, /*k=*/2);
+  ASSERT_TRUE(pool.ok());
+  SessionPool::SessionId id = pool->OpenSession();
+  FaultInjector injector(TransientFaults(0.3));
+  ProbeOptions options;
+  options.fault = &injector;
+  Rng rng(17);
+  Result<SessionExecutionReport> pooled =
+      ExecutePlan(&*pool, id, profile, probes, &rng, options);
+  ASSERT_TRUE(pooled.ok());
+  EXPECT_TRUE(pooled->log == runs[0].log);
+  EXPECT_TRUE(pooled->faults == runs[0].faults);
+  EXPECT_EQ(pooled->spent, runs[0].spent);
+}
+
+TEST(AgentFaults, ExhaustedRetriesSpendNothing) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 2, 1.0);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[1] = 3;
+
+  FaultOptions fault = TransientFaults(1.0);  // every attempt faults
+  fault.retry.max_attempts = 2;
+  fault.breaker.threshold = 100;  // keep the breaker out of this test
+  FaultInjector injector(fault);
+  ProbeOptions options;
+  options.fault = &injector;
+  Rng rng(23);
+  Result<ExecutionReport> report =
+      ExecutePlan(db, profile, probes, &rng, options);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report->spent, 0);
+  EXPECT_EQ(report->leftover, 3 * 2);  // the whole plan cost, reinvestable
+  EXPECT_EQ(report->successes, 0u);
+  ASSERT_EQ(report->log.size(), 1u);
+  EXPECT_EQ(report->log[0].failures, 3);
+  EXPECT_EQ(report->log[0].retries, 3);  // one retry per planned probe
+  EXPECT_EQ(report->log[0].last_error, StatusCode::kUnavailable);
+  EXPECT_EQ(report->faults.transient, 6);
+  EXPECT_EQ(report->faults.failed_probes, 3);
+  EXPECT_EQ(report->faults.budget_unspent, 3 * 2);
+}
+
+TEST(AgentFaults, BreakerTripsAndSkipsTheRemainder) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 1.0);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[0] = 5;
+
+  FaultOptions fault = TransientFaults(1.0);
+  fault.retry.max_attempts = 1;
+  fault.breaker.threshold = 2;
+  FaultInjector injector(fault);
+  ProbeOptions options;
+  options.fault = &injector;
+  Rng rng(29);
+  Result<ExecutionReport> report =
+      ExecutePlan(db, profile, probes, &rng, options);
+  ASSERT_TRUE(report.ok());
+
+  // Two failed probes trip the breaker; the remaining three are skipped.
+  EXPECT_EQ(report->faults.failed_probes, 2);
+  EXPECT_EQ(report->faults.breaker_skips, 3);
+  EXPECT_EQ(report->faults.budget_unspent, 5);
+  EXPECT_EQ(report->log[0].last_error, StatusCode::kUnavailable);
+  EXPECT_EQ(injector.breaker_state(0), BreakerState::kOpen);
+  EXPECT_EQ(injector.num_open_sources(), 1u);
+  EXPECT_TRUE(injector.ever_opened());
+}
+
+TEST(AgentFaults, BreakerHalfOpenTrialClosesOnSuccessReopensOnFailure) {
+  FaultOptions fault = TransientFaults(0.0);
+  fault.breaker.threshold = 2;
+  fault.breaker.cooldown_us = 100;
+  FaultInjector injector(fault);
+
+  injector.RecordProbeOutcome(7, false);
+  EXPECT_EQ(injector.breaker_state(7), BreakerState::kClosed);
+  injector.RecordProbeOutcome(7, false);
+  EXPECT_EQ(injector.breaker_state(7), BreakerState::kOpen);
+  EXPECT_FALSE(injector.AdmitProbe(7));
+  EXPECT_FALSE(injector.SourceAvailable(7));
+
+  // Cooldown elapses: the next admission is the half-open trial.
+  injector.AdvanceClock(100);
+  EXPECT_TRUE(injector.SourceAvailable(7));
+  EXPECT_TRUE(injector.AdmitProbe(7));
+  EXPECT_EQ(injector.breaker_state(7), BreakerState::kHalfOpen);
+
+  // A failed trial reopens immediately (no threshold accumulation)...
+  injector.RecordProbeOutcome(7, false);
+  EXPECT_EQ(injector.breaker_state(7), BreakerState::kOpen);
+
+  // ...and a successful one closes for good.
+  injector.AdvanceClock(100);
+  EXPECT_TRUE(injector.AdmitProbe(7));
+  injector.RecordProbeOutcome(7, true);
+  EXPECT_EQ(injector.breaker_state(7), BreakerState::kClosed);
+  EXPECT_EQ(injector.num_open_sources(), 0u);
+}
+
+TEST(AgentFaults, PlanDeadlineAbandonsRemainingProbes) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 1.0);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[2] = 4;
+
+  FaultOptions fault = TransientFaults(1.0);
+  fault.profile.timeout_share = 1.0;  // every fault burns the deadline
+  fault.retry.max_attempts = 1;
+  fault.retry.probe_deadline_us = 50;
+  fault.retry.plan_deadline_us = 100;
+  fault.breaker.threshold = 100;
+  FaultInjector injector(fault);
+  ProbeOptions options;
+  options.fault = &injector;
+  Rng rng(31);
+  Result<ExecutionReport> report =
+      ExecutePlan(db, profile, probes, &rng, options);
+  ASSERT_TRUE(report.ok());
+
+  // Two timeouts burn 50us each; at 100us the plan deadline abandons the
+  // last two planned probes.
+  EXPECT_EQ(report->faults.timeouts, 2);
+  EXPECT_EQ(report->faults.failed_probes, 2);
+  EXPECT_EQ(report->faults.deadline_skips, 2);
+  EXPECT_EQ(report->faults.budget_unspent, 4);
+  EXPECT_EQ(report->log[0].last_error, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(injector.now_us(), 100);
+}
+
+TEST(AgentFaults, DownSourceFailsWithoutRetrying) {
+  ProbabilisticDatabase db = MakeUdb1();
+  CleaningProfile profile = UniformProfile(db.num_xtuples(), 1, 1.0);
+  std::vector<int64_t> probes(db.num_xtuples(), 0);
+  probes[3] = 2;
+
+  FaultOptions fault = TransientFaults(0.0);
+  fault.profile.down_rate = 1.0;  // every source is down
+  fault.retry.max_attempts = 5;
+  fault.breaker.threshold = 100;
+  FaultInjector injector(fault);
+  ProbeOptions options;
+  options.fault = &injector;
+  Rng rng(37);
+  Result<ExecutionReport> report =
+      ExecutePlan(db, profile, probes, &rng, options);
+  ASSERT_TRUE(report.ok());
+
+  // Retrying a down source is pointless: one attempt per planned probe.
+  EXPECT_EQ(report->faults.source_down, 2);
+  EXPECT_EQ(report->faults.retries, 0);
+  EXPECT_EQ(report->faults.failed_probes, 2);
+  EXPECT_EQ(report->log[0].failures, 2);
+  EXPECT_EQ(report->spent, 0);
+}
+
 TEST(Agent, MonteCarloRealizedImprovementMatchesTheorem2) {
   // The heart of the cleaning model: executing a plan many times and
   // measuring the realized quality improvement must reproduce the

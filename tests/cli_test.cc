@@ -184,6 +184,85 @@ TEST_F(CliTest, FullWorkflow) {
   }
 }
 
+TEST_F(CliTest, FaultFlagsValidationAndFaultedRun) {
+  std::string out;
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 60 --out " +
+                    Path("fault_db.csv") + " --seed 9",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("profile --xtuples 60 --out " + Path("fault_profile.csv"),
+                &out),
+            0)
+      << out;
+  const std::string base = "clean --db " + Path("fault_db.csv") +
+                           " --profile " + Path("fault_profile.csv") +
+                           " --k 5 --budget 20 --seed 3";
+
+  // Every fault flag requires the adaptive loop...
+  EXPECT_NE(Run(base + " --probe-fail-rate 0.2 --out " + Path("f.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--adaptive"), std::string::npos) << out;
+  // ...and each one validates its range.
+  EXPECT_NE(Run(base + " --adaptive --probe-fail-rate 1.5 --out " +
+                    Path("f.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--probe-fail-rate"), std::string::npos) << out;
+  EXPECT_NE(Run(base + " --adaptive --probe-timeout-us -1 --out " +
+                    Path("f.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--probe-timeout-us"), std::string::npos) << out;
+  EXPECT_NE(Run(base + " --adaptive --retry-max 0 --out " + Path("f.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--retry-max"), std::string::npos) << out;
+  EXPECT_NE(Run(base + " --adaptive --retry-backoff-us -7 --out " +
+                    Path("f.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--retry-backoff-us"), std::string::npos) << out;
+  EXPECT_NE(Run(base + " --adaptive --breaker-threshold 0 --out " +
+                    Path("f.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--breaker-threshold"), std::string::npos) << out;
+
+  // A faulted adaptive run completes, reports its fault counters, and
+  // still writes the cleaned database.
+  ASSERT_EQ(Run(base + " --adaptive --probe-fail-rate 0.2 --retry-max 4 "
+                    "--out " + Path("faulted.csv"),
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("faults:"), std::string::npos) << out;
+  Result<ProbabilisticDatabase> faulted =
+      ReadDatabaseCsvFile(Path("faulted.csv"));
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_EQ(faulted->num_xtuples(), 60u);
+
+  // Rate 0 commits the exact database the fault-free run commits: the
+  // injector never draws, so the probe stream is untouched.
+  ASSERT_EQ(Run(base + " --adaptive --out " + Path("plain.csv"), &out), 0)
+      << out;
+  ASSERT_EQ(Run(base + " --adaptive --probe-fail-rate 0 --out " +
+                    Path("rate0.csv"),
+                &out),
+            0)
+      << out;
+  Result<ProbabilisticDatabase> plain = ReadDatabaseCsvFile(Path("plain.csv"));
+  Result<ProbabilisticDatabase> rate0 = ReadDatabaseCsvFile(Path("rate0.csv"));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(rate0.ok());
+  ASSERT_EQ(plain->num_tuples(), rate0->num_tuples());
+  for (size_t i = 0; i < plain->num_tuples(); ++i) {
+    EXPECT_EQ(plain->tuple(i).id, rate0->tuple(i).id);
+    EXPECT_EQ(plain->tuple(i).prob, rate0->tuple(i).prob);
+  }
+}
+
 TEST_F(CliTest, KLadderParsingAndNormalization) {
   std::string out;
   ASSERT_EQ(Run("generate --type synthetic --xtuples 40 --out " +

@@ -34,6 +34,9 @@ TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
        "ResourceExhausted"},
       {Status::Internal("f"), StatusCode::kInternal, "Internal"},
       {Status::IOError("g"), StatusCode::kIOError, "IOError"},
+      {Status::Unavailable("h"), StatusCode::kUnavailable, "Unavailable"},
+      {Status::DeadlineExceeded("i"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -112,6 +112,75 @@ PIPELINE_FLOORS = {
 }
 
 
+# bench_faults: fault-tolerant probe execution. Three gates:
+#  * zero-fault overhead: enabling the fault layer at fail rate 0 must
+#    cost <= 3% (ratio of each arm's fastest order-alternated batch) and
+#    commit the EXACT same campaign (quality diff 0.0, spent equal) --
+#    zero-probability fault draws never consume the engine.
+#  * degradation, not collapse: at a 20% transient-failure rate the
+#    retry/reinvest loop must recover >= 90% of the zero-fault quality
+#    improvement at every budget.
+#  * determinism: serial and pipelined pooled campaigns must commit
+#    bitwise-identical outcomes (fault counters included) at every rate.
+FAULTS_OVERHEAD_CEILING = 1.03
+FAULTS_RECOVERY_FLOOR = 0.90
+# (budget, fail_rate) series the JSON must contain.
+FAULTS_SERIES = {
+    (150, 0.0), (150, 0.05), (150, 0.2),
+    (400, 0.0), (400, 0.05), (400, 0.2),
+}
+
+
+def check_faults(doc):
+    failures = []
+    overhead = doc["overhead"]
+    ratio = overhead["ratio"]
+    zero_diff = overhead["quality_diff_at_zero"]
+    spent_equal = overhead["spent_equal"]
+    print(
+        f"faults overhead: ratio {ratio:.3f} "
+        f"(ceiling {FAULTS_OVERHEAD_CEILING}), quality diff {zero_diff:.1e}, "
+        f"spent_equal {spent_equal}"
+    )
+    if ratio > FAULTS_OVERHEAD_CEILING:
+        failures.append(
+            f"faults: rate-0 overhead {ratio:.3f}x > "
+            f"{FAULTS_OVERHEAD_CEILING}x ceiling"
+        )
+    if zero_diff != 0.0 or not spent_equal:
+        failures.append(
+            f"faults: rate-0 campaign diverges from fault-off "
+            f"(quality diff {zero_diff:.3e}, spent_equal {spent_equal}; "
+            f"must be bitwise identical)"
+        )
+    seen = set()
+    for series in doc["series"]:
+        key = (series["budget"], series["fail_rate"])
+        seen.add(key)
+        recovered = series["recovered_fraction"]
+        equal = series["outcomes_equal"]
+        label = f"faults budget={key[0]}/rate={key[1]:.2f}"
+        print(
+            f"{label}: recovered {recovered:.3f} "
+            f"(floor {FAULTS_RECOVERY_FLOOR}), retries {series['retries']}, "
+            f"failed {series['failed_probes']}, outcomes_equal {equal}"
+        )
+        if recovered < FAULTS_RECOVERY_FLOOR:
+            failures.append(
+                f"{label}: recovered {recovered:.3f} < "
+                f"{FAULTS_RECOVERY_FLOOR} of the zero-fault improvement"
+            )
+        if not equal:
+            failures.append(
+                f"{label}: serial and pipelined pooled campaigns commit "
+                f"different outcomes (must be bitwise equal)"
+            )
+    for key in FAULTS_SERIES:
+        if key not in seen:
+            failures.append(f"faults {key}: series missing from the JSON")
+    return failures
+
+
 def check_incremental(doc):
     failures = []
     for series in doc["series"]:
@@ -260,6 +329,7 @@ def check_pipeline(doc):
 
 
 CHECKERS = {
+    "faults": check_faults,
     "incremental": check_incremental,
     "multik": check_multik,
     "pipeline": check_pipeline,

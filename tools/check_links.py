@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Markdown link checker for the docs tree: every RELATIVE link must
-point at an existing file (or directory), and every anchor -- same-file
-or cross-file -- must match a heading in its target. External http(s)
-and mailto links are skipped (CI has no business depending on the
-network). Pure stdlib; run from anywhere:
+point at an existing file (or directory), every anchor -- same-file or
+cross-file -- must match a heading in its target, and every backticked
+ABSOLUTE path in prose must resolve on disk (machine-local paths like
+`/some/checkout/dir` rot silently when the environment changes; docs
+must not point readers at them). External http(s) and mailto links are
+skipped (CI has no business depending on the network). Code fences are
+exempt from all three rules. Pure stdlib; run from anywhere:
 
     python3 tools/check_links.py README.md ROADMAP.md docs/*.md
 
@@ -21,6 +24,10 @@ HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 # Fences may be indented (list items) and a file may mix ``` and ~~~;
 # a block closes only on its own opening marker.
 FENCE_RE = re.compile(r"^\s*(```|~~~)")
+# A backticked absolute filesystem path in prose, e.g. `/root/somewhere`.
+# Version-control paths inside the repo are fine when they exist; paths
+# into some other checkout's layout are exactly the rot this catches.
+ABS_PATH_RE = re.compile(r"`(/[\w.\-]+(?:/[\w.\-]*)+)`")
 
 
 def github_anchor(heading):
@@ -96,6 +103,14 @@ def check_file(path):
                             f"{path}:{lineno}: missing anchor "
                             f"#{anchor} in {resolved}"
                         )
+            for m in ABS_PATH_RE.finditer(line):
+                abs_path = m.group(1)
+                if not os.path.exists(abs_path):
+                    failures.append(
+                        f"{path}:{lineno}: unresolvable absolute path "
+                        f"{abs_path} (machine-local; link repo files "
+                        f"relatively or drop the path)"
+                    )
     return failures
 
 

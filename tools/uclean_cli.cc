@@ -69,6 +69,8 @@ commands:
            [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
            [--k-ladder K1,K2,...] [--sessions N] [--threads N|auto]
            [--pipeline] [--probe-latency-us U]
+           [--probe-fail-rate R] [--probe-timeout-us U] [--retry-max N]
+           [--retry-backoff-us U] [--breaker-threshold N]
   target   --db DB.csv --profile PROFILE.csv --k K --target Q
            [--max-budget 100000]
 
@@ -94,6 +96,15 @@ then one concurrent RefreshAll commits the round. Per-session results are
 bitwise identical to the serial pool loop. --probe-latency-us simulates
 per-probe field latency (source lookups, sensors, people) -- the regime
 the pipeline is built for.
+
+--probe-fail-rate R (with --adaptive) makes each probe attempt fail with
+probability R, drawn from a dedicated seeded fault stream (at R = 0 every
+run is bitwise identical to a fault-free one). Failed attempts retry up
+to --retry-max times with exponential backoff from --retry-backoff-us
+(simulated); --probe-timeout-us bounds each probe's total simulated time;
+--breaker-threshold consecutive failed probes trip a per-source circuit
+breaker the planner then routes around. Failed probes never spend budget
+-- the adaptive loop reinvests it in sources that still answer.
 )";
 
 /// Minimal --key value flag map.
@@ -246,6 +257,77 @@ Result<ExecOptions> ParseThreads(const Flags& flags) {
                   ? " (sequential execution)"
                   : " (rank-range sharded scans on one shared pool)");
   return resolved;
+}
+
+/// Parses the fault-injection flags into a FaultOptions. Injection is
+/// enabled by passing ANY of them; the fault stream is seeded off --seed
+/// decorrelated from the probe Rng (same seed value in two mt19937_64
+/// engines means identical raw streams, and fault draws must not echo
+/// probe draws).
+Result<FaultOptions> ParseFaultOptions(const Flags& flags, uint64_t seed) {
+  FaultOptions fault;
+  fault.enabled = flags.Has("probe-fail-rate") ||
+                  flags.Has("probe-timeout-us") || flags.Has("retry-max") ||
+                  flags.Has("retry-backoff-us") ||
+                  flags.Has("breaker-threshold");
+  if (!fault.enabled) return fault;
+
+  CLI_ASSIGN_OR_RETURN(fail_rate, flags.GetDouble("probe-fail-rate", 0.0));
+  if (!(fail_rate >= 0.0 && fail_rate <= 1.0)) {
+    return Status::InvalidArgument(
+        "bad --probe-fail-rate '" + flags.GetString("probe-fail-rate", "") +
+        "': expected a probability in [0, 1]");
+  }
+  CLI_ASSIGN_OR_RETURN(timeout_us, flags.GetInt("probe-timeout-us", 0));
+  if (timeout_us < 0 || timeout_us > 60000000) {
+    return Status::InvalidArgument(
+        "bad --probe-timeout-us '" + flags.GetString("probe-timeout-us", "") +
+        "': expected microseconds in [0, 60000000]");
+  }
+  CLI_ASSIGN_OR_RETURN(retry_max, flags.GetInt("retry-max", 3));
+  if (retry_max < 1 || retry_max > 1000) {
+    return Status::InvalidArgument(
+        "bad --retry-max '" + flags.GetString("retry-max", "") +
+        "': expected attempts in [1, 1000] (1 = no retries)");
+  }
+  CLI_ASSIGN_OR_RETURN(backoff_us, flags.GetInt("retry-backoff-us", 100));
+  if (backoff_us < 0 || backoff_us > 60000000) {
+    return Status::InvalidArgument(
+        "bad --retry-backoff-us '" + flags.GetString("retry-backoff-us", "") +
+        "': expected microseconds in [0, 60000000]");
+  }
+  CLI_ASSIGN_OR_RETURN(threshold, flags.GetInt("breaker-threshold", 5));
+  if (threshold < 1 || threshold > 1000000) {
+    return Status::InvalidArgument(
+        "bad --breaker-threshold '" +
+        flags.GetString("breaker-threshold", "") +
+        "': expected consecutive failures in [1, 1000000]");
+  }
+
+  fault.profile.fail_rate = fail_rate;
+  fault.retry.probe_deadline_us = timeout_us;
+  fault.retry.max_attempts = retry_max;
+  fault.retry.backoff_us = backoff_us;
+  fault.breaker.threshold = threshold;
+  fault.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  return fault;
+}
+
+/// One-line fault summary, printed only when injection is on.
+void PrintFaultStats(const char* prefix, const FaultStats& f) {
+  std::printf(
+      "%sfaults: %lld faulted attempts (%lld transient, %lld timeout, "
+      "%lld source-down), %lld retries, %lld failed probes, "
+      "%lld breaker skips, %lld deadline skips, %lld budget unspent\n",
+      prefix, static_cast<long long>(f.FaultedAttempts()),
+      static_cast<long long>(f.transient),
+      static_cast<long long>(f.timeouts),
+      static_cast<long long>(f.source_down),
+      static_cast<long long>(f.retries),
+      static_cast<long long>(f.failed_probes),
+      static_cast<long long>(f.breaker_skips),
+      static_cast<long long>(f.deadline_skips),
+      static_cast<long long>(f.budget_unspent));
 }
 
 Status RunGenerate(const Flags& flags) {
@@ -563,7 +645,8 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
                     const CleaningProfile& profile, const KLadder& ladder,
                     int64_t budget, size_t num_sessions, PlannerKind planner,
                     uint64_t seed, const ExecOptions& exec, bool pipeline,
-                    int64_t probe_latency_us, const std::string& out) {
+                    int64_t probe_latency_us, const FaultOptions& fault,
+                    const std::string& out) {
   SessionPool::Options pool_options;
   pool_options.exec = exec;
   Result<SessionPool> pool =
@@ -587,6 +670,7 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
   pipeline_options.overlap = pipeline;
   pipeline_options.probe.latency =
       std::chrono::microseconds(probe_latency_us);
+  pipeline_options.fault = fault;
   if (pipeline) {
     // Honest note: a 1-thread executor has no workers, so SubmitProbes
     // draws inline and the "pipelined" loop is the serial wall clock.
@@ -619,6 +703,9 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
                 s, static_cast<long long>(report->sessions[s].spent),
                 static_cast<long long>(budget),
                 pool->overlay(ids[s]).num_outcomes(), initial, final_quality);
+    if (fault.enabled) {
+      PrintFaultStats("    ", report->sessions[s].faults);
+    }
     if (rungs > 1) {
       for (size_t j = 0; j < rungs; ++j) {
         std::printf("    k = %zu: quality %.6f -> %.6f\n",
@@ -673,11 +760,19 @@ Status RunClean(const Flags& flags) {
         "--probe-latency-us requires the pooled loop (--sessions N "
         "and/or --pipeline)");
   }
+  CLI_ASSIGN_OR_RETURN(
+      fault, ParseFaultOptions(flags, static_cast<uint64_t>(seed)));
+  if (fault.enabled && !flags.Has("adaptive")) {
+    return Status::InvalidArgument(
+        "--probe-fail-rate/--probe-timeout-us/--retry-max/"
+        "--retry-backoff-us/--breaker-threshold require --adaptive (fault "
+        "tolerance lives in the adaptive probe loop)");
+  }
   if (pooled) {
     UCLEAN_RETURN_IF_ERROR(RunCleanPool(
         *db, *profile, cli_ladder, budget, static_cast<size_t>(sessions),
         planner, static_cast<uint64_t>(seed), exec, pipeline,
-        probe_latency_us, out));
+        probe_latency_us, fault, out));
     std::printf("cleaned database written to %s\n", out.c_str());
     return Status::OK();
   }
@@ -688,6 +783,7 @@ Status RunClean(const Flags& flags) {
     if (flags.Has("k-ladder")) options.k_ladder = cli_ladder.ks;
     options.planner = planner;
     options.exec = exec;
+    options.fault = fault;
     Result<AdaptiveReport> report =
         RunAdaptiveCleaning(*db, *profile, budget, options, &rng);
     if (!report.ok()) return report.status();
@@ -697,6 +793,7 @@ Status RunClean(const Flags& flags) {
                 static_cast<long long>(report->total_spent),
                 static_cast<long long>(budget), report->initial_quality,
                 report->final_quality);
+    if (fault.enabled) PrintFaultStats("  ", report->faults);
     if (report->ladder.size() > 1) {
       for (size_t rung = 0; rung < report->ladder.size(); ++rung) {
         std::printf("  k = %zu: quality %.6f -> %.6f\n",
