@@ -107,7 +107,7 @@ int main() {
     Result<ExpectedRankOutput> er(Status::OK());
     const double ms = bench::MedianMillis(
         [&] { er = ComputeExpectedRanks(*db, kk); }, 1);
-    Result<PsrOutput> psr = ComputePsr(*db, kk);
+    Result<PsrOutput> psr = bench::ScanPsr(*db, kk);
     Result<PtkAnswer> ptk = EvaluatePtk(*db, *psr, 0.1);
     std::set<TupleId> er_set, ptk_set;
     for (const AnswerEntry& e : er->topk) er_set.insert(e.tuple_id);

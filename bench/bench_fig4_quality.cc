@@ -21,7 +21,7 @@ void QualityVsK(const char* figure, const ProbabilisticDatabase& db,
   bench::Banner(figure, std::string("PWS-quality vs k (") + dataset + ")");
   bench::Header("k,quality,nonzero_topk_tuples");
   for (size_t k : {1u, 2u, 5u, 10u, 15u, 20u, 25u, 30u}) {
-    Result<PsrOutput> psr = ComputePsr(db, k);
+    Result<PsrOutput> psr = bench::ScanPsr(db, k);
     Result<TpOutput> tp = ComputeTpQuality(db, *psr);
     std::printf("%zu,%.4f,%zu\n", k, tp->quality, psr->num_nonzero);
   }

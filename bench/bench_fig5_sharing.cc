@@ -34,7 +34,7 @@ struct SharingRow {
 SharingRow Measure(const ProbabilisticDatabase& db, size_t k) {
   SharingRow row;
   Result<PsrOutput> psr(Status::OK());
-  row.psr_ms = bench::MedianMillis([&] { psr = ComputePsr(db, k); }, kReps);
+  row.psr_ms = bench::MedianMillis([&] { psr = bench::ScanPsr(db, k); }, kReps);
   row.nonzero = psr->num_nonzero;
   row.ukranks_ms =
       bench::MedianMillis([&] { EvaluateUkRanks(db, *psr); }, kReps);

@@ -115,23 +115,23 @@ Result<std::vector<Series>> RunOneshot(const ProbabilisticDatabase& db,
                                        bool* ok) {
   Result<KLadder> ladder = KLadder::Of({1024});
   UCLEAN_CHECK(ladder.ok());
-  Result<std::vector<PsrOutput>> reference = ComputePsrLadder(db, *ladder);
+  Result<std::vector<PsrOutput>> reference = bench::ScanPsrLadder(db, *ladder);
   if (!reference.ok()) return reference.status();
   const double seq_ms = bench::MedianMillis(
-      [&] { (void)ComputePsrLadder(db, *ladder); });
+      [&] { (void)bench::ScanPsrLadder(db, *ladder); });
 
   std::vector<Series> all;
   for (const size_t threads : kThreadArms) {
     const ExecOptions exec = Threads(threads);
     Result<std::vector<PsrOutput>> parallel =
-        ComputePsrLadder(db, *ladder, {}, exec);
+        bench::ScanPsrLadder(db, *ladder, {}, exec);
     if (!parallel.ok()) return parallel.status();
     Series series;
     series.regime = "oneshot";
     series.threads = threads;
     series.seq_ms = seq_ms;
     series.par_ms = bench::MedianMillis(
-        [&] { (void)ComputePsrLadder(db, *ladder, {}, exec); });
+        [&] { (void)bench::ScanPsrLadder(db, *ladder, {}, exec); });
     series.speedup = series.par_ms > 0.0 ? seq_ms / series.par_ms : 0.0;
     series.max_abs_diff = ComparePsrs(*reference, *parallel, ok);
     all.push_back(series);
@@ -170,8 +170,10 @@ Result<std::vector<Series>> RunLadder(const ProbabilisticDatabase& db,
   const auto cycle =
       [&](const ExecOptions& exec) -> Result<std::vector<PsrOutput>> {
     ProbabilisticDatabase working(db);
-    Result<PsrEngine> engine = PsrEngine::Create(
-        working, *ladder, {}, PsrEngine::kInitialCheckpointInterval, exec);
+    ScanRequest request;
+    request.ladder = *ladder;
+    request.exec = exec;
+    Result<PsrEngine> engine = PsrEngine::Create(working, request);
     if (!engine.ok()) return engine.status();
     size_t first_changed = working.num_tuples();
     for (const auto& [xtuple, resolved] : cleans) {

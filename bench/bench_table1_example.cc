@@ -70,7 +70,7 @@ int main() {
   PrintDistribution("Figure 3 (udb2)", udb2, 2);
 
   // Section I: PT-2 query with threshold 0.4 on udb1.
-  Result<PsrOutput> psr = ComputePsr(udb1, 2);
+  Result<PsrOutput> psr = bench::ScanPsr(udb1, 2);
   Result<PtkAnswer> answer = EvaluatePtk(udb1, *psr, 0.4);
   bench::Banner("Section I", "PT-2 answer on udb1 at threshold 0.4");
   bench::Header("tuple,topk_probability");

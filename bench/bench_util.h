@@ -9,12 +9,38 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "rank/psr.h"
 
 namespace uclean {
 namespace bench {
+
+/// Single-k scan through the request API (rank/psr.h) -- the benches,
+/// like the tests, never call the deprecated positional shims.
+inline Result<PsrOutput> ScanPsr(const ProbabilisticDatabase& db, size_t k,
+                                 const PsrOptions& options = {}) {
+  Result<ScanRequest> request = ScanRequest::ForK(k, options);
+  if (!request.ok()) return request.status();
+  Result<ScanResult> scan = ComputePsrLadder(db, *request);
+  if (!scan.ok()) return scan.status();
+  return std::move(scan->outputs[0]);
+}
+
+/// Ladder scan through the request API, unwrapped to the per-rung vector.
+inline Result<std::vector<PsrOutput>> ScanPsrLadder(
+    const ProbabilisticDatabase& db, const KLadder& ladder,
+    const PsrOptions& options = {}, const ExecOptions& exec = {}) {
+  ScanRequest request;
+  request.ladder = ladder;
+  request.psr = options;
+  request.exec = exec;
+  Result<ScanResult> scan = ComputePsrLadder(db, request);
+  if (!scan.ok()) return scan.status();
+  return std::move(scan->outputs);
+}
 
 /// Median wall-clock milliseconds of `fn` over `reps` runs (after one
 /// untimed warm-up when cheap enough to afford it).

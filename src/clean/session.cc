@@ -22,9 +22,12 @@ Result<CleaningSession> CleaningSession::Start(ProbabilisticDatabase db,
   session.options_ = options;
   session.db_ = std::move(db);
 
-  Result<PsrEngine> engine =
-      PsrEngine::Create(session.db_, ladder, options.psr,
-                        options.checkpoint_interval, options.exec);
+  ScanRequest request;
+  request.ladder = ladder;
+  request.psr = options.psr;
+  request.exec = options.exec;
+  request.checkpoint_interval = options.checkpoint_interval;
+  Result<PsrEngine> engine = PsrEngine::Create(session.db_, request);
   if (!engine.ok()) return engine.status();
   session.engine_ = std::move(engine).value();
 

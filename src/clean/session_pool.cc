@@ -57,9 +57,12 @@ Result<SessionPool> SessionPool::Create(ProbabilisticDatabase base,
   pool.options_.exec = std::move(exec).value();
   pool.base_ = std::make_unique<ProbabilisticDatabase>(std::move(base));
 
-  Result<PsrEngine> engine =
-      PsrEngine::Create(*pool.base_, ladder, options.psr,
-                        options.checkpoint_interval, pool.options_.exec);
+  ScanRequest request;
+  request.ladder = ladder;
+  request.psr = options.psr;
+  request.exec = pool.options_.exec;
+  request.checkpoint_interval = options.checkpoint_interval;
+  Result<PsrEngine> engine = PsrEngine::Create(*pool.base_, request);
   if (!engine.ok()) return engine.status();
   pool.engine_ = std::move(engine).value();
 

@@ -34,6 +34,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -128,6 +129,22 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Instruction-set preference for the PSR scan's compute kernels
+/// (rank/kernel.h). Like the thread count, this selects HOW the scan
+/// runs, never WHAT it computes: every kernel is held bitwise equal to
+/// every other (see the equivalence notes in rank/kernel.h), so mixing
+/// kernels across drivers, replays and shards is always safe.
+enum class KernelKind : uint8_t {
+  /// AVX2 when it is compiled in, the CPU reports it, and
+  /// UCLEAN_DISABLE_AVX2 is not set in the environment; scalar otherwise.
+  kAuto = 0,
+  /// The portable scalar path, unconditionally.
+  kScalar,
+  /// Require the AVX2 path; selection fails with InvalidArgument when it
+  /// is unavailable (not compiled in, or the CPU lacks it).
+  kAvx2,
+};
+
 /// The parallelism knob threaded through the stack (PsrEngine,
 /// ComputePsrLadder, TP, CleaningSession, SessionPool, CLI --threads).
 struct ExecOptions {
@@ -145,6 +162,12 @@ struct ExecOptions {
   /// it explicitly to make several components share one pool (the CLI
   /// and SessionPool do).
   std::shared_ptr<ThreadPool> pool;
+
+  /// Compute-kernel preference for every scan run under these options
+  /// (CLI --kernel). Resolved once per scan by rank/kernel.h's
+  /// SelectScanKernel; kAuto picks the fastest kernel the hardware
+  /// supports.
+  KernelKind kernel = KernelKind::kAuto;
 
   /// True when this options value asks for an actual parallel path.
   bool parallel() const { return pool != nullptr && pool->num_threads() > 1; }

@@ -20,8 +20,11 @@ Result<ExpectedRankOutput> ComputeExpectedRanks(
   options.store_rank_probabilities = true;
   options.early_termination = false;
   const size_t full_depth = db.num_xtuples();
-  Result<PsrOutput> psr = ComputePsr(db, full_depth, options);
-  if (!psr.ok()) return psr.status();
+  Result<ScanRequest> request = ScanRequest::ForK(full_depth, options);
+  if (!request.ok()) return request.status();
+  Result<ScanResult> scan = ComputePsrLadder(db, *request);
+  if (!scan.ok()) return scan.status();
+  const PsrOutput* psr = &scan->output();
 
   // Expected number of real tuples in a world (the bottom rank for an
   // absent tuple, per Cormode et al.).

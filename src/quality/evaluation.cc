@@ -9,9 +9,11 @@ Result<EvaluationReport> EvaluateTopk(const ProbabilisticDatabase& db,
   EvaluationReport report;
   Stopwatch timer;
 
-  Result<PsrOutput> psr = ComputePsr(db, options.k, options.psr);
-  if (!psr.ok()) return psr.status();
-  report.psr = std::move(psr).value();
+  Result<ScanRequest> request = ScanRequest::ForK(options.k, options.psr);
+  if (!request.ok()) return request.status();
+  Result<ScanResult> scan = ComputePsrLadder(db, *request);
+  if (!scan.ok()) return scan.status();
+  report.psr = std::move(scan->outputs[0]);
   report.psr_seconds = timer.ElapsedSeconds();
 
   timer.Reset();

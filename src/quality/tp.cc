@@ -175,9 +175,11 @@ Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
 }
 
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k) {
-  Result<PsrOutput> psr = ComputePsr(db, k);
-  if (!psr.ok()) return psr.status();
-  return ComputeTpQuality(db, *psr);
+  Result<ScanRequest> request = ScanRequest::ForK(k);
+  if (!request.ok()) return request.status();
+  Result<ScanResult> scan = ComputePsrLadder(db, *request);
+  if (!scan.ok()) return scan.status();
+  return ComputeTpQuality(db, scan->output());
 }
 
 Result<std::vector<TpOutput>> ComputeTpQualityLadder(

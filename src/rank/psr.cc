@@ -1,8 +1,11 @@
 #include "rank/psr.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/strings.h"
+#include "model/database_overlay.h"
+#include "rank/kernel.h"
 #include "rank/psr_scan_core.h"
 #include "rank/sharded_scan.h"
 
@@ -51,28 +54,129 @@ std::string KLadder::ToString() const {
   return out + "}";
 }
 
+Result<ScanRequest> ScanRequest::ForK(size_t k, const PsrOptions& psr) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  ScanRequest request;
+  request.ladder.ks = {k};
+  request.psr = psr;
+  return request;
+}
+
+Result<ScanRequest> ScanRequest::ForLadder(std::vector<size_t> ks,
+                                           const PsrOptions& psr) {
+  Result<KLadder> ladder = KLadder::Of(std::move(ks));
+  if (!ladder.ok()) return ladder.status();
+  ScanRequest request;
+  request.ladder = *std::move(ladder);
+  request.psr = psr;
+  return request;
+}
+
+Status ScanRequest::Validate() const {
+  UCLEAN_RETURN_IF_ERROR(ladder.Validate());
+  if (checkpoint_interval == 0) {
+    return Status::InvalidArgument("checkpoint_interval must be positive");
+  }
+  return Status::OK();
+}
+
 namespace psr_internal {
 
-void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
+void InitLadderOutputs(size_t num_tuples, const KLadder& ladder,
                        const PsrOptions& options,
                        std::vector<PsrOutput>* outputs) {
-  const size_t n = db.num_tuples();
   outputs->clear();
   outputs->resize(ladder.size());
   for (size_t j = 0; j < ladder.size(); ++j) {
     PsrOutput& out = (*outputs)[j];
     out.k = ladder[j];
-    out.topk_prob.assign(n, 0.0);
+    out.topk_prob.assign(num_tuples, 0.0);
     out.best_rank_prob.assign(out.k, 0.0);
     out.best_rank_index.assign(out.k, -1);
     if (options.store_rank_probabilities) {
-      out.rank_prob.assign(n * out.k, 0.0);
+      out.rank_prob.assign(num_tuples * out.k, 0.0);
       out.has_rank_probabilities = true;
     }
   }
 }
 
 }  // namespace psr_internal
+
+namespace {
+
+// The one-shot ladder scan, generic over the scanned view (`Db` is
+// ProbabilisticDatabase or DatabaseOverlay -- both expose num_tuples /
+// num_xtuples / tuple / is_tombstone). Request/exec/kernel validation
+// happened in the caller; `kernel` is the concrete resolved table.
+template <typename Db>
+Result<ScanResult> ScanRequested(const Db& db, const ScanRequest& request,
+                                 const ExecOptions& resolved,
+                                 const psr_internal::ScanKernel* kernel) {
+  ScanResult result;
+  result.kernel = kernel->kind;
+  psr_internal::InitLadderOutputs(db.num_tuples(), request.ladder, request.psr,
+                                  &result.outputs);
+  std::vector<PsrOutput*> outs;
+  outs.reserve(result.outputs.size());
+  for (PsrOutput& out : result.outputs) outs.push_back(&out);
+
+  psr_internal::ScanCore core;
+  core.Init(db.num_xtuples(), kernel);
+  bool sharded = false;
+  if (resolved.parallel()) {
+    // One-shot scans keep no checkpoints: the snapshot hook is a no-op.
+    const auto no_checkpoints = [](size_t, size_t) {
+      return [](const psr_internal::ScanCore&, size_t, size_t) {};
+    };
+    sharded = psr_internal::RunShardedLadderScan(
+        db, 0, 0, request.psr, resolved.pool.get(),
+        resolved.min_tuples_per_shard, core, outs, /*track_best=*/true,
+        no_checkpoints);
+  }
+  if (!sharded) {
+    size_t first_active = 0;
+    psr_internal::RunLadderScan(db, 0, 0, request.psr.early_termination, core,
+                                outs, first_active, /*track_best=*/true,
+                                [](size_t, size_t) {});
+  }
+  ExecParallelFor(resolved, result.outputs.size(), [&result](size_t j) {
+    PsrOutput& out = result.outputs[j];
+    out.num_nonzero = 0;
+    for (double p : out.topk_prob) {
+      if (p > 0.0) ++out.num_nonzero;
+    }
+  });
+  return result;
+}
+
+}  // namespace
+
+Result<ScanResult> ComputePsrLadder(const ProbabilisticDatabase& db,
+                                    const ScanRequest& request) {
+  UCLEAN_RETURN_IF_ERROR(request.Validate());
+  Result<ExecOptions> resolved = ResolveExec(request.exec);
+  if (!resolved.ok()) return resolved.status();
+  Result<const psr_internal::ScanKernel*> kernel =
+      SelectScanKernel(resolved->kernel);
+  if (!kernel.ok()) return kernel.status();
+  if (request.overlay != nullptr) {
+    if (&request.overlay->base() != &db) {
+      return Status::InvalidArgument(
+          "request.overlay must be a view over the database the request "
+          "is issued against");
+    }
+    return ScanRequested(*request.overlay, request, *resolved, *kernel);
+  }
+  return ScanRequested(db, request, *resolved, *kernel);
+}
+
+// ----- deprecated one-PR shims over the request API -----
+
+// The shims call each other and the deprecated entry points they
+// implement; silence the self-referential deprecation warnings (callers
+// still get theirs).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
                                                 const KLadder& ladder,
@@ -84,54 +188,24 @@ Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
                                                 const KLadder& ladder,
                                                 const PsrOptions& options,
                                                 const ExecOptions& exec) {
-  UCLEAN_RETURN_IF_ERROR(ladder.Validate());
-  Result<ExecOptions> resolved = ResolveExec(exec);
-  if (!resolved.ok()) return resolved.status();
-
-  std::vector<PsrOutput> outputs;
-  psr_internal::InitLadderOutputs(db, ladder, options, &outputs);
-  std::vector<PsrOutput*> outs;
-  outs.reserve(outputs.size());
-  for (PsrOutput& out : outputs) outs.push_back(&out);
-
-  psr_internal::ScanCore core;
-  core.Init(db.num_xtuples());
-  bool sharded = false;
-  if (resolved->parallel()) {
-    // One-shot scans keep no checkpoints: the snapshot hook is a no-op.
-    const auto no_checkpoints = [](size_t, size_t) {
-      return [](const psr_internal::ScanCore&, size_t, size_t) {};
-    };
-    sharded = psr_internal::RunShardedLadderScan(
-        db, 0, 0, options, resolved->pool.get(),
-        resolved->min_tuples_per_shard, core, outs, /*track_best=*/true,
-        no_checkpoints);
-  }
-  if (!sharded) {
-    size_t first_active = 0;
-    psr_internal::RunLadderScan(db, 0, 0, options.early_termination, core,
-                                outs, first_active, /*track_best=*/true,
-                                [](size_t, size_t) {});
-  }
-  ExecParallelFor(*resolved, outputs.size(), [&outputs](size_t j) {
-    PsrOutput& out = outputs[j];
-    out.num_nonzero = 0;
-    for (double p : out.topk_prob) {
-      if (p > 0.0) ++out.num_nonzero;
-    }
-  });
-  return outputs;
+  ScanRequest request;
+  request.ladder = ladder;
+  request.psr = options;
+  request.exec = exec;
+  Result<ScanResult> result = ComputePsrLadder(db, request);
+  if (!result.ok()) return result.status();
+  return std::move(result->outputs);
 }
 
 Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
                              const PsrOptions& options) {
-  if (k == 0) return Status::InvalidArgument("k must be positive");
-  KLadder ladder;
-  ladder.ks = {k};
-  Result<std::vector<PsrOutput>> outputs =
-      ComputePsrLadder(db, ladder, options);
-  if (!outputs.ok()) return outputs.status();
-  return std::move((*outputs)[0]);
+  Result<ScanRequest> request = ScanRequest::ForK(k, options);
+  if (!request.ok()) return request.status();
+  Result<ScanResult> result = ComputePsrLadder(db, *request);
+  if (!result.ok()) return result.status();
+  return std::move(result->outputs[0]);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace uclean

@@ -57,6 +57,8 @@
 
 namespace uclean {
 
+class DatabaseOverlay;
+
 /// An ascending ladder of k values served by one shared PSR scan. The
 /// count-vector recurrence of the scan is k-independent until emission, so
 /// a whole ladder of top-k queries (Figure 5's sharing effect, taken
@@ -135,26 +137,109 @@ struct PsrOutput {
   }
 };
 
+/// Everything one PSR scan needs, in one request-shaped value: the rung
+/// ladder, the scan knobs, the execution knobs (threads AND compute
+/// kernel -- ExecOptions::kernel), an optional session overlay to scan
+/// instead of the base database, and the checkpoint cadence for engine
+/// consumers. This is THE way to ask for a scan: ComputePsrLadder and
+/// PsrEngine::Create take it directly, and the legacy positional-knob
+/// signatures below are deprecated one-PR shims over it.
+struct ScanRequest {
+  /// Engine checkpoint cadence default, in live tuples (see
+  /// PsrEngine::kInitialCheckpointInterval, which aliases this).
+  static constexpr size_t kDefaultCheckpointInterval = 64;
+
+  /// The k rungs served by the scan (ascending; build with KLadder::Of).
+  KLadder ladder;
+
+  /// Scan knobs (early termination, rank-probability matrix).
+  PsrOptions psr;
+
+  /// Execution knobs: thread count, shared pool, compute kernel.
+  ExecOptions exec;
+
+  /// When set, the scan runs over this copy-on-write session view
+  /// instead of the base database (one-shot scans only; engines fork
+  /// sessions through PsrEngine::ForkSession/ReplaySession). The
+  /// overlay's base() must be the database the request is issued
+  /// against, and it must outlive the call.
+  const DatabaseOverlay* overlay = nullptr;
+
+  /// Engine snapshot cadence in live tuples (PsrEngine::Create only;
+  /// one-shot scans keep no checkpoints and ignore it).
+  size_t checkpoint_interval = kDefaultCheckpointInterval;
+
+  /// A single-rung request for a plain top-k query -- the 1-rung ladder
+  /// IS the single-k path. Fails with InvalidArgument when k == 0.
+  static Result<ScanRequest> ForK(size_t k, const PsrOptions& psr = {});
+
+  /// A request for `ks` (validated, sorted, deduped via KLadder::Of).
+  static Result<ScanRequest> ForLadder(std::vector<size_t> ks,
+                                       const PsrOptions& psr = {});
+
+  /// The invariants every scan driver relies on: a valid ladder and a
+  /// positive checkpoint interval. (Exec and kernel are resolved -- and
+  /// validated -- per call by ResolveExec/SelectScanKernel.)
+  Status Validate() const;
+};
+
+/// The result of one requested scan: a complete PsrOutput per rung of the
+/// request's ladder (ascending k), plus the concrete kernel the scan ran
+/// on (what KernelKind::kAuto resolved to; never kAuto).
+struct ScanResult {
+  std::vector<PsrOutput> outputs;
+  KernelKind kernel = KernelKind::kScalar;
+
+  size_t num_rungs() const { return outputs.size(); }
+
+  /// The output of rung `rung` -- `output()` is the single-k accessor.
+  const PsrOutput& output(size_t rung = 0) const {
+    UCLEAN_DCHECK(rung < outputs.size());
+    return outputs[rung];
+  }
+};
+
+/// Runs ONE shared PSR scan serving every rung of `request.ladder`:
+/// output j holds the complete PsrOutput for k = ladder[j], identical
+/// (to rounding) to an independent single-k run, at roughly the cost of
+/// the largest rung alone -- the count-vector work is shared and each
+/// rung stops emitting at its own Lemma-2 point.
+///
+/// Parallelism: with ExecOptions{num_threads > 1} the scan is sharded by
+/// rank range (rank/sharded_scan.h); results agree with the sequential
+/// form to 1e-12 for any thread/shard count (bitwise in practice).
+/// Kernels: the scan runs on the kernel ExecOptions::kernel resolves to;
+/// every kernel is bitwise equal to every other (rank/kernel.h), so this
+/// knob never changes results either.
+///
+/// Fails with InvalidArgument when the request, its exec options or its
+/// kernel choice do not validate, or when request.overlay is set but its
+/// base() is not `db`.
+Result<ScanResult> ComputePsrLadder(const ProbabilisticDatabase& db,
+                                    const ScanRequest& request);
+
+// ----- deprecated one-PR shims (see CHANGES.md for the removal note) -----
+
 /// Runs the PSR scan for a top-k query over `db`.
 ///
 /// Fails with InvalidArgument when k == 0.
+[[deprecated(
+    "build a ScanRequest (ScanRequest::ForK) and call "
+    "ComputePsrLadder(db, request)")]]
 Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
                              const PsrOptions& options = {});
 
-/// Runs ONE shared PSR scan serving every rung of `ladder`: output j holds
-/// the complete PsrOutput for k = ladder[j], identical (to rounding) to an
-/// independent ComputePsr(db, ladder[j], options) run, at roughly the cost
-/// of the largest rung alone -- the count-vector work is shared and each
-/// rung stops emitting at its own Lemma-2 point.
+/// Ladder scan with positional knobs.
+[[deprecated(
+    "build a ScanRequest and call ComputePsrLadder(db, request)")]]
 Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
                                                 const KLadder& ladder,
                                                 const PsrOptions& options = {});
 
-/// Parallel form: the same one-shot ladder scan sharded by rank range
-/// over `exec` (exec/thread_pool.h). Results agree with the sequential
-/// form to 1e-12 for any thread/shard count (see rank/sharded_scan.h);
-/// ExecOptions{1} -- or a range too small to shard -- IS the sequential
-/// form. Fails with InvalidArgument when exec is invalid.
+/// Ladder scan with positional knobs including ExecOptions.
+[[deprecated(
+    "build a ScanRequest (set request.exec) and call "
+    "ComputePsrLadder(db, request)")]]
 Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
                                                 const KLadder& ladder,
                                                 const PsrOptions& options,

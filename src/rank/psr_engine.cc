@@ -8,14 +8,48 @@
 
 namespace uclean {
 
+Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
+                                    const ScanRequest& request) {
+  UCLEAN_RETURN_IF_ERROR(request.Validate());
+  if (request.overlay != nullptr) {
+    return Status::InvalidArgument(
+        "engines are created over base databases; serve session overlays "
+        "through ForkSession/ReplaySession");
+  }
+  Result<ExecOptions> resolved = ResolveExec(request.exec);
+  if (!resolved.ok()) return resolved.status();
+  Result<const psr_internal::ScanKernel*> kernel =
+      SelectScanKernel(resolved->kernel);
+  if (!kernel.ok()) return kernel.status();
+
+  PsrEngine engine;
+  engine.exec_ = std::move(resolved).value();
+  engine.options_ = request.psr;
+  engine.checkpoint_interval_ = request.checkpoint_interval;
+  engine.ladder_ = request.ladder;
+  psr_internal::InitLadderOutputs(db.num_tuples(), request.ladder, request.psr,
+                                  &engine.outputs_);
+  engine.core_.Init(db.num_xtuples(), *kernel);
+  ScanFrom(db, 0, 0, engine.options_, engine.exec_, &engine.core_,
+           &engine.outputs_, &engine.checkpoints_,
+           &engine.checkpoint_interval_);
+  return engine;
+}
+
+// Deprecated positional-knob shims; the definitions necessarily name the
+// deprecated entry points they implement.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db, size_t k,
                                     const PsrOptions& options,
                                     size_t checkpoint_interval,
                                     const ExecOptions& exec) {
-  if (k == 0) return Status::InvalidArgument("k must be positive");
-  KLadder ladder;
-  ladder.ks = {k};
-  return Create(db, ladder, options, checkpoint_interval, exec);
+  Result<ScanRequest> request = ScanRequest::ForK(k, options);
+  if (!request.ok()) return request.status();
+  request->exec = exec;
+  request->checkpoint_interval = checkpoint_interval;
+  return Create(db, *request);
 }
 
 Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
@@ -23,25 +57,15 @@ Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
                                     const PsrOptions& options,
                                     size_t checkpoint_interval,
                                     const ExecOptions& exec) {
-  UCLEAN_RETURN_IF_ERROR(ladder.Validate());
-  if (checkpoint_interval == 0) {
-    return Status::InvalidArgument("checkpoint interval must be positive");
-  }
-  Result<ExecOptions> resolved = ResolveExec(exec);
-  if (!resolved.ok()) return resolved.status();
-
-  PsrEngine engine;
-  engine.exec_ = std::move(resolved).value();
-  engine.options_ = options;
-  engine.checkpoint_interval_ = checkpoint_interval;
-  engine.ladder_ = ladder;
-  psr_internal::InitLadderOutputs(db, ladder, options, &engine.outputs_);
-  engine.core_.Init(db.num_xtuples());
-  ScanFrom(db, 0, 0, engine.options_, engine.exec_, &engine.core_,
-           &engine.outputs_, &engine.checkpoints_,
-           &engine.checkpoint_interval_);
-  return engine;
+  ScanRequest request;
+  request.ladder = ladder;
+  request.psr = options;
+  request.exec = exec;
+  request.checkpoint_interval = checkpoint_interval;
+  return Create(db, request);
 }
+
+#pragma GCC diagnostic pop
 
 void PsrEngine::ThinCheckpoints(std::vector<Checkpoint>* cps,
                                 size_t* interval) {
@@ -65,7 +89,7 @@ void PsrEngine::SnapshotInto(const psr_internal::ScanCore& core, size_t pos,
   Checkpoint cp;
   cp.pos = pos;
   cp.live = live;
-  cp.c = core.c;
+  cp.c.assign(core.c.begin(), core.c.end());
   cp.active = core.active;
   cp.saturated = core.saturated;
   for (size_t l = 0; l < core.state.size(); ++l) {
@@ -77,7 +101,7 @@ void PsrEngine::SnapshotInto(const psr_internal::ScanCore& core, size_t pos,
 
 void PsrEngine::RestoreInto(const Checkpoint& cp,
                             psr_internal::ScanCore* core) {
-  core->c = cp.c;
+  core->c.assign(cp.c.begin(), cp.c.end());
   core->active = cp.active;
   core->saturated = cp.saturated;
   std::fill(core->q.begin(), core->q.end(), 0.0);
@@ -301,7 +325,9 @@ PsrEngine::SessionState PsrEngine::ForkSession() const {
                 dst.rank_prob.begin());
     }
   }
-  state.core_.Init(core_.q.size());
+  // Sessions inherit the engine's kernel: mixing kernels would be safe
+  // (they are bitwise equal) but pointless.
+  state.core_.Init(core_.q.size(), core_.kernel);
   state.checkpoint_interval_ = checkpoint_interval_;
   return state;
 }

@@ -119,22 +119,35 @@ class PsrEngine {
   /// An empty engine; assign from Create before use.
   PsrEngine() = default;
 
-  /// Runs the initial full scan over `db` and snapshots checkpoints.
-  /// `checkpoint_interval` is the initial snapshot cadence in live tuples
-  /// (smaller = cheaper replays, more snapshot memory; it doubles whenever
-  /// the checkpoint count would exceed kMaxCheckpoints). `exec` selects
-  /// the execution mode for this and every later scan (sequential by
-  /// default; see the header note on parallel execution). Fails with
-  /// InvalidArgument when k == 0, the interval is 0, or exec is invalid.
+  /// Runs the initial full scan over `db` and snapshots checkpoints at
+  /// `request.checkpoint_interval` live tuples (smaller = cheaper
+  /// replays, more snapshot memory; it doubles whenever the checkpoint
+  /// count would exceed kMaxCheckpoints). `request.exec` selects the
+  /// execution mode -- thread count AND compute kernel -- for this and
+  /// every later scan (sequential by default; see the header note on
+  /// parallel execution). Fails with InvalidArgument when the request,
+  /// its exec options or its kernel choice do not validate, or when
+  /// request.overlay is set: engines scan base databases and serve
+  /// session overlays through ForkSession/ReplaySession instead.
+  static Result<PsrEngine> Create(const ProbabilisticDatabase& db,
+                                  const ScanRequest& request);
+
+  // ----- deprecated one-PR shims (see CHANGES.md for the removal note) -----
+
+  /// Single-k form with positional knobs.
+  [[deprecated(
+      "build a ScanRequest (ScanRequest::ForK; set exec / "
+      "checkpoint_interval on it) and call Create(db, request)")]]
   static Result<PsrEngine> Create(
       const ProbabilisticDatabase& db, size_t k,
       const PsrOptions& options = {},
       size_t checkpoint_interval = kInitialCheckpointInterval,
       const ExecOptions& exec = {});
 
-  /// Ladder form: one shared scan maintains a complete PsrOutput per rung
-  /// of `ladder` (ascending k). Fails with InvalidArgument when the ladder
-  /// is not strictly ascending and positive or the interval is 0.
+  /// Ladder form with positional knobs.
+  [[deprecated(
+      "build a ScanRequest (set exec / checkpoint_interval on it) and "
+      "call Create(db, request)")]]
   static Result<PsrEngine> Create(
       const ProbabilisticDatabase& db, const KLadder& ladder,
       const PsrOptions& options = {},
@@ -241,8 +254,10 @@ class PsrEngine {
 
   /// Checkpoint cadence: every `checkpoint_interval_` live tuples, thinned
   /// (drop every other one, double the interval) when the count exceeds
-  /// kMaxCheckpoints so memory stays O(kMaxCheckpoints * m).
-  static constexpr size_t kInitialCheckpointInterval = 64;
+  /// kMaxCheckpoints so memory stays O(kMaxCheckpoints * m). The default
+  /// cadence is the request struct's, spelled once for the whole library.
+  static constexpr size_t kInitialCheckpointInterval =
+      ScanRequest::kDefaultCheckpointInterval;
   static constexpr size_t kMaxCheckpoints = 160;
 
  private:

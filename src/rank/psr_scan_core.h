@@ -52,7 +52,7 @@
 //    saturations -- accumulate a noise floor that is pure rounding
 //    lineage. The scan therefore REFRESHES the vector on a fixed grid:
 //    at every live tuple whose ordinal (count of live tuples since rank
-//    0) is a multiple of kCountRefreshInterval, the vector is
+//    0) is a multiple of kCountRefreshGridLive, the vector is
 //    reconstituted from the per-x-tuple masses (RebuildCounts, an exact
 //    product of the active factors). The grid is keyed to live ordinals,
 //    which are invariant under checkpoint replay, tombstone compaction
@@ -68,7 +68,24 @@
 // overlap the scan position (bounded by the tuples scanned so far, which
 // the Lemma-2 stop keeps small for ranked data), plus O(k_max) for
 // emission across the whole ladder, plus an amortized O(T^2 /
-// kCountRefreshInterval) per tuple for the refresh grid.
+// kCountRefreshGridLive) per tuple for the refresh grid.
+//
+// Kernel layout.
+//
+// The state is structure-of-arrays: four contiguous aligned double
+// buffers (count vector `c`, exclusion scratch `c_excl`, emission
+// scratch `rho`, per-x-tuple masses `q`) plus a parallel byte array of
+// per-x-tuple states. All element arithmetic on those buffers is routed
+// through a runtime-selected ScanKernel (rank/kernel.h): the multiply-in
+// fold and the emission scale/argmax passes vectorize under AVX2, the
+// divide-out recurrences stay scalar in every kernel (sequential by
+// construction), and every kernel is bitwise equal to every other -- so
+// the kernel choice, like the thread count, never changes a result. The
+// emission loop is split accordingly: a vectorizable pass materializes
+// rho[h-1] for the whole ladder into `rho`, the prefix/latch pass stays
+// a strictly sequential scalar sum (re-associating it would change
+// roundings), and the per-rung matrix/argmax passes are element-wise
+// maps over the shared scratch.
 
 #ifndef UCLEAN_RANK_PSR_SCAN_CORE_H_
 #define UCLEAN_RANK_PSR_SCAN_CORE_H_
@@ -80,6 +97,7 @@
 #include "common/check.h"
 #include "model/database.h"
 #include "model/tuple.h"
+#include "rank/kernel.h"
 #include "rank/psr.h"
 
 namespace uclean {
@@ -97,10 +115,15 @@ constexpr double kSaturationThreshold = 1.0 - 1e-12;
 /// Count-vector refresh cadence in live-tuple ordinals (see the file
 /// comment): every driver rebuilds the vector from the mass bookkeeping
 /// at live ordinals 0, G, 2G, ... counted from rank 0. One shared
-/// constant for the whole library -- the refresh points are part of the
-/// arithmetic lineage, and changing them between two drivers would break
-/// their bitwise agreement.
-constexpr size_t kCountRefreshInterval = 4096;
+/// constant for the whole library -- scan core refresh, engine
+/// checkpointing and shard-cut selection all key off it, the refresh
+/// points are part of the arithmetic lineage, and changing them between
+/// two drivers would break their bitwise agreement. The grid is also
+/// what anchors the scalar/AVX2 kernel equivalence: at every grid point
+/// the state is a pure function of the mass bookkeeping, so the kernel
+/// tests can assert bitwise equality there (and everywhere else --
+/// see rank/kernel.h).
+constexpr size_t kCountRefreshGridLive = 4096;
 
 /// Probabilistic generalization of the Lemma-2 stop: once the probability
 /// that fewer than k tuples rank above the scan position drops below this
@@ -112,19 +135,30 @@ constexpr size_t kCountRefreshInterval = 4096;
 constexpr double kNegligibleHeadMass = 1e-15;
 
 /// The k-independent scan state at one rank position, advanced tuple by
-/// tuple.
+/// tuple. Structure-of-arrays: the hot buffers are contiguous aligned
+/// double arrays operated on through the retargetable `kernel` table
+/// (rank/kernel.h), never element-by-element in driver code.
 struct ScanCore {
   // c[0..T]: distribution of the number of contributing unsaturated
   // x-tuples, where T is the current unsaturated-active count. Saturated
   // x-tuples add `saturated` contributors deterministically.
-  std::vector<double> c;
-  std::vector<double> c_excl;
+  AlignedBuf c;
+  AlignedBuf c_excl;
+  // Emission scratch: rho[h-1] for h = 1..k_max, materialized per tuple
+  // by EmitLadder (sized lazily to the ladder's largest k).
+  AlignedBuf rho;
   size_t active = 0;     // unsaturated active x-tuples (== c.size() - 1)
   size_t saturated = 0;
 
-  std::vector<double> q;           // per-x-tuple above-mass (frozen once
+  AlignedBuf q;                    // per-x-tuple above-mass (frozen once
                                    // saturated; unused from then on)
   std::vector<XTupleState> state;  // per-x-tuple scan state
+
+  /// The element-op table every hot loop routes through. Set by Init
+  /// (and inherited by copies: shard walks, forked sessions); all
+  /// kernels are bitwise equal, so cores with different kernels still
+  /// produce identical state.
+  const ScanKernel* kernel = &ScalarScanKernel();
 
   /// The exclusion view for one tuple: the count distribution over all
   /// OTHER x-tuples, split into a deterministic shift (saturated others)
@@ -132,11 +166,14 @@ struct ScanCore {
   /// BuildExclusion or Advance call on the core.
   struct Exclusion {
     size_t others_shift = 0;
-    const std::vector<double>* counts = nullptr;
+    const AlignedBuf* counts = nullptr;
   };
 
-  /// Resets to the scan-start state for `num_xtuples` x-tuples.
-  void Init(size_t num_xtuples) {
+  /// Resets to the scan-start state for `num_xtuples` x-tuples, running
+  /// all element arithmetic through `k` (defaults to what kAuto resolves
+  /// to on this host).
+  void Init(size_t num_xtuples, const ScanKernel* k = &DefaultScanKernel()) {
+    kernel = k;
     c.assign(1, 1.0);
     c_excl.clear();
     c_excl.reserve(num_xtuples + 1);
@@ -157,15 +194,11 @@ struct ScanCore {
     size_t rebuilt = 0;
     for (size_t l = 0; l < state.size(); ++l) {
       if (state[l] != XTupleState::kActive) continue;
-      const double ql = q[l];
       const size_t top = c.size();
       c.resize(top + 1);
-      // Reads of c[j] and c[j - 1] see pre-update values: writes descend.
-      c[top] = c[top - 1] * ql;
-      for (size_t j = top - 1; j > 0; --j) {
-        c[j] = c[j] * (1.0 - ql) + c[j - 1] * ql;
-      }
-      c[0] = c[0] * (1.0 - ql);
+      // In-place fold: the kernel's descending writes keep reads of
+      // c[j] / c[j-1] on pre-update values.
+      kernel->fold_factor(c.data(), c.data(), top, q[l]);
       ++rebuilt;
     }
     UCLEAN_CHECK(rebuilt == active);
@@ -205,19 +238,13 @@ struct ScanCore {
         const double ql = q[l];
         const size_t top = active;  // c has indices 0..top
         c_excl.resize(top);         // exclusion has indices 0..top-1
+        // Stable direction choice (see the file comment); both
+        // directions are sequential recurrences and run the same scalar
+        // code in every kernel.
         if (ql <= 0.5) {
-          const double headroom = 1.0 - ql;
-          c_excl[0] = c[0] / headroom;
-          for (size_t j = 1; j < top; ++j) {
-            double v = (c[j] - c_excl[j - 1] * ql) / headroom;
-            c_excl[j] = v < 0.0 ? 0.0 : v;
-          }
+          kernel->divide_out_fwd(c_excl.data(), c.data(), top, ql);
         } else {
-          c_excl[top - 1] = c[top] / ql;
-          for (size_t j = top - 1; j > 0; --j) {
-            double v = (c[j] - (1.0 - ql) * c_excl[j]) / ql;
-            c_excl[j - 1] = v < 0.0 ? 0.0 : v;
-          }
+          kernel->divide_out_bwd(c_excl.data(), c.data(), top, ql);
         }
         ex.counts = &c_excl;
         break;
@@ -244,14 +271,12 @@ struct ScanCore {
       ++saturated;
     } else {
       // Multiply tau_l's updated Bernoulli factor into the others-vector.
-      const std::vector<double>& base = *ex.counts;
+      // `base` may alias `c` (inactive x-tuple: excl == c); the kernel's
+      // fold is alias-safe, and base.data() is read after the resize.
+      const AlignedBuf& base = *ex.counts;
       const size_t top = base.size();  // counts 0..top-1
       c.resize(top + 1);
-      c[top] = base[top - 1] * q_new;
-      for (size_t j = top - 1; j > 0; --j) {
-        c[j] = base[j] * (1.0 - q_new) + base[j - 1] * q_new;
-      }
-      c[0] = base[0] * (1.0 - q_new);
+      kernel->fold_factor(c.data(), base.data(), top, q_new);
       if (state[l] == XTupleState::kInactive) {
         state[l] = XTupleState::kActive;
         ++active;
@@ -268,51 +293,99 @@ struct ScanCore {
 /// whole ladder costs one O(k_max) pass. When `track_best` is set the
 /// per-rank argmax trackers are updated for every active rung (only valid
 /// for a single uninterrupted scan from rank 0).
-inline void EmitLadder(const Tuple& t, size_t i, const ScanCore::Exclusion& ex,
+///
+/// Pass structure (results identical to the historical fused per-h
+/// loop, value for value):
+///  1. one `emit_segment` sweep per rung segment of the exclusion
+///     window, which fuses the scale rho[h-1] = e * excl[h-1-shift],
+///     the strictly sequential prefix sum in h order (a parallel prefix
+///     would re-associate the additions and change roundings), and --
+///     on the common single-rung tracked path -- the argmax trackers.
+///     The scalar kernel runs this as literally one loop; the AVX2
+///     kernel vectorizes the scale and argmax around the same
+///     sequential accumulation, bitwise equal either way.
+///  2. only when a later pass reads rho wholesale (per-rung matrix rows
+///     via contiguous copy of rho[0..k_j), or the multi-rung argmax
+///     pass): the out-of-window regions are zero-filled and the rows /
+///     trackers consume the materialized buffer. Skipping the fill and
+///     the p += 0.0 additions otherwise is a bitwise identity -- rho is
+///     nonnegative, p starts at +0.0, and a zero never beats the strict
+///     argmax compare.
+inline void EmitLadder(const Tuple& t, size_t i, ScanCore& core,
+                       const ScanCore::Exclusion& ex,
                        const std::vector<PsrOutput*>& outs, size_t first_active,
                        bool track_best) {
   const size_t rungs = outs.size();
   if (first_active >= rungs) return;
   const double e = t.prob;
-  const std::vector<double>& excl = *ex.counts;
+  const AlignedBuf& excl = *ex.counts;
   const size_t excl_len = excl.size();
   const size_t k_max = outs[rungs - 1]->k;
   const bool store_matrix = outs[rungs - 1]->has_rank_probabilities;
   const bool track = track_best && !t.is_null;
+  const ScanKernel& kernel = *core.kernel;
 
+  AlignedBuf& rho = core.rho;
+  if (rho.size() < k_max) rho.resize(k_max);
+  const size_t shift = ex.others_shift;
+  const size_t lo = std::min(shift, k_max);
+  const size_t hi = std::min(k_max, shift + excl_len);
+  // The single-rung tracked path folds the argmax update into the
+  // emission sweep itself; multi-rung tracking and matrix storage read
+  // rho[0..k_j) wholesale afterwards and need the out-of-window zeros
+  // materialized.
+  const bool fuse_argmax = track && !store_matrix && rungs - first_active == 1;
+  const bool rho_consumed = store_matrix || (track && !fuse_argmax);
+  if (rho_consumed) {
+    std::fill(rho.begin(), rho.begin() + lo, 0.0);
+    std::fill(rho.begin() + hi, rho.begin() + k_max, 0.0);
+  }
+
+  // Walk the exclusion window once, segmented at rung boundaries: each
+  // emit_segment call scales the segment into rho, folds it into the
+  // running prefix in ascending h order, and each rung latches its
+  // top-k probability as its boundary is crossed -- the same values, in
+  // the same order, as the historical fused per-h loop (ranks outside
+  // [lo, hi) contribute exact zeros and are skipped).
   double p = 0.0;
-  size_t next = first_active;  // rung whose k the prefix sum reaches next
-  for (size_t h = 1; h <= k_max; ++h) {
-    const size_t count = h - 1;
-    double rho = 0.0;
-    if (count >= ex.others_shift && count - ex.others_shift < excl_len) {
-      rho = e * excl[count - ex.others_shift];
+  size_t done = 0;  // ranks [0, done) already accumulated
+  for (size_t next = first_active; next < rungs; ++next) {
+    PsrOutput& out = *outs[next];
+    const size_t a = std::max(done, lo);
+    const size_t b = std::min(out.k, hi);
+    if (b > a) {
+      p = kernel.emit_segment(
+          rho.data() + a, excl.data() + (a - shift), b - a, e, p,
+          fuse_argmax ? out.best_rank_prob.data() + a : nullptr,
+          fuse_argmax ? out.best_rank_index.data() + a : nullptr,
+          static_cast<int32_t>(i));
     }
-    p += rho;
-    // Every rung at or past `next` has k >= h; rho is the same for all.
+    done = out.k;
+    out.topk_prob[i] = p;
+  }
+
+  if (!rho_consumed) return;
+  // Every rung j >= first_active consumes the shared prefix rho[0..k_j):
+  // rungs below first_active are stopped and receive nothing, exactly as
+  // in the fused loop (their latch had already passed).
+  for (size_t j = first_active; j < rungs; ++j) {
+    PsrOutput& out = *outs[j];
+    const size_t kj = out.k;
     if (store_matrix) {
-      for (size_t j = next; j < rungs; ++j) {
-        outs[j]->rank_prob[i * outs[j]->k + (h - 1)] = rho;
-      }
+      std::copy(rho.begin(), rho.begin() + kj, out.rank_prob.begin() + i * kj);
     }
     if (track) {
-      for (size_t j = next; j < rungs; ++j) {
-        if (rho > outs[j]->best_rank_prob[h - 1]) {
-          outs[j]->best_rank_prob[h - 1] = rho;
-          outs[j]->best_rank_index[h - 1] = static_cast<int32_t>(i);
-        }
-      }
-    }
-    while (next < rungs && outs[next]->k == h) {
-      outs[next]->topk_prob[i] = p;
-      ++next;
+      kernel.update_argmax(out.best_rank_prob.data(),
+                           out.best_rank_index.data(), rho.data(), kj,
+                           static_cast<int32_t>(i));
     }
   }
 }
 
 /// Sizes and zeroes one PsrOutput per rung of `ladder` for a scan over
-/// `db` (defined in psr.cc, shared with the engine's Create).
-void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
+/// `num_tuples` rank positions (defined in psr.cc, shared with the
+/// engine's Create and the overlay scan path).
+void InitLadderOutputs(size_t num_tuples, const KLadder& ladder,
                        const PsrOptions& options,
                        std::vector<PsrOutput>* outputs);
 
@@ -322,7 +395,7 @@ void InitLadderOutputs(const ProbabilisticDatabase& db, const KLadder& ladder,
 /// and keep their scan_end). `live_at_begin` is the live-tuple ordinal of
 /// position `begin` (0 for full scans; checkpoints record it for
 /// replays): the count vector refreshes at every live ordinal that is a
-/// multiple of kCountRefreshInterval, BEFORE that position's stop checks,
+/// multiple of kCountRefreshGridLive, BEFORE that position's stop checks,
 /// so every driver makes the same stop decisions from the same refreshed
 /// state. `maybe_checkpoint(i, live)` is invoked for every live position
 /// before it is processed -- the engine snapshots there, the one-shot
@@ -345,7 +418,7 @@ inline void RunLadderScan(const Db& db, size_t begin, size_t live_at_begin,
   size_t i = begin;
   for (; i < n; ++i) {
     const bool is_live = !db.is_tombstone(i);
-    if (is_live && live % kCountRefreshInterval == 0) core.RebuildCounts();
+    if (is_live && live % kCountRefreshGridLive == 0) core.RebuildCounts();
     if (early_termination) {
       // The stop rule fires smallest-k first (head mass grows with k).
       while (first_active < rungs &&
@@ -359,7 +432,7 @@ inline void RunLadderScan(const Db& db, size_t begin, size_t live_at_begin,
     maybe_checkpoint(i, live);
     const Tuple& t = db.tuple(i);
     const ScanCore::Exclusion ex = core.BuildExclusion(t);
-    EmitLadder(t, i, ex, outs, first_active, track_best);
+    EmitLadder(t, i, core, ex, outs, first_active, track_best);
     core.Advance(t, ex);
     ++live;
   }

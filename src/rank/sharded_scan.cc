@@ -16,11 +16,11 @@ std::vector<GridPoint> PlanShardCuts(size_t begin, size_t live_at_begin,
   // shards + dynamic claiming keep the tail from serializing.
   size_t shards = std::min(num_threads * 4, kMaxShardsPerScan);
   if (min_tuples_per_shard > 0) {
-    // Grid spacing is kCountRefreshInterval live tuples; honor a larger
+    // Grid spacing is kCountRefreshGridLive live tuples; honor a larger
     // requested minimum by capping the shard count against the walked
     // range (measured in live tuples, the unit shard work scales with).
     const size_t live_range =
-        grid.back().live + kCountRefreshInterval - live_at_begin;
+        grid.back().live + kCountRefreshGridLive - live_at_begin;
     shards = std::min(shards, std::max<size_t>(1, live_range /
                                                       min_tuples_per_shard));
   }

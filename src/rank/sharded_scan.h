@@ -23,7 +23,7 @@
 //    and is bitwise identical in every driver (same sums, same order).
 //    ForwardMasses advances just that bookkeeping across a range.
 //  * The scan refreshes its count vector from the bookkeeping at every
-//    live-tuple ordinal divisible by kCountRefreshInterval
+//    live-tuple ordinal divisible by kCountRefreshGridLive
 //    (psr_scan_core.h). At those grid points the vector is a pure
 //    function of the bookkeeping.
 //
@@ -70,7 +70,7 @@ namespace psr_internal {
 constexpr size_t kMaxShardsPerScan = 32;
 
 /// A candidate cut: a live position whose live ordinal is a multiple of
-/// kCountRefreshInterval (a count-refresh grid point).
+/// kCountRefreshGridLive (a count-refresh grid point).
 struct GridPoint {
   size_t pos = 0;
   size_t live = 0;
@@ -113,7 +113,7 @@ template <typename Db>
 std::vector<GridPoint> CollectGridCuts(const Db& db, const ScanCore& at_begin,
                                        size_t begin, size_t live_at_begin,
                                        size_t k_max, bool early_termination) {
-  std::vector<double> q = at_begin.q;
+  std::vector<double> q(at_begin.q.begin(), at_begin.q.end());
   std::vector<uint8_t> saturated(q.size(), 0);
   size_t num_saturated = at_begin.saturated;
   double mu = static_cast<double>(num_saturated);
@@ -135,7 +135,7 @@ std::vector<GridPoint> CollectGridCuts(const Db& db, const ScanCore& at_begin,
       if (mu > k && (mu - k) * (mu - k) > mu * 72.0) break;
     }
     if (db.is_tombstone(i)) continue;
-    if (live % kCountRefreshInterval == 0 && i > begin) {
+    if (live % kCountRefreshGridLive == 0 && i > begin) {
       grid.push_back({i, live});
     }
     const Tuple& t = db.tuple(i);
@@ -159,7 +159,7 @@ std::vector<GridPoint> CollectGridCuts(const Db& db, const ScanCore& at_begin,
 /// Picks the shard boundaries: `begin` plus at most (max_shards - 1)
 /// evenly spaced grid cuts plus `hard_end`. Cuts closer together than
 /// min_tuples_per_shard live tuples are never produced (grid spacing is
-/// kCountRefreshInterval live tuples; the planner widens stride when a
+/// kCountRefreshGridLive live tuples; the planner widens stride when a
 /// larger minimum is asked for). Returns empty when fewer than two
 /// shards result.
 std::vector<GridPoint> PlanShardCuts(size_t begin, size_t live_at_begin,
@@ -221,7 +221,7 @@ void ScanShard(const Db& db, const PsrOptions& options, ScanCore& core,
   size_t live = result->live_at_begin;
   for (size_t i = begin; i < end; ++i) {
     const bool is_live = !db.is_tombstone(i);
-    if (is_live && live % kCountRefreshInterval == 0) core.RebuildCounts();
+    if (is_live && live % kCountRefreshGridLive == 0) core.RebuildCounts();
     if (options.early_termination) {
       // Same pop order as the sequential loop: the stop rule fires
       // smallest-k first, so each rung's recorded rank is exactly the
@@ -237,7 +237,7 @@ void ScanShard(const Db& db, const PsrOptions& options, ScanCore& core,
     maybe_checkpoint(core, i, live);
     const Tuple& t = db.tuple(i);
     const ScanCore::Exclusion ex = core.BuildExclusion(t);
-    EmitLadder(t, i - begin, ex, outs, first_active, track_best);
+    EmitLadder(t, i - begin, core, ex, outs, first_active, track_best);
     core.Advance(t, ex);
     ++live;
   }

@@ -27,7 +27,7 @@ TEST(Behavior, PtkAnswerShrinksAsThresholdGrows) {
   opts.num_xtuples = 8;
   for (int trial = 0; trial < 10; ++trial) {
     ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
-    Result<PsrOutput> psr = ComputePsr(db, 3);
+    Result<PsrOutput> psr = ScanPsr(db, 3);
     ASSERT_TRUE(psr.ok());
     size_t previous = SIZE_MAX;
     for (double threshold : {0.01, 0.1, 0.3, 0.6, 0.9}) {
@@ -41,7 +41,7 @@ TEST(Behavior, PtkAnswerShrinksAsThresholdGrows) {
 
 TEST(Behavior, PtkAtMinimalThresholdEqualsNonzeroSet) {
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   Result<PtkAnswer> answer = EvaluatePtk(db, *psr, 1e-12);
   ASSERT_TRUE(answer.ok());
@@ -235,7 +235,7 @@ TEST(Behavior, UkRanksEntriesCanRepeatTuples) {
   ASSERT_TRUE(b.AddAlternative(x2, 2, 80.0, 0.1).ok());
   Result<ProbabilisticDatabase> db = std::move(b).Finish();
   ASSERT_TRUE(db.ok());
-  Result<PsrOutput> psr = ComputePsr(*db, 2);
+  Result<PsrOutput> psr = ScanPsr(*db, 2);
   ASSERT_TRUE(psr.ok());
   UkRanksAnswer answer = EvaluateUkRanks(*db, *psr);
   // Tuple 0 dominates rank 1; rank 2 goes to whoever is most likely second,
@@ -264,7 +264,7 @@ TEST(Behavior, SharedEvaluationMatchesStandaloneCalls) {
   Result<EvaluationReport> report = EvaluateTopk(db, options);
   ASSERT_TRUE(report.ok());
 
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   Result<PtkAnswer> ptk = EvaluatePtk(db, *psr, 0.4);
   GlobalTopkAnswer gtopk = EvaluateGlobalTopk(db, *psr);

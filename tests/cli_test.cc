@@ -395,6 +395,97 @@ TEST_F(CliTest, ThreadsFlagValidationAndAnnouncement) {
   EXPECT_NE(out.find("--algo tp"), std::string::npos) << out;
 }
 
+TEST_F(CliTest, KernelFlagValidationAndAnnouncement) {
+  std::string out;
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 60 --out " +
+                    Path("kernel_db.csv") + " --seed 11",
+                &out),
+            0);
+
+  // An explicit choice is announced with the concrete kernel it resolved
+  // to (like --threads): `auto` picks a machine-dependent kernel the
+  // user never typed.
+  ASSERT_EQ(Run("query --db " + Path("kernel_db.csv") +
+                    " --k 5 --kernel scalar --semantics ptk",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("--kernel scalar resolved to the scalar scan kernel"),
+            std::string::npos)
+      << out;
+  ASSERT_EQ(Run("query --db " + Path("kernel_db.csv") +
+                    " --k 5 --kernel auto --semantics ptk",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("--kernel auto resolved to the"), std::string::npos)
+      << out;
+  // Without the flag there is nothing to announce.
+  ASSERT_EQ(Run("query --db " + Path("kernel_db.csv") +
+                    " --k 5 --semantics ptk",
+                &out),
+            0);
+  EXPECT_EQ(out.find("--kernel"), std::string::npos) << out;
+
+  // Every kernel is bitwise equal to every other, so apart from the
+  // resolution note the scalar and auto runs print identical rankings.
+  std::string scalar_out;
+  std::string auto_out;
+  ASSERT_EQ(Run("query --db " + Path("kernel_db.csv") +
+                    " --k 5 --kernel scalar --semantics all",
+                &scalar_out),
+            0);
+  ASSERT_EQ(Run("query --db " + Path("kernel_db.csv") +
+                    " --k 5 --kernel auto --semantics all",
+                &auto_out),
+            0);
+  auto strip_note = [](std::string text) {
+    const size_t pos = text.find("note: --kernel");
+    if (pos == std::string::npos) return text;
+    return text.erase(pos, text.find('\n', pos) + 1 - pos);
+  };
+  EXPECT_EQ(strip_note(scalar_out), strip_note(auto_out));
+
+  // Bad values fail with a pointed message naming the accepted set.
+  for (const char* bad : {"sse", "AVX2", "fast", ""}) {
+    EXPECT_NE(Run("query --db " + Path("kernel_db.csv") + " --k 5 " +
+                      "--kernel " + std::string(bad),
+                  &out),
+              0)
+        << "accepted bad --kernel '" << bad << "'";
+    EXPECT_NE(out.find("--kernel"), std::string::npos) << out;
+  }
+
+  // UCLEAN_DISABLE_AVX2 demotes `auto` to the scalar kernel (the CI
+  // forced-scalar leg relies on this), but never breaks the run.
+  ::setenv("UCLEAN_DISABLE_AVX2", "1", 1);
+  const int forced = Run("query --db " + Path("kernel_db.csv") +
+                             " --k 5 --kernel auto --semantics ptk",
+                         &out);
+  ::unsetenv("UCLEAN_DISABLE_AVX2");
+  ASSERT_EQ(forced, 0) << out;
+  EXPECT_NE(out.find("--kernel auto resolved to the scalar scan kernel"),
+            std::string::npos)
+      << out;
+
+  // Non-TP quality algorithms never reach the scan pipeline, so an
+  // explicit kernel choice there is a user error, not a silent no-op.
+  EXPECT_NE(Run("quality --db " + Path("kernel_db.csv") +
+                    " --k 3 --algo mc --samples 1000 --kernel scalar",
+                &out),
+            0);
+  EXPECT_NE(out.find("--algo tp"), std::string::npos) << out;
+  // With --algo tp the kernel choice flows into the shared scan.
+  ASSERT_EQ(Run("quality --db " + Path("kernel_db.csv") +
+                    " --k 3 --kernel scalar",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("--kernel scalar resolved to the scalar scan kernel"),
+            std::string::npos)
+      << out;
+}
+
 TEST_F(CliTest, PwQualityOnTinyDatabase) {
   std::string out;
   ASSERT_EQ(Run("generate --type synthetic --xtuples 6 --bars 3 --out " +

@@ -30,7 +30,7 @@ void ExpectMatchesFromScratch(const CleaningSession& session) {
   const ProbabilisticDatabase& db = session.db();
   PsrOptions options;
   options.store_rank_probabilities = session.psr().has_rank_probabilities;
-  Result<PsrOutput> psr = ComputePsr(db, session.k(), options);
+  Result<PsrOutput> psr = ScanPsr(db, session.k(), options);
   ASSERT_TRUE(psr.ok()) << psr.status();
 
   const PsrOutput& inc = session.psr();
@@ -287,7 +287,7 @@ TEST(Database, NullOutcomeCollapsesToCertainNull) {
   EXPECT_EQ(db->num_real_tuples(), 1u);  // only F's alternative remains
 
   // PSR on the collapsed database: F's tuple is now certain rank 1.
-  Result<PsrOutput> psr = ComputePsr(*db, 1);
+  Result<PsrOutput> psr = ScanPsr(*db, 1);
   ASSERT_TRUE(psr.ok());
   const size_t f_rank = *db->RankIndexOfTupleId(2);
   EXPECT_NEAR(psr->topk_prob[f_rank], 1.0, kTol);
@@ -303,9 +303,11 @@ TEST(PsrEngine, CreateMatchesComputePsr) {
     for (size_t k : {1u, 4u, 9u}) {
       PsrOptions options;
       options.store_rank_probabilities = true;
-      Result<PsrEngine> engine = PsrEngine::Create(db, k, options);
+      Result<ScanRequest> request = ScanRequest::ForK(k, options);
+      ASSERT_TRUE(request.ok());
+      Result<PsrEngine> engine = PsrEngine::Create(db, *request);
       ASSERT_TRUE(engine.ok()) << engine.status();
-      Result<PsrOutput> scratch = ComputePsr(db, k, options);
+      Result<PsrOutput> scratch = ScanPsr(db, k, options);
       ASSERT_TRUE(scratch.ok());
       EXPECT_EQ(engine->output().scan_end, scratch->scan_end);
       EXPECT_EQ(engine->output().num_nonzero, scratch->num_nonzero);
@@ -324,7 +326,11 @@ TEST(PsrEngine, CreateMatchesComputePsr) {
 TEST(PsrEngine, RejectsZeroK) {
   Rng maker(56);
   ProbabilisticDatabase db = MakeRandomDatabase(&maker, {});
-  EXPECT_FALSE(PsrEngine::Create(db, 0).ok());
+  EXPECT_FALSE(ScanRequest::ForK(0).ok());
+  // A hand-assembled zero-k request must be caught by Create itself.
+  ScanRequest request;
+  request.ladder.ks = {0};
+  EXPECT_FALSE(PsrEngine::Create(db, request).ok());
 }
 
 TEST(Session, TakeDatabaseOnDirtySessionReflectsOutcomes) {

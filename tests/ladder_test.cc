@@ -36,7 +36,7 @@ void ExpectRungMatchesSingleK(const ProbabilisticDatabase& db,
                               const PsrOutput& rung_out, size_t k,
                               const PsrOptions& options) {
   ASSERT_EQ(rung_out.k, k);
-  Result<PsrOutput> single = ComputePsr(db, k, options);
+  Result<PsrOutput> single = ScanPsr(db, k, options);
   ASSERT_TRUE(single.ok()) << single.status();
   EXPECT_EQ(rung_out.scan_end, single->scan_end) << "k=" << k;
   EXPECT_EQ(rung_out.num_nonzero, single->num_nonzero) << "k=" << k;
@@ -68,7 +68,7 @@ void ExpectRungMatchesSingleK(const ProbabilisticDatabase& db,
 void ExpectTpMatchesSingleK(const ProbabilisticDatabase& db,
                             const TpOutput& rung_tp, size_t k,
                             const PsrOptions& options = {}) {
-  Result<PsrOutput> psr = ComputePsr(db, k, options);
+  Result<PsrOutput> psr = ScanPsr(db, k, options);
   ASSERT_TRUE(psr.ok()) << psr.status();
   Result<TpOutput> single = ComputeTpQuality(db, *psr);
   ASSERT_TRUE(single.ok()) << single.status();
@@ -106,14 +106,16 @@ TEST(ComputePsrLadder, RejectsUnsortedOrZeroLadders) {
   ProbabilisticDatabase db = MakeRandomDatabase(&maker, {});
   KLadder bad;
   bad.ks = {5, 3};
-  EXPECT_FALSE(ComputePsrLadder(db, bad).ok());
+  EXPECT_FALSE(ScanPsrLadder(db, bad).ok());
   bad.ks = {};
-  EXPECT_FALSE(ComputePsrLadder(db, bad).ok());
+  EXPECT_FALSE(ScanPsrLadder(db, bad).ok());
   bad.ks = {0, 3};
-  EXPECT_FALSE(ComputePsrLadder(db, bad).ok());
+  EXPECT_FALSE(ScanPsrLadder(db, bad).ok());
   bad.ks = {3, 3};
-  EXPECT_FALSE(ComputePsrLadder(db, bad).ok());
-  EXPECT_FALSE(PsrEngine::Create(db, bad).ok());
+  EXPECT_FALSE(ScanPsrLadder(db, bad).ok());
+  ScanRequest bad_request;
+  bad_request.ladder = bad;
+  EXPECT_FALSE(PsrEngine::Create(db, bad_request).ok());
 }
 
 TEST(ComputePsrLadder, MatchesSingleKRuns) {
@@ -130,7 +132,7 @@ TEST(ComputePsrLadder, MatchesSingleKRuns) {
         options.store_rank_probabilities = store_matrix;
         options.early_termination = early_termination;
         Result<std::vector<PsrOutput>> outs =
-            ComputePsrLadder(db, ladder, options);
+            ScanPsrLadder(db, ladder, options);
         ASSERT_TRUE(outs.ok()) << outs.status();
         ASSERT_EQ(outs->size(), ladder.size());
         for (size_t rung = 0; rung < ladder.size(); ++rung) {
@@ -149,7 +151,7 @@ TEST(ComputePsrLadder, SingleRungMatchesComputePsr) {
   PsrOptions options;
   options.store_rank_probabilities = true;
   Result<std::vector<PsrOutput>> outs =
-      ComputePsrLadder(db, MakeLadder({6}), options);
+      ScanPsrLadder(db, MakeLadder({6}), options);
   ASSERT_TRUE(outs.ok());
   ExpectRungMatchesSingleK(db, (*outs)[0], 6, options);
 }
@@ -162,7 +164,7 @@ TEST(ComputeTpQualityLadder, MatchesSingleKRuns) {
   for (int trial = 0; trial < 4; ++trial) {
     ProbabilisticDatabase db = MakeRandomDatabase(&maker, opts);
     const KLadder ladder = MakeLadder({2, 5, 9, 14});
-    Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(db, ladder);
+    Result<std::vector<PsrOutput>> psrs = ScanPsrLadder(db, ladder);
     ASSERT_TRUE(psrs.ok());
     Result<std::vector<TpOutput>> tps = ComputeTpQualityLadder(db, *psrs);
     ASSERT_TRUE(tps.ok()) << tps.status();
@@ -472,7 +474,7 @@ TEST(AggregatedProblem, UniformWeightsAverageTheRungs) {
     profile.sc_probs.push_back(0.5);
   }
   const KLadder ladder = MakeLadder({2, 6});
-  Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(db, ladder);
+  Result<std::vector<PsrOutput>> psrs = ScanPsrLadder(db, ladder);
   ASSERT_TRUE(psrs.ok());
   Result<std::vector<TpOutput>> tps = ComputeTpQualityLadder(db, *psrs);
   ASSERT_TRUE(tps.ok());

@@ -17,6 +17,7 @@
 #include "quality/pwr.h"
 #include "quality/tp.h"
 #include "rank/psr.h"
+#include "test_util.h"
 #include "workload/synthetic.h"
 
 namespace uclean {
@@ -37,7 +38,7 @@ TEST(Numerics, Sigma10RegressionSumOfTopkProbs) {
   Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
   ASSERT_TRUE(db.ok());
   for (size_t k : {5u, 15u, 50u}) {
-    Result<PsrOutput> psr = ComputePsr(*db, k);
+    Result<PsrOutput> psr = ScanPsr(*db, k);
     ASSERT_TRUE(psr.ok());
     EXPECT_NEAR(SumTopkProbs(*psr), static_cast<double>(k), 1e-8)
         << "k=" << k;
@@ -91,7 +92,7 @@ TEST(Numerics, GeometricLadderInvariants) {
   // Masses decay by 1e-3 per level: headroom hits ~1e-12 at depth 4.
   ProbabilisticDatabase db = MakeGeometricLadder(20, 4);
   for (size_t k : {1u, 5u, 10u, 20u}) {
-    Result<PsrOutput> psr = ComputePsr(db, k);
+    Result<PsrOutput> psr = ScanPsr(db, k);
     ASSERT_TRUE(psr.ok());
     EXPECT_NEAR(SumTopkProbs(*psr), static_cast<double>(k), 1e-8);
     for (size_t i = 0; i < db.num_tuples(); ++i) {
@@ -125,7 +126,7 @@ TEST(Numerics, HalfHalfMassesStressForwardBackwardBoundary) {
   Result<ProbabilisticDatabase> db = std::move(b).Finish();
   ASSERT_TRUE(db.ok());
   for (size_t k : {1u, 7u, 40u}) {
-    Result<PsrOutput> psr = ComputePsr(*db, k);
+    Result<PsrOutput> psr = ScanPsr(*db, k);
     ASSERT_TRUE(psr.ok());
     EXPECT_NEAR(SumTopkProbs(*psr), static_cast<double>(k), 1e-9);
   }
@@ -139,7 +140,7 @@ TEST(Numerics, LargeKDeepVectorStaysExact) {
   opts.sigma = 30.0;
   Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
   ASSERT_TRUE(db.ok());
-  Result<PsrOutput> psr = ComputePsr(*db, 200);
+  Result<PsrOutput> psr = ScanPsr(*db, 200);
   ASSERT_TRUE(psr.ok());
   EXPECT_NEAR(SumTopkProbs(*psr), 100.0, 1e-8);  // k > m: sum = m
 }
@@ -158,7 +159,7 @@ TEST(Numerics, TinyAlternativeMassesNearOne) {
   Result<ProbabilisticDatabase> db = std::move(b).Finish();
   ASSERT_TRUE(db.ok());
   for (size_t k : {1u, 2u}) {
-    Result<PsrOutput> psr = ComputePsr(*db, k);
+    Result<PsrOutput> psr = ScanPsr(*db, k);
     ASSERT_TRUE(psr.ok());
     EXPECT_NEAR(SumTopkProbs(*psr), static_cast<double>(k), 1e-9);
     Result<PwrOutput> pwr = ComputePwrQuality(*db, k);
@@ -191,8 +192,8 @@ TEST(Numerics, ProbabilisticEarlyStopErrorIsBounded) {
   PsrOptions on, off;
   on.early_termination = true;
   off.early_termination = false;
-  Result<PsrOutput> fast = ComputePsr(*db, 10, on);
-  Result<PsrOutput> full = ComputePsr(*db, 10, off);
+  Result<PsrOutput> fast = ScanPsr(*db, 10, on);
+  Result<PsrOutput> full = ScanPsr(*db, 10, off);
   ASSERT_TRUE(fast.ok() && full.ok());
   EXPECT_LT(fast->scan_end, db->num_tuples() / 2);  // actually stopped early
   Result<TpOutput> q_fast = ComputeTpQuality(*db, *fast);

@@ -14,6 +14,7 @@
 #include "quality/tp.h"
 #include "query/topk_queries.h"
 #include "rank/psr.h"
+#include "test_util.h"
 
 namespace uclean {
 namespace {
@@ -141,7 +142,7 @@ TEST(PaperExample, PwrReproducesPwDistribution) {
 TEST(PaperExample, Pt2AnswerMatchesSectionI) {
   // Section I: PT-2 with T = 0.4 returns {t1, t2, t5} on udb1.
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, kTop2);
+  Result<PsrOutput> psr = ScanPsr(db, kTop2);
   ASSERT_TRUE(psr.ok());
   Result<PtkAnswer> answer = EvaluatePtk(db, *psr, 0.4);
   ASSERT_TRUE(answer.ok());

@@ -71,7 +71,7 @@ TEST_P(PropertySweep, TopkProbabilitiesSumToK) {
     ProbabilisticDatabase db = MakeDb(seed);
     const size_t m = db.num_xtuples();
     for (size_t k = 1; k <= m; k += 2) {
-      Result<PsrOutput> psr = ComputePsr(db, k);
+      Result<PsrOutput> psr = ScanPsr(db, k);
       ASSERT_TRUE(psr.ok());
       double total = 0.0;
       for (double p : psr->topk_prob) total += p;
@@ -88,7 +88,7 @@ TEST_P(PropertySweep, RankProbabilitiesAreColumnDistributions) {
     const size_t k = std::min<size_t>(db.num_xtuples(), 4);
     PsrOptions options;
     options.store_rank_probabilities = true;
-    Result<PsrOutput> psr = ComputePsr(db, k, options);
+    Result<PsrOutput> psr = ScanPsr(db, k, options);
     ASSERT_TRUE(psr.ok());
     for (size_t h = 1; h <= k; ++h) {
       double column = 0.0;

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "model/paper_example.h"
 #include "pworld/world_iterator.h"
+#include "rank/psr_engine.h"
 #include "tests/test_util.h"
 
 namespace uclean {
@@ -31,14 +32,14 @@ std::vector<std::vector<double>> BruteForceRankProbs(
   return rho;
 }
 
-TEST(Psr, RejectsZeroK) { EXPECT_FALSE(ComputePsr(MakeUdb1(), 0).ok()); }
+TEST(Psr, RejectsZeroK) { EXPECT_FALSE(ScanPsr(MakeUdb1(), 0).ok()); }
 
 TEST(Psr, MatchesBruteForceOnUdb1) {
   ProbabilisticDatabase db = MakeUdb1();
   for (size_t k = 1; k <= 5; ++k) {
     PsrOptions options;
     options.store_rank_probabilities = true;
-    Result<PsrOutput> psr = ComputePsr(db, k, options);
+    Result<PsrOutput> psr = ScanPsr(db, k, options);
     ASSERT_TRUE(psr.ok());
     const auto truth = BruteForceRankProbs(db, k);
     for (size_t i = 0; i < db.num_tuples(); ++i) {
@@ -70,7 +71,7 @@ TEST_P(PsrRandomSweep, MatchesBruteForce) {
   for (size_t k : {1u, 2u, 3u, 7u}) {
     PsrOptions options;
     options.store_rank_probabilities = true;
-    Result<PsrOutput> psr = ComputePsr(db, k, options);
+    Result<PsrOutput> psr = ScanPsr(db, k, options);
     ASSERT_TRUE(psr.ok());
     const auto truth = BruteForceRankProbs(db, k);
     for (size_t i = 0; i < db.num_tuples(); ++i) {
@@ -105,7 +106,7 @@ TEST(Psr, TopkProbsSumToKWithNullCompletion) {
   for (int trial = 0; trial < 10; ++trial) {
     ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
     for (size_t k : {1u, 3u, 8u}) {
-      Result<PsrOutput> psr = ComputePsr(db, k);
+      Result<PsrOutput> psr = ScanPsr(db, k);
       ASSERT_TRUE(psr.ok());
       double total = 0.0;
       for (double p : psr->topk_prob) total += p;
@@ -119,7 +120,7 @@ TEST(Psr, TopkProbBoundedByExistence) {
   RandomDbOptions opts;
   opts.num_xtuples = 6;
   ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
-  Result<PsrOutput> psr = ComputePsr(db, 3);
+  Result<PsrOutput> psr = ScanPsr(db, 3);
   ASSERT_TRUE(psr.ok());
   for (size_t i = 0; i < db.num_tuples(); ++i) {
     EXPECT_LE(psr->topk_prob[i], db.tuple(i).prob + 1e-12);
@@ -139,8 +140,8 @@ TEST(Psr, EarlyTerminationDoesNotChangeResults) {
     with.early_termination = true;
     without.early_termination = false;
     for (size_t k : {1u, 2u, 4u}) {
-      Result<PsrOutput> a = ComputePsr(db, k, with);
-      Result<PsrOutput> b = ComputePsr(db, k, without);
+      Result<PsrOutput> a = ScanPsr(db, k, with);
+      Result<PsrOutput> b = ScanPsr(db, k, without);
       ASSERT_TRUE(a.ok() && b.ok());
       for (size_t i = 0; i < db.num_tuples(); ++i) {
         EXPECT_NEAR(a->topk_prob[i], b->topk_prob[i], 1e-10);
@@ -163,7 +164,7 @@ TEST(Psr, EarlyTerminationActuallyStopsEarly) {
   }
   Result<ProbabilisticDatabase> db = std::move(b).Finish();
   ASSERT_TRUE(db.ok());
-  Result<PsrOutput> psr = ComputePsr(*db, 5);
+  Result<PsrOutput> psr = ScanPsr(*db, 5);
   ASSERT_TRUE(psr.ok());
   EXPECT_EQ(psr->scan_end, 5u);
   EXPECT_EQ(psr->num_nonzero, 5u);
@@ -175,7 +176,7 @@ TEST(Psr, BestRankTracksUkRanksArgmax) {
   ProbabilisticDatabase db = MakeUdb1();
   PsrOptions options;
   options.store_rank_probabilities = true;
-  Result<PsrOutput> psr = ComputePsr(db, 3, options);
+  Result<PsrOutput> psr = ScanPsr(db, 3, options);
   ASSERT_TRUE(psr.ok());
   for (size_t h = 1; h <= 3; ++h) {
     double best = 0.0;
@@ -193,7 +194,7 @@ TEST(Psr, BestRankTracksUkRanksArgmax) {
 TEST(Psr, KBeyondDatabaseSizeGivesExistenceProbabilities) {
   // With k >= m every existing tuple is in the top-k: p_i = e_i.
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, 20);
+  Result<PsrOutput> psr = ScanPsr(db, 20);
   ASSERT_TRUE(psr.ok());
   for (size_t i = 0; i < db.num_tuples(); ++i) {
     EXPECT_NEAR(psr->topk_prob[i], db.tuple(i).prob, 1e-10);
@@ -210,7 +211,7 @@ TEST(Psr, TinyProbabilitiesStayStable) {
   ASSERT_TRUE(b.AddAlternative(x1, 2, 5.0, 0.5).ok());
   Result<ProbabilisticDatabase> db = std::move(b).Finish();
   ASSERT_TRUE(db.ok());
-  Result<PsrOutput> psr = ComputePsr(*db, 1);
+  Result<PsrOutput> psr = ScanPsr(*db, 1);
   ASSERT_TRUE(psr.ok());
   // Tuple 0 wins rank 1 unless it does not exist: p = 1 - 1e-12.
   const size_t i0 = *db->RankIndexOfTupleId(0);
@@ -223,12 +224,69 @@ TEST(Psr, TinyProbabilitiesStayStable) {
 
 TEST(Psr, NumNonzeroCountsPositiveProbabilities) {
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   size_t count = 0;
   for (double p : psr->topk_prob) count += p > 0.0 ? 1 : 0;
   EXPECT_EQ(psr->num_nonzero, count);
 }
+
+TEST(ScanRequest, FactoriesValidate) {
+  EXPECT_FALSE(ScanRequest::ForK(0).ok());
+  EXPECT_FALSE(ScanRequest::ForLadder({}).ok());
+  EXPECT_FALSE(ScanRequest::ForLadder({3, 0}).ok());
+  Result<ScanRequest> request = ScanRequest::ForLadder({10, 5, 5});
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->ladder.ks, (std::vector<size_t>{5, 10}));
+  EXPECT_TRUE(request->Validate().ok());
+  request->checkpoint_interval = 0;
+  EXPECT_FALSE(request->Validate().ok());
+  ProbabilisticDatabase db = MakeUdb1();
+  request->checkpoint_interval = ScanRequest::kDefaultCheckpointInterval;
+  Result<ScanResult> scan = ComputePsrLadder(db, *request);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->num_rungs(), 2u);
+  EXPECT_EQ(scan->output(0).k, 5u);
+  EXPECT_EQ(scan->output(1).k, 10u);
+  // kAuto always resolves to a concrete kernel.
+  EXPECT_NE(scan->kernel, KernelKind::kAuto);
+}
+
+// Shim coverage: the deprecated positional-knob entry points stay thin
+// wrappers over the request API for one PR (removal noted in CHANGES.md)
+// and must keep compiling and agreeing with it until then.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Psr, DeprecatedShimsMatchRequestApi) {
+  ProbabilisticDatabase db = MakeUdb1();
+  EXPECT_FALSE(ComputePsr(db, 0).ok());
+  Result<PsrOutput> via_shim = ComputePsr(db, 3);
+  Result<PsrOutput> via_request = ScanPsr(db, 3);
+  ASSERT_TRUE(via_shim.ok());
+  ASSERT_TRUE(via_request.ok());
+  EXPECT_EQ(via_shim->topk_prob, via_request->topk_prob);  // bitwise
+
+  Result<KLadder> ladder = KLadder::Of({2, 4});
+  ASSERT_TRUE(ladder.ok());
+  Result<std::vector<PsrOutput>> ladder_shim = ComputePsrLadder(db, *ladder);
+  Result<std::vector<PsrOutput>> ladder_exec_shim =
+      ComputePsrLadder(db, *ladder, PsrOptions(), ExecOptions());
+  ASSERT_TRUE(ladder_shim.ok());
+  ASSERT_TRUE(ladder_exec_shim.ok());
+  Result<std::vector<PsrOutput>> ladder_request = ScanPsrLadder(db, *ladder);
+  ASSERT_TRUE(ladder_request.ok());
+  ASSERT_EQ(ladder_shim->size(), ladder_request->size());
+  for (size_t j = 0; j < ladder_shim->size(); ++j) {
+    EXPECT_EQ((*ladder_shim)[j].topk_prob, (*ladder_request)[j].topk_prob);
+    EXPECT_EQ((*ladder_exec_shim)[j].topk_prob,
+              (*ladder_request)[j].topk_prob);
+  }
+
+  Result<PsrEngine> engine_shim = PsrEngine::Create(db, 3);
+  ASSERT_TRUE(engine_shim.ok());
+  EXPECT_EQ(engine_shim->output().topk_prob, via_request->topk_prob);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace uclean

@@ -100,7 +100,7 @@ TEST(Pwr, HandlesShortResultsWhenKExceedsEntities) {
 TEST(Tp, RejectsMismatchedPsr) {
   ProbabilisticDatabase db1 = MakeUdb1();
   ProbabilisticDatabase db2 = MakeUdb2();
-  Result<PsrOutput> psr = ComputePsr(db1, 2);
+  Result<PsrOutput> psr = ScanPsr(db1, 2);
   ASSERT_TRUE(psr.ok());
   EXPECT_FALSE(ComputeTpQuality(db2, *psr).ok());
 }
@@ -123,7 +123,7 @@ TEST(Tp, CertainTupleHasZeroWeight) {
   // omega of a certain tuple (e = 1) is 0, so a fully certain x-tuple
   // contributes no ambiguity regardless of its top-k probability.
   ProbabilisticDatabase db = MakeUdb2();  // S3 and S4 are certain
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   Result<TpOutput> tp = ComputeTpQuality(db, *psr);
   ASSERT_TRUE(tp.ok());
@@ -137,7 +137,7 @@ TEST(Tp, CertainTupleHasZeroWeight) {
 
 TEST(Tp, TopkMassMatchesPsr) {
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   Result<TpOutput> tp = ComputeTpQuality(db, *psr);
   ASSERT_TRUE(tp.ok());

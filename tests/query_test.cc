@@ -39,7 +39,7 @@ BruteForceInfo BruteForce(const ProbabilisticDatabase& db, size_t k) {
 TEST(UkRanks, MatchesBruteForceOnUdb1) {
   ProbabilisticDatabase db = MakeUdb1();
   const size_t k = 3;
-  Result<PsrOutput> psr = ComputePsr(db, k);
+  Result<PsrOutput> psr = ScanPsr(db, k);
   ASSERT_TRUE(psr.ok());
   UkRanksAnswer answer = EvaluateUkRanks(db, *psr);
   const BruteForceInfo truth = BruteForce(db, k);
@@ -66,7 +66,7 @@ TEST(Ptk, MatchesBruteForceThresholding) {
   for (int trial = 0; trial < 10; ++trial) {
     ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
     const size_t k = 2;
-    Result<PsrOutput> psr = ComputePsr(db, k);
+    Result<PsrOutput> psr = ScanPsr(db, k);
     ASSERT_TRUE(psr.ok());
     const BruteForceInfo truth = BruteForce(db, k);
     for (double threshold : {0.05, 0.3, 0.7}) {
@@ -91,7 +91,7 @@ TEST(Ptk, MatchesBruteForceThresholding) {
 
 TEST(Ptk, RejectsBadThreshold) {
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   EXPECT_FALSE(EvaluatePtk(db, *psr, 0.0).ok());
   EXPECT_FALSE(EvaluatePtk(db, *psr, -0.5).ok());
@@ -101,7 +101,7 @@ TEST(Ptk, RejectsBadThreshold) {
 
 TEST(Ptk, AnswersAreRankOrdered) {
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   Result<PtkAnswer> answer = EvaluatePtk(db, *psr, 0.1);
   ASSERT_TRUE(answer.ok());
@@ -118,7 +118,7 @@ TEST(GlobalTopk, ReturnsKHighestTopkProbabilities) {
   for (int trial = 0; trial < 10; ++trial) {
     ProbabilisticDatabase db = MakeRandomDatabase(&rng, opts);
     const size_t k = 3;
-    Result<PsrOutput> psr = ComputePsr(db, k);
+    Result<PsrOutput> psr = ScanPsr(db, k);
     ASSERT_TRUE(psr.ok());
     GlobalTopkAnswer answer = EvaluateGlobalTopk(db, *psr);
     const BruteForceInfo truth = BruteForce(db, k);
@@ -153,7 +153,7 @@ TEST(GlobalTopk, TieBreaksTowardHigherRank) {
   ASSERT_TRUE(b.AddAlternative(x1, 1, 20.0, 1.0).ok());
   Result<ProbabilisticDatabase> db = std::move(b).Finish();
   ASSERT_TRUE(db.ok());
-  Result<PsrOutput> psr = ComputePsr(*db, 2);
+  Result<PsrOutput> psr = ScanPsr(*db, 2);
   ASSERT_TRUE(psr.ok());
   GlobalTopkAnswer answer = EvaluateGlobalTopk(*db, *psr);
   ASSERT_EQ(answer.tuples.size(), 2u);
@@ -171,7 +171,7 @@ TEST(Queries, NullTuplesNeverAppearInAnswers) {
   ASSERT_TRUE(b.AddAlternative(x1, 1, 5.0, 0.5).ok());
   Result<ProbabilisticDatabase> db = std::move(b).Finish();
   ASSERT_TRUE(db.ok());
-  Result<PsrOutput> psr = ComputePsr(*db, 2);
+  Result<PsrOutput> psr = ScanPsr(*db, 2);
   ASSERT_TRUE(psr.ok());
 
   UkRanksAnswer uk = EvaluateUkRanks(*db, *psr);
@@ -193,7 +193,7 @@ TEST(Queries, NullTuplesNeverAppearInAnswers) {
 
 TEST(AnswerToString, FormatsSetNotation) {
   ProbabilisticDatabase db = MakeUdb1();
-  Result<PsrOutput> psr = ComputePsr(db, 2);
+  Result<PsrOutput> psr = ScanPsr(db, 2);
   ASSERT_TRUE(psr.ok());
   Result<PtkAnswer> answer = EvaluatePtk(db, *psr, 0.4);
   ASSERT_TRUE(answer.ok());

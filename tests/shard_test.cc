@@ -24,6 +24,7 @@
 #include "model/database.h"
 #include "quality/tp.h"
 #include "rank/psr.h"
+#include "test_util.h"
 #include "rank/psr_engine.h"
 #include "rank/psr_scan_core.h"
 #include "workload/synthetic.h"
@@ -48,7 +49,7 @@ ExecOptions Threads(size_t n) {
 }
 
 /// A database whose deepest-rung scan crosses several count-refresh grid
-/// intervals (kCountRefreshInterval live tuples each), so the sharded
+/// intervals (kCountRefreshGridLive live tuples each), so the sharded
 /// path genuinely cuts; sub-unit masses keep every x-tuple unsaturated
 /// (head-mass stop rule, widest count vectors).
 ProbabilisticDatabase MakeSubunitDb(size_t num_xtuples = 2000) {
@@ -212,14 +213,14 @@ TEST(ShardedScanTest, OneShotLadderMatchesSequentialAcrossThreadCounts) {
   const KLadder ladder = MakeLadder({16, 256, 512});
   for (const bool subunit : {true, false}) {
     const ProbabilisticDatabase db = subunit ? MakeSubunitDb() : MakeUnitDb();
-    Result<std::vector<PsrOutput>> seq = ComputePsrLadder(db, ladder);
+    Result<std::vector<PsrOutput>> seq = ScanPsrLadder(db, ladder);
     ASSERT_TRUE(seq.ok()) << seq.status();
     // The deep rungs must cross the refresh grid or no cuts exist and
     // the test exercises nothing.
-    ASSERT_GT(seq->back().scan_end, psr_internal::kCountRefreshInterval);
+    ASSERT_GT(seq->back().scan_end, psr_internal::kCountRefreshGridLive);
     for (const size_t threads : {2u, 3u, 8u}) {
       Result<std::vector<PsrOutput>> par =
-          ComputePsrLadder(db, ladder, {}, Threads(threads));
+          ScanPsrLadder(db, ladder, {}, Threads(threads));
       ASSERT_TRUE(par.ok()) << par.status();
       for (size_t j = 0; j < ladder.size(); ++j) {
         ExpectPsrEqual(
@@ -237,11 +238,11 @@ TEST(ShardedScanTest, MatrixAndArgmaxesMatchWithStoredProbabilities) {
   const KLadder ladder = MakeLadder({8, 96});
   PsrOptions options;
   options.store_rank_probabilities = true;
-  Result<std::vector<PsrOutput>> seq = ComputePsrLadder(db, ladder, options);
+  Result<std::vector<PsrOutput>> seq = ScanPsrLadder(db, ladder, options);
   ASSERT_TRUE(seq.ok()) << seq.status();
-  ASSERT_GT(seq->back().scan_end, psr_internal::kCountRefreshInterval);
+  ASSERT_GT(seq->back().scan_end, psr_internal::kCountRefreshGridLive);
   Result<std::vector<PsrOutput>> par =
-      ComputePsrLadder(db, ladder, options, Threads(4));
+      ScanPsrLadder(db, ladder, options, Threads(4));
   ASSERT_TRUE(par.ok()) << par.status();
   for (size_t j = 0; j < ladder.size(); ++j) {
     ExpectPsrEqual((*seq)[j], (*par)[j],
@@ -310,9 +311,11 @@ TEST(ShardedScanTest, ScanFromEveryCheckpointRankMatchesFullScan) {
   PsrOptions options;
   options.store_rank_probabilities = true;
   for (const size_t threads : {1u, 4u}) {
-    Result<PsrEngine> engine = PsrEngine::Create(
-        db, ladder, options, PsrEngine::kInitialCheckpointInterval,
-        Threads(threads));
+    ScanRequest request;
+    request.ladder = ladder;
+    request.psr = options;
+    request.exec = Threads(threads);
+    Result<PsrEngine> engine = PsrEngine::Create(db, request);
     ASSERT_TRUE(engine.ok()) << engine.status();
     const std::vector<size_t> positions = engine->checkpoint_positions();
     ASSERT_GT(positions.size(), 4u);

@@ -1,16 +1,44 @@
 // Shared helpers for randomized/property tests: small random databases with
-// controlled shape, so brute-force oracles stay tractable.
+// controlled shape (so brute-force oracles stay tractable), plus
+// ScanRequest-based one-line scan wrappers so every test drives the
+// request API of rank/psr.h -- the deprecated positional shims are
+// exercised only by the dedicated shim-coverage tests.
 
 #ifndef UCLEAN_TESTS_TEST_UTIL_H_
 #define UCLEAN_TESTS_TEST_UTIL_H_
 
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "model/database.h"
+#include "rank/psr.h"
 
 namespace uclean {
+
+/// Single-k scan through the request API (the shape most tests want).
+inline Result<PsrOutput> ScanPsr(const ProbabilisticDatabase& db, size_t k,
+                                 const PsrOptions& options = {}) {
+  Result<ScanRequest> request = ScanRequest::ForK(k, options);
+  if (!request.ok()) return request.status();
+  Result<ScanResult> scan = ComputePsrLadder(db, *request);
+  if (!scan.ok()) return scan.status();
+  return std::move(scan->outputs[0]);
+}
+
+/// Ladder scan through the request API, unwrapped to the per-rung vector.
+inline Result<std::vector<PsrOutput>> ScanPsrLadder(
+    const ProbabilisticDatabase& db, const KLadder& ladder,
+    const PsrOptions& options = {}, const ExecOptions& exec = {}) {
+  ScanRequest request;
+  request.ladder = ladder;
+  request.psr = options;
+  request.exec = exec;
+  Result<ScanResult> scan = ComputePsrLadder(db, request);
+  if (!scan.ok()) return scan.status();
+  return std::move(scan->outputs);
+}
 
 struct RandomDbOptions {
   size_t num_xtuples = 4;

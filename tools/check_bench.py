@@ -131,6 +131,107 @@ FAULTS_SERIES = {
 }
 
 
+# bench_kernel: the runtime-dispatched scan kernels on the SoA core,
+# single thread. Four gates:
+#  * scalar overhead: the SoA scalar path vs the fused pre-refactor
+#    reference loop must stay within 3% (the emit_segment fusion makes
+#    it measurably FASTER locally, ~0.89x; the ceiling catches a future
+#    de-fusing regression).
+#  * AVX2 speedup on the fold-bound independent workload: the >=1.5x
+#    acceptance gate (locally ~1.9x single-thread). Applied only when
+#    the machine reports AVX2 -- the forced-scalar leg and non-x86 hosts
+#    skip it.
+#  * AVX2 parity on the divide-out-bound alternatives workload: the
+#    divide-out recurrences are provably sequential (both kernel tables
+#    run the same scalar code there), so AVX2 must merely not LOSE --
+#    floor 0.95x.
+#  * bitwise equality: every arm (reference, scalar, avx2) must agree
+#    exactly -- max_abs_diff 0.0, not a tolerance. This is the kernel
+#    contract the engine's checkpoints and replays depend on.
+# The absolute throughput floor is HARDWARE-RELATIVE like bench_shard's
+# (keyed on hardware_concurrency as a machine-class proxy): locally the
+# single-core container does ~88K tuples/sec scalar on the independent
+# workload; the floor only catches an order-of-magnitude collapse
+# (an accidental O(k) rescan per tuple), not runner noise.
+KERNEL_SCALAR_OVERHEAD_CEILING = 1.03
+KERNEL_AVX2_INDEPENDENT_FLOOR = 1.5
+KERNEL_AVX2_ALTERNATIVES_FLOOR = 0.95
+# [(min_cores, scalar independent tuples/sec floor), ...] first match.
+KERNEL_SCALAR_TPS_FLOORS = [(4, 30000), (1, 20000)]
+
+
+def check_kernel(doc):
+    failures = []
+    cores = doc.get("hardware_concurrency", 1) or 1
+    avx2 = doc["avx2"]
+    overhead = doc["scalar_vs_reference"]
+    print(
+        f"kernel scalar_vs_reference: {overhead:.3f}x "
+        f"(ceiling {KERNEL_SCALAR_OVERHEAD_CEILING}), avx2 {avx2}"
+    )
+    if overhead > KERNEL_SCALAR_OVERHEAD_CEILING:
+        failures.append(
+            f"kernel: SoA scalar path costs {overhead:.3f}x the fused "
+            f"reference loop (ceiling {KERNEL_SCALAR_OVERHEAD_CEILING}x)"
+        )
+    if avx2:
+        ind = doc["independent_avx2_vs_scalar"]
+        alt = doc["alternatives_avx2_vs_scalar"]
+        print(
+            f"kernel independent avx2_vs_scalar: {ind:.2f}x "
+            f"(floor {KERNEL_AVX2_INDEPENDENT_FLOOR}), "
+            f"alternatives {alt:.2f}x "
+            f"(floor {KERNEL_AVX2_ALTERNATIVES_FLOOR})"
+        )
+        if ind < KERNEL_AVX2_INDEPENDENT_FLOOR:
+            failures.append(
+                f"kernel: AVX2 {ind:.2f}x < "
+                f"{KERNEL_AVX2_INDEPENDENT_FLOOR}x on the fold-bound "
+                f"independent workload"
+            )
+        if alt < KERNEL_AVX2_ALTERNATIVES_FLOOR:
+            failures.append(
+                f"kernel: AVX2 {alt:.2f}x < "
+                f"{KERNEL_AVX2_ALTERNATIVES_FLOOR}x on the divide-out-bound "
+                f"alternatives workload"
+            )
+    if not doc["bitwise_equal"]:
+        failures.append("kernel: arms are not bitwise equal")
+    tps_floor = next(
+        f for min_cores, f in KERNEL_SCALAR_TPS_FLOORS if cores >= min_cores
+    )
+    seen = set()
+    for series in doc["series"]:
+        key = (series["workload"], series["arm"])
+        seen.add(key)
+        diff = series["max_abs_diff"]
+        label = f"kernel {key[0]}/{key[1]}"
+        print(
+            f"{label}: {series['tuples_per_sec']} tuples/sec, "
+            f"max diff {diff:.1e}"
+        )
+        if diff != 0.0:
+            failures.append(
+                f"{label}: diverges from the scalar arm by {diff:.3e} "
+                f"(must be bitwise equal)"
+            )
+        if key == ("independent", "scalar"):
+            tps = series["tuples_per_sec"]
+            if tps < tps_floor:
+                failures.append(
+                    f"{label}: {tps} tuples/sec < {tps_floor} floor "
+                    f"at {cores} cores"
+                )
+    required = {("independent", "reference"), ("independent", "scalar"),
+                ("alternatives", "scalar")}
+    if avx2:
+        required |= {("independent", "avx2"), ("alternatives", "avx2")}
+    for key in required:
+        if key not in seen:
+            failures.append(f"kernel {key}: series missing from the JSON")
+    return failures
+
+
 def check_faults(doc):
     failures = []
     overhead = doc["overhead"]
@@ -331,6 +432,7 @@ def check_pipeline(doc):
 CHECKERS = {
     "faults": check_faults,
     "incremental": check_incremental,
+    "kernel": check_kernel,
     "multik": check_multik,
     "pipeline": check_pipeline,
     "pool": check_pool,

@@ -37,6 +37,7 @@
 #include "model/csv_io.h"
 #include "pworld/pw_quality.h"
 #include "quality/evaluation.h"
+#include "rank/kernel.h"
 #include "quality/pwr.h"
 #include "quality/tp.h"
 #include "workload/cleaning_profile_gen.h"
@@ -60,14 +61,17 @@ commands:
            [--sc-mean 0.5] [--sc-sigma 0.167] [--seed S]
   inspect  --db DB.csv [--rows 20]
   query    --db DB.csv --k K [--k-ladder K1,K2,...] [--threads N|auto]
+           [--kernel scalar|avx2|auto]
            [--semantics all|ptk|ukranks|global] [--threshold 0.1]
   quality  --db DB.csv --k K [--k-ladder K1,K2,...] [--threads N|auto]
+           [--kernel scalar|avx2|auto]
            [--algo tp|pwr|pw|mc] [--samples 100000] [--seed S]
   plan     --db DB.csv --profile PROFILE.csv --k K --budget C
            [--planner dp|greedy|randp|randu] [--seed S]
   clean    --db DB.csv --profile PROFILE.csv --k K --budget C --out OUT.csv
            [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
            [--k-ladder K1,K2,...] [--sessions N] [--threads N|auto]
+           [--kernel scalar|avx2|auto]
            [--pipeline] [--probe-latency-us U]
            [--probe-fail-rate R] [--probe-timeout-us U] [--retry-max N]
            [--retry-backoff-us U] [--breaker-threshold N]
@@ -88,6 +92,12 @@ is written to --out.
 (rank-range sharded over one fixed-size pool; results are identical to
 --threads 1). `auto` uses the machine's hardware concurrency. With
 --sessions, dirty sessions also refresh concurrently.
+
+--kernel picks the scan compute kernel: `scalar` (portable), `avx2`
+(vectorized; rejected when this machine or build lacks AVX2) or `auto`
+(the default: AVX2 whenever available). Every kernel is bitwise equal
+to every other, so the choice -- like --threads -- never changes a
+result, only throughput.
 
 --pipeline (with --adaptive --sessions) overlaps each round's probe
 batches with planning on the --threads executor: probes draw against each
@@ -257,6 +267,54 @@ Result<ExecOptions> ParseThreads(const Flags& flags) {
                   ? " (sequential execution)"
                   : " (rank-range sharded scans on one shared pool)");
   return resolved;
+}
+
+/// Parses "--kernel scalar|avx2|auto" into a KernelKind, resolving the
+/// concrete kernel NOW so an impossible ask (--kernel avx2 on a machine
+/// or build without AVX2) fails at the flag instead of deep inside the
+/// first scan, and so the machine-dependent `auto` resolution can be
+/// announced in the --threads style. Every kernel is bitwise equal to
+/// every other, so the flag -- like --threads -- never changes results.
+Result<KernelKind> ParseKernel(const Flags& flags) {
+  const std::string raw = flags.GetString("kernel", "auto");
+  KernelKind kind;
+  if (raw == "auto") {
+    kind = KernelKind::kAuto;
+  } else if (raw == "scalar") {
+    kind = KernelKind::kScalar;
+  } else if (raw == "avx2") {
+    kind = KernelKind::kAvx2;
+  } else {
+    return Status::InvalidArgument("bad --kernel '" + raw +
+                                   "': expected scalar, avx2 or auto");
+  }
+  Result<const psr_internal::ScanKernel*> kernel = SelectScanKernel(kind);
+  if (!kernel.ok()) return kernel.status();
+  if (flags.Has("kernel")) {
+    std::printf("note: --kernel %s resolved to the %s scan kernel\n",
+                raw.c_str(), (*kernel)->name);
+  }
+  return kind;
+}
+
+/// The scan-facing flags shared by the query, quality and clean
+/// commands, parsed, validated and announced in ONE place: the
+/// --k/--k-ladder rungs, the --threads executor and the --kernel choice
+/// (folded into exec.kernel, where every scan driver picks it up).
+struct ScanCliOptions {
+  KLadder ladder;
+  ExecOptions exec;
+};
+
+Result<ScanCliOptions> BuildScanCliOptions(const Flags& flags) {
+  ScanCliOptions options;
+  CLI_ASSIGN_OR_RETURN(ladder, ParseKLadder(flags));
+  options.ladder = std::move(ladder);
+  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
+  options.exec = std::move(exec);
+  CLI_ASSIGN_OR_RETURN(kernel, ParseKernel(flags));
+  options.exec.kernel = kernel;
+  return options;
 }
 
 /// Parses the fault-injection flags into a FaultOptions. Injection is
@@ -430,12 +488,15 @@ Status RunQueryLadder(const ProbabilisticDatabase& db, const KLadder& ladder,
   if (!ukranks && !ptk && !global_topk) {
     return Status::InvalidArgument("unknown --semantics '" + semantics + "'");
   }
-  Result<std::vector<PsrOutput>> psrs = ComputePsrLadder(db, ladder, {}, exec);
-  if (!psrs.ok()) return psrs.status();
+  ScanRequest request;
+  request.ladder = ladder;
+  request.exec = exec;
+  Result<ScanResult> scan = ComputePsrLadder(db, request);
+  if (!scan.ok()) return scan.status();
   std::printf("k-ladder %s from one shared PSR scan:\n",
               ladder.ToString().c_str());
   for (size_t rung = 0; rung < ladder.size(); ++rung) {
-    const PsrOutput& psr = (*psrs)[rung];
+    const PsrOutput& psr = scan->output(rung);
     std::printf("-- k = %zu (%zu tuples with nonzero top-k probability)\n",
                 ladder[rung], psr.num_nonzero);
     if (ptk) {
@@ -461,15 +522,17 @@ Status RunQueryLadder(const ProbabilisticDatabase& db, const KLadder& ladder,
 
 Status RunQuery(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
-  CLI_ASSIGN_OR_RETURN(ladder, ParseKLadder(flags));
+  CLI_ASSIGN_OR_RETURN(scan_options, BuildScanCliOptions(flags));
   CLI_ASSIGN_OR_RETURN(threshold, flags.GetDouble("threshold", 0.1));
-  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
+  const KLadder& ladder = scan_options.ladder;
+  const ExecOptions& exec = scan_options.exec;
   const std::string semantics = flags.GetString("semantics", "all");
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
   if (!db.ok()) return db.status();
-  if (flags.Has("k-ladder") || exec.parallel()) {
-    // The shared-scan pipeline carries the parallel path; a plain --k
-    // query with --threads runs it as a one-rung ladder.
+  if (flags.Has("k-ladder") || exec.parallel() || flags.Has("kernel")) {
+    // The shared-scan pipeline carries the parallel and explicit-kernel
+    // paths; a plain --k query with --threads/--kernel runs it as a
+    // one-rung ladder.
     return RunQueryLadder(*db, ladder, semantics, threshold, exec);
   }
   const size_t k = ladder.max_k();
@@ -519,25 +582,31 @@ Status RunQuery(const Flags& flags) {
 
 Status RunQuality(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
-  CLI_ASSIGN_OR_RETURN(ladder, ParseKLadder(flags));
-  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
+  CLI_ASSIGN_OR_RETURN(scan_options, BuildScanCliOptions(flags));
+  const KLadder& ladder = scan_options.ladder;
+  const ExecOptions& exec = scan_options.exec;
   const std::string algo = flags.GetString("algo", "tp");
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(path);
   if (!db.ok()) return db.status();
   const size_t kk = ladder.max_k();
 
-  if (algo != "tp" && (flags.Has("k-ladder") || exec.parallel())) {
+  if (algo != "tp" &&
+      (flags.Has("k-ladder") || exec.parallel() || flags.Has("kernel"))) {
     return Status::InvalidArgument(
-        (flags.Has("k-ladder") ? std::string("--k-ladder")
-                               : std::string("--threads")) +
+        (flags.Has("k-ladder")
+             ? std::string("--k-ladder")
+             : (flags.Has("kernel") ? std::string("--kernel")
+                                    : std::string("--threads"))) +
         " quality requires --algo tp (the shared-scan pipeline)");
   }
+  ScanRequest request;
+  request.ladder = ladder;
+  request.exec = exec;
   if (flags.Has("k-ladder")) {
-    Result<std::vector<PsrOutput>> psrs =
-        ComputePsrLadder(*db, ladder, {}, exec);
-    if (!psrs.ok()) return psrs.status();
+    Result<ScanResult> scan = ComputePsrLadder(*db, request);
+    if (!scan.ok()) return scan.status();
     Result<std::vector<TpOutput>> tps =
-        ComputeTpQualityLadder(*db, *psrs, exec);
+        ComputeTpQualityLadder(*db, scan->outputs, exec);
     if (!tps.ok()) return tps.status();
     std::printf("PWS-quality (TP, one shared scan for k-ladder %s):\n",
                 ladder.ToString().c_str());
@@ -548,11 +617,10 @@ Status RunQuality(const Flags& flags) {
   }
 
   if (algo == "tp") {
-    Result<std::vector<PsrOutput>> psrs =
-        ComputePsrLadder(*db, ladder, {}, exec);
-    if (!psrs.ok()) return psrs.status();
+    Result<ScanResult> scan = ComputePsrLadder(*db, request);
+    if (!scan.ok()) return scan.status();
     Result<std::vector<TpOutput>> tps =
-        ComputeTpQualityLadder(*db, *psrs, exec);
+        ComputeTpQualityLadder(*db, scan->outputs, exec);
     if (!tps.ok()) return tps.status();
     std::printf("PWS-quality (TP): %.6f\n", tps->front().quality);
   } else if (algo == "pwr") {
@@ -723,10 +791,11 @@ Status RunClean(const Flags& flags) {
   CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
   CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
-  CLI_ASSIGN_OR_RETURN(cli_ladder, ParseKLadder(flags));
+  CLI_ASSIGN_OR_RETURN(scan_options, BuildScanCliOptions(flags));
+  const KLadder& cli_ladder = scan_options.ladder;
+  const ExecOptions& exec = scan_options.exec;
   CLI_ASSIGN_OR_RETURN(budget, flags.GetInt("budget"));
   CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 1));
-  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
   CLI_ASSIGN_OR_RETURN(planner,
                        ParsePlanner(flags.GetString("planner", "greedy")));
   Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
