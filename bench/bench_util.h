@@ -18,8 +18,7 @@
 namespace uclean {
 namespace bench {
 
-/// Single-k scan through the request API (rank/psr.h) -- the benches,
-/// like the tests, never call the deprecated positional shims.
+/// Single-k scan through the request API (rank/psr.h).
 inline Result<PsrOutput> ScanPsr(const ProbabilisticDatabase& db, size_t k,
                                  const PsrOptions& options = {}) {
   Result<ScanRequest> request = ScanRequest::ForK(k, options);

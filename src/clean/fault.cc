@@ -87,6 +87,7 @@ FaultInjector::FaultInjector(const FaultOptions& options)
 }
 
 FaultKind FaultInjector::DrawAttemptFault(XTupleId source) {
+  ScopedSerialCall guard(gate_);
   // Down-ness is drawn lazily, once per source, from the same dedicated
   // stream; a down source fails every attempt without further draws, so
   // the stream stays deterministic in plan order.
@@ -115,6 +116,7 @@ bool FaultInjector::SourceAvailable(XTupleId source) const {
 }
 
 bool FaultInjector::AdmitProbe(XTupleId source) {
+  ScopedSerialCall guard(gate_);
   if (breakers_.empty()) return true;  // fault-free fast path
   auto it = breakers_.find(source);
   if (it == breakers_.end()) return true;
@@ -132,6 +134,7 @@ bool FaultInjector::AdmitProbe(XTupleId source) {
 }
 
 void FaultInjector::RecordProbeOutcome(XTupleId source, bool completed) {
+  ScopedSerialCall guard(gate_);
   if (completed) {
     // Fast path: a completed probe against an untracked source changes
     // nothing -- materializing a closed breaker per source would make the
@@ -156,6 +159,7 @@ void FaultInjector::RecordProbeOutcome(XTupleId source, bool completed) {
 }
 
 int64_t FaultInjector::BackoffWithJitter(int64_t retry_index) {
+  ScopedSerialCall guard(gate_);
   UCLEAN_CHECK(retry_index >= 1);
   // Exponential base, capped at 2^20 doublings to keep the shift defined.
   const int64_t doublings =
@@ -167,7 +171,9 @@ int64_t FaultInjector::BackoffWithJitter(int64_t retry_index) {
         rng_.Uniform(1.0 - retry_.jitter, 1.0 + retry_.jitter);
     backoff = static_cast<int64_t>(static_cast<double>(base) * factor);
   }
-  AdvanceClock(backoff);
+  // Advance the clock directly: AdvanceClock is a guarded public entry
+  // point and the gate is non-recursive.
+  now_us_ += backoff;
   return backoff;
 }
 

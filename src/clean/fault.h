@@ -35,7 +35,9 @@
 // contract as the session's Rng -- one plan/draw at a time touches it; for
 // pooled sessions the submission rules of clean/agent.h apply verbatim
 // (the caller must not touch a session's injector while its batch is in
-// flight).
+// flight). The contract is enforced as a common/serial_gate.h capability
+// on the mutating draw/clock/breaker surface: overlapping calls abort in
+// debug builds, reentrant entry fails the Clang -Wthread-safety build.
 
 #ifndef UCLEAN_CLEAN_FAULT_H_
 #define UCLEAN_CLEAN_FAULT_H_
@@ -45,7 +47,9 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "common/serial_gate.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "model/tuple.h"
 
 namespace uclean {
@@ -189,7 +193,7 @@ class FaultInjector {
 
   /// Draws the fate of one attempt against `source` from the dedicated
   /// fault stream. All-zero profiles never consume the engine.
-  FaultKind DrawAttemptFault(XTupleId source);
+  FaultKind DrawAttemptFault(XTupleId source) UCLEAN_EXCLUDES(gate_);
 
   /// True when `source` may be probed now: breaker closed, in a half-open
   /// trial, or open with the cooldown elapsed. Pure.
@@ -197,20 +201,24 @@ class FaultInjector {
 
   /// Gate of the probe loop: like SourceAvailable, but an open breaker
   /// whose cooldown elapsed transitions to kHalfOpen (the trial starts).
-  bool AdmitProbe(XTupleId source);
+  bool AdmitProbe(XTupleId source) UCLEAN_EXCLUDES(gate_);
 
   /// Reports one probe's final fate (after retries) to `source`'s
   /// breaker: completed probes close it, failures count toward the
   /// threshold and reopen half-open trials.
-  void RecordProbeOutcome(XTupleId source, bool completed);
+  void RecordProbeOutcome(XTupleId source, bool completed)
+      UCLEAN_EXCLUDES(gate_);
 
   /// Backoff before retry `retry_index` (1-based), with seeded jitter
   /// drawn from the fault stream. Also advances the simulated clock.
-  int64_t BackoffWithJitter(int64_t retry_index);
+  int64_t BackoffWithJitter(int64_t retry_index) UCLEAN_EXCLUDES(gate_);
 
   /// Simulated clock (microseconds since construction).
   int64_t now_us() const { return now_us_; }
-  void AdvanceClock(int64_t us) { now_us_ += us; }
+  void AdvanceClock(int64_t us) UCLEAN_EXCLUDES(gate_) {
+    ScopedSerialCall guard(gate_);
+    now_us_ += us;
+  }
 
   BreakerState breaker_state(XTupleId source) const;
   /// Sources currently blocked (breaker open, cooldown pending).
@@ -242,6 +250,11 @@ class FaultInjector {
   bool ever_opened_ = false;
   std::unordered_map<XTupleId, Breaker> breakers_;
   std::unordered_map<XTupleId, bool> down_;
+
+  // Serialized-caller capability over the mutating draw/clock/breaker
+  // surface (see the header comment). Const readers stay outside it:
+  // they are only legal when nothing is mutating anyway.
+  mutable SerialGate gate_;
 };
 
 /// Planner-side degradation: zeroes the gain of every source `fault`

@@ -42,6 +42,7 @@ Result<CleaningSession> CleaningSession::Start(ProbabilisticDatabase db,
 
 Status CleaningSession::ApplyCleanOutcome(XTupleId xtuple,
                                           TupleId resolved_id) {
+  ScopedSerialCall guard(gate_);
   Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
       db_.ApplyCleanOutcome(xtuple, resolved_id);
   if (!delta.ok()) return delta.status();
@@ -56,6 +57,7 @@ Status CleaningSession::ApplyCleanOutcome(XTupleId xtuple,
 }
 
 Status CleaningSession::Refresh() {
+  ScopedSerialCall guard(gate_);
   if (!dirty()) return Status::OK();
   size_t replay_begin = pending_replay_begin_;
 
@@ -100,6 +102,7 @@ Status CleaningSession::Refresh() {
 }
 
 ProbabilisticDatabase CleaningSession::TakeDatabase() && {
+  ScopedSerialCall guard(gate_);
   db_.CompactTombstones();
   return std::move(db_);
 }

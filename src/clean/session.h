@@ -38,7 +38,10 @@
 // public surface must still be entered by one thread. A whole session
 // may run on a pool worker (SessionPool::RefreshAll does this with its
 // per-session state), in which case its nested scans degrade to the
-// sequential path inline.
+// sequential path inline. The contract is enforced as a
+// common/serial_gate.h capability: every mutator opens a
+// ScopedSerialCall window on gate_, so overlapping calls abort in debug
+// builds and reentrant entry fails the Clang -Wthread-safety build.
 
 #ifndef UCLEAN_CLEAN_SESSION_H_
 #define UCLEAN_CLEAN_SESSION_H_
@@ -49,7 +52,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/serial_gate.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 #include "model/database.h"
 #include "quality/tp.h"
@@ -147,15 +152,16 @@ class CleaningSession {
   /// Collapses `xtuple` to the certain outcome `resolved_id` (negative =
   /// entity absent) in place; see ProbabilisticDatabase::ApplyCleanOutcome.
   /// State refresh is deferred to Refresh().
-  Status ApplyCleanOutcome(XTupleId xtuple, TupleId resolved_id);
+  Status ApplyCleanOutcome(XTupleId xtuple, TupleId resolved_id)
+      UCLEAN_EXCLUDES(gate_);
 
   /// Brings PSR + TP state up to date for every outcome applied since the
   /// last Refresh: at most one compaction, one partial PSR replay and one
   /// shared delta TP pass across all rungs. No-op when !dirty().
-  Status Refresh();
+  Status Refresh() UCLEAN_EXCLUDES(gate_);
 
   /// Compacts and returns the database, ending the session.
-  ProbabilisticDatabase TakeDatabase() &&;
+  ProbabilisticDatabase TakeDatabase() && UCLEAN_EXCLUDES(gate_);
 
  private:
   static constexpr size_t kNoPending = static_cast<size_t>(-1);
@@ -167,6 +173,11 @@ class CleaningSession {
   std::vector<TpOutput> tps_;  // one per rung, ladder order
   Options options_;
   size_t pending_replay_begin_ = kNoPending;
+
+  // Serialized-caller capability (see the header comment): one window
+  // per mutating call; overlap aborts in debug builds, reentrancy fails
+  // the Clang thread-safety build.
+  mutable SerialGate gate_;
 };
 
 }  // namespace uclean

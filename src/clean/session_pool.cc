@@ -1,36 +1,11 @@
 #include "clean/session_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <string>
 #include <utility>
 
 namespace uclean {
-
-namespace {
-
-/// RAII arm of the debug-build serialized-caller contract: flags the
-/// pool busy for one public call; a second call overlapping it -- from
-/// another thread, or reentrantly -- aborts instead of corrupting the
-/// slot tables. Compiles to nothing under NDEBUG.
-class ScopedSerializedCall {
- public:
-#ifndef NDEBUG
-  explicit ScopedSerializedCall(std::atomic<bool>* flag) : flag_(flag) {
-    UCLEAN_CHECK(!flag->exchange(true, std::memory_order_acquire) &&
-                 "SessionPool access must be serialized by the caller");
-  }
-  ~ScopedSerializedCall() { flag_->store(false, std::memory_order_release); }
-
- private:
-  std::atomic<bool>* flag_;
-#else
-  explicit ScopedSerializedCall(std::atomic<bool>*) {}
-#endif
-};
-
-}  // namespace
 
 Result<SessionPool> SessionPool::Create(ProbabilisticDatabase base, size_t k,
                                         const Options& options) {
@@ -74,7 +49,7 @@ Result<SessionPool> SessionPool::Create(ProbabilisticDatabase base,
 }
 
 SessionPool::SessionId SessionPool::OpenSession() {
-  ScopedSerializedCall guard(in_call_.get());
+  ScopedSerialCall guard(gate_);
   SessionId id;
   if (!free_slots_.empty()) {
     id = free_slots_.back();
@@ -117,7 +92,7 @@ Status SessionPool::CheckOpen(SessionId id) const {
 
 Status SessionPool::ApplyCleanOutcome(SessionId id, XTupleId xtuple,
                                       TupleId resolved_id) {
-  ScopedSerializedCall guard(in_call_.get());
+  ScopedSerialCall guard(gate_);
   UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
   Session& session = sessions_[id];
   Result<ProbabilisticDatabase::CleanOutcomeDelta> delta =
@@ -147,13 +122,13 @@ Status SessionPool::RefreshSession(Session* session) {
 }
 
 Status SessionPool::Refresh(SessionId id) {
-  ScopedSerializedCall guard(in_call_.get());
+  ScopedSerialCall guard(gate_);
   UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
   return RefreshSession(&sessions_[id]);
 }
 
 Status SessionPool::RefreshAll() {
-  ScopedSerializedCall guard(in_call_.get());
+  ScopedSerialCall guard(gate_);
   std::vector<Session*> pending;
   for (Session& session : sessions_) {
     if (session.open && session.pending_replay_begin != kNoPending) {
@@ -168,6 +143,10 @@ Status SessionPool::RefreshAll() {
   // the parallelism budget is spent across sessions.
   std::vector<Status> statuses(pending.size(), Status::OK());
   ExecParallelFor(options_.exec, pending.size(), [&](size_t i) {
+    // Workers run inside the window this call opened; the caller blocks
+    // in ExecParallelFor until every task is done, so the gate stays
+    // held for the whole fan-out.
+    gate_.AssertHeld();
     statuses[i] = RefreshSession(pending[i]);
   });
   for (Status& status : statuses) {
@@ -182,7 +161,7 @@ Result<ProbabilisticDatabase> SessionPool::CloseAndMerge(SessionId id) {
     // Materialization reads the session's overlay, so it must sit
     // inside the guarded window; scoped because Close takes the
     // (non-recursive) guard itself.
-    ScopedSerializedCall guard(in_call_.get());
+    ScopedSerialCall guard(gate_);
     UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
     merged = sessions_[id].overlay.MaterializeCleaned();
   }
@@ -191,7 +170,7 @@ Result<ProbabilisticDatabase> SessionPool::CloseAndMerge(SessionId id) {
 }
 
 Status SessionPool::Close(SessionId id) {
-  ScopedSerializedCall guard(in_call_.get());
+  ScopedSerialCall guard(gate_);
   UCLEAN_RETURN_IF_ERROR(CheckOpen(id));
   // Free the slot's heavy state eagerly; the slot is reused by the next
   // OpenSession.

@@ -29,14 +29,18 @@
 // interleaved cleans, compaction and churn; bench_pool measures the
 // amortization win over N dedicated sessions).
 //
-// Sessions are logically concurrent: opens, applies, refreshes and closes
-// interleave freely and never observe each other. The pool itself is NOT
-// thread-safe; callers serialize access (the replay scratch is
-// per-session, but open/close mutate shared tables). Debug builds
-// ENFORCE that contract: every public entry point carries a reentrancy
-// guard that turns two overlapping calls -- the misuse the line above
-// forbids -- into a hard UCLEAN_CHECK failure instead of silent state
-// corruption (death-tested in pool_test.cc).
+// Threading: SERIALIZED CALLER. Sessions are logically concurrent:
+// opens, applies, refreshes and closes interleave freely and never
+// observe each other. The pool itself is NOT thread-safe; callers
+// serialize access (the replay scratch is per-session, but open/close
+// mutate shared tables). That contract is ENFORCED twice over, as a
+// common/serial_gate.h capability: every mutating entry point opens a
+// ScopedSerialCall window on gate_ (debug builds turn two overlapping
+// calls -- the misuse the lines above forbid -- into a hard UCLEAN_CHECK
+// failure instead of silent state corruption; death-tested in
+// pool_test.cc), and the Clang -Wthread-safety build statically rejects
+// reentrant entry and any new code path that reaches the guarded refresh
+// internals without the gate.
 //
 // The sanctioned way to apply hardware parallelism is THROUGH the pool,
 // not around it: Options::exec shards the shared scan and every
@@ -63,14 +67,15 @@
 #ifndef UCLEAN_CLEAN_SESSION_POOL_H_
 #define UCLEAN_CLEAN_SESSION_POOL_H_
 
-#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/serial_gate.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 #include "model/database.h"
 #include "model/database_overlay.h"
@@ -136,7 +141,7 @@ class SessionPool {
 
   /// Opens a session: forks the shared scan state (a memcpy, no scan).
   /// Never fails on a live pool; returns a handle for every other call.
-  SessionId OpenSession();
+  SessionId OpenSession() UCLEAN_EXCLUDES(gate_);
 
   /// Number of currently open sessions.
   size_t num_open() const { return num_open_; }
@@ -148,13 +153,14 @@ class SessionPool {
 
   /// Collapses `xtuple` to `resolved_id` (negative = entity absent) in
   /// session `id`'s overlay only. State refresh is deferred to Refresh.
-  Status ApplyCleanOutcome(SessionId id, XTupleId xtuple, TupleId resolved_id);
+  Status ApplyCleanOutcome(SessionId id, XTupleId xtuple, TupleId resolved_id)
+      UCLEAN_EXCLUDES(gate_);
 
   /// Brings session `id`'s PSR + TP state up to date for every outcome
   /// applied since its last Refresh: one suffix replay from the deepest
   /// valid (shared or private) checkpoint + one delta TP pass. No-op when
   /// the session is clean.
-  Status Refresh(SessionId id);
+  Status Refresh(SessionId id) UCLEAN_EXCLUDES(gate_);
 
   /// Refreshes EVERY dirty open session, running the per-session
   /// replay + TP work concurrently on Options::exec's pool (sequentially
@@ -163,7 +169,7 @@ class SessionPool {
   /// session's result is bitwise the result of calling Refresh(id)
   /// itself. Returns the first error encountered (remaining sessions
   /// are still attempted; a failed session stays dirty).
-  Status RefreshAll();
+  Status RefreshAll() UCLEAN_EXCLUDES(gate_);
 
   /// True when outcomes were applied to `id` since its last Refresh.
   bool dirty(SessionId id) const {
@@ -213,10 +219,11 @@ class SessionPool {
   /// database (base + this session's cleans) and closes the session. The
   /// pool and every other session are unaffected. Works on dirty sessions
   /// (materialization needs only the recorded outcomes).
-  Result<ProbabilisticDatabase> CloseAndMerge(SessionId id);
+  Result<ProbabilisticDatabase> CloseAndMerge(SessionId id)
+      UCLEAN_EXCLUDES(gate_);
 
   /// Discards the session's overlay and state, freeing the slot.
-  Status Close(SessionId id);
+  Status Close(SessionId id) UCLEAN_EXCLUDES(gate_);
 
  private:
   static constexpr size_t kNoPending = static_cast<size_t>(-1);
@@ -231,11 +238,11 @@ class SessionPool {
 
   SessionPool() = default;
 
-  /// Refresh body without the serialized-call guard, shared by Refresh
-  /// and RefreshAll's fan-out (which must not re-enter the guard from
-  /// worker threads). Touches only `session`'s state plus the read-only
-  /// shared engine.
-  Status RefreshSession(Session* session);
+  /// Refresh body inside a caller-opened gate window, shared by Refresh
+  /// and RefreshAll's fan-out (whose worker tasks run under the caller's
+  /// window and state that fact with gate_.AssertHeld()). Touches only
+  /// `session`'s state plus the read-only shared engine.
+  Status RefreshSession(Session* session) UCLEAN_REQUIRES(gate_);
 
   const Session& Slot(SessionId id) const {
     UCLEAN_CHECK(id < sessions_.size() && sessions_[id].open);
@@ -255,12 +262,11 @@ class SessionPool {
   size_t num_open_ = 0;
   Options options_;
 
-  // Debug-build serialized-caller guard (see the header comment): set
-  // for the duration of every mutating public call; two overlapping
-  // calls trip a hard UCLEAN_CHECK. Heap-allocated so the pool stays
-  // movable.
-  mutable std::unique_ptr<std::atomic<bool>> in_call_ =
-      std::make_unique<std::atomic<bool>>(false);
+  // Serialized-caller capability (see the header comment): every
+  // mutating public call opens a ScopedSerialCall window; two
+  // overlapping calls trip a hard UCLEAN_CHECK in debug builds and the
+  // Clang thread-safety build rejects reentrant entry statically.
+  mutable SerialGate gate_;
 };
 
 }  // namespace uclean

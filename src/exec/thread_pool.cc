@@ -26,13 +26,13 @@ ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Tasks are always awaited by a TaskGroup before their captures die,
     // so an honest shutdown can only ever see an empty queue.
     UCLEAN_CHECK(queue_.empty());
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -40,16 +40,16 @@ bool ThreadPool::InWorker() { return tl_in_pool_worker; }
 
 void ThreadPool::Enqueue(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOneQueued() {
   Task task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
@@ -64,8 +64,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -81,20 +81,20 @@ void ThreadPool::TaskGroup::Run(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Enqueue(Task{std::move(fn), this});
 }
 
 void ThreadPool::TaskGroup::TaskDone() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   UCLEAN_DCHECK(pending_ > 0);
-  if (--pending_ == 0) done_cv_.notify_all();
+  if (--pending_ == 0) done_cv_.NotifyAll();
 }
 
 bool ThreadPool::TaskGroup::Finished() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_ == 0;
 }
 
@@ -105,14 +105,15 @@ void ThreadPool::TaskGroup::Wait() {
   // and that group's Wait observes its own counter.
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (pending_ == 0) return;
     }
     if (!pool_->RunOneQueued()) {
-      std::unique_lock<std::mutex> lock(mu_);
-      // Re-check, then block: the queue was empty, so our remaining
-      // tasks are in flight on workers and TaskDone will wake us.
-      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      // The queue was empty, so our remaining tasks are in flight on
+      // workers; re-check under the lock, then block until TaskDone
+      // wakes us.
+      MutexLock lock(mu_);
+      while (pending_ != 0) done_cv_.Wait(mu_);
       return;
     }
   }

@@ -29,20 +29,28 @@
 // threads of compute (N - 1 workers + the caller), and ParallelFor with a
 // single-thread pool is exactly the inline loop.
 
+// Threading: the pool is fully thread-safe (it IS the concurrency
+// primitive); TaskGroup::Finished may be polled from any thread.
+// Locking here is statically checked: mu_ is an annotated
+// common/mutex.h Mutex and the queue/stop/pending state is GUARDED_BY
+// it, so a Clang -Wthread-safety build rejects any new code path that
+// touches pool state outside the lock (the CI thread-safety leg holds
+// this at -Werror; see common/thread_annotations.h).
+
 #ifndef UCLEAN_EXEC_THREAD_POOL_H_
 #define UCLEAN_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace uclean {
 
@@ -78,23 +86,23 @@ class ThreadPool {
     TaskGroup(const TaskGroup&) = delete;
     TaskGroup& operator=(const TaskGroup&) = delete;
 
-    void Run(std::function<void()> fn);
-    void Wait();
+    void Run(std::function<void()> fn) UCLEAN_EXCLUDES(mu_);
+    void Wait() UCLEAN_EXCLUDES(mu_);
 
     /// True when every Run() task has finished (trivially true before the
     /// first Run and on the null-pool path). Non-blocking: the completion
     /// poll that lets async consumers (clean/agent.h's ProbeBatch) check
     /// a batch without parking the caller. Safe to call from any thread.
-    bool Finished();
+    bool Finished() UCLEAN_EXCLUDES(mu_);
 
    private:
     friend class ThreadPool;
-    void TaskDone();
+    void TaskDone() UCLEAN_EXCLUDES(mu_);
 
     ThreadPool* pool_ = nullptr;
-    std::mutex mu_;
-    std::condition_variable done_cv_;
-    size_t pending_ = 0;
+    Mutex mu_;
+    CondVar done_cv_;
+    size_t pending_ UCLEAN_GUARDED_BY(mu_) = 0;
   };
 
   /// Runs fn(i) exactly once for every i in [0, n), distributing indices
@@ -113,20 +121,20 @@ class ThreadPool {
     TaskGroup* group = nullptr;
   };
 
-  void Enqueue(Task task);
+  void Enqueue(Task task) UCLEAN_EXCLUDES(mu_);
 
   /// Pops and runs one queued task on the calling thread; false when the
   /// queue was empty.
-  bool RunOneQueued();
+  bool RunOneQueued() UCLEAN_EXCLUDES(mu_);
 
-  void WorkerLoop();
+  void WorkerLoop() UCLEAN_EXCLUDES(mu_);
 
   const size_t num_threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Task> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<Task> queue_ UCLEAN_GUARDED_BY(mu_);
+  bool stop_ UCLEAN_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written by the ctor only
 };
 
 /// Instruction-set preference for the PSR scan's compute kernels

@@ -170,42 +170,4 @@ Result<ScanResult> ComputePsrLadder(const ProbabilisticDatabase& db,
   return ScanRequested(db, request, *resolved, *kernel);
 }
 
-// ----- deprecated one-PR shims over the request API -----
-
-// The shims call each other and the deprecated entry points they
-// implement; silence the self-referential deprecation warnings (callers
-// still get theirs).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
-                                                const KLadder& ladder,
-                                                const PsrOptions& options) {
-  return ComputePsrLadder(db, ladder, options, ExecOptions());
-}
-
-Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
-                                                const KLadder& ladder,
-                                                const PsrOptions& options,
-                                                const ExecOptions& exec) {
-  ScanRequest request;
-  request.ladder = ladder;
-  request.psr = options;
-  request.exec = exec;
-  Result<ScanResult> result = ComputePsrLadder(db, request);
-  if (!result.ok()) return result.status();
-  return std::move(result->outputs);
-}
-
-Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
-                             const PsrOptions& options) {
-  Result<ScanRequest> request = ScanRequest::ForK(k, options);
-  if (!request.ok()) return request.status();
-  Result<ScanResult> result = ComputePsrLadder(db, *request);
-  if (!result.ok()) return result.status();
-  return std::move(result->outputs[0]);
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace uclean

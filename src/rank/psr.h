@@ -142,8 +142,7 @@ struct PsrOutput {
 /// kernel -- ExecOptions::kernel), an optional session overlay to scan
 /// instead of the base database, and the checkpoint cadence for engine
 /// consumers. This is THE way to ask for a scan: ComputePsrLadder and
-/// PsrEngine::Create take it directly, and the legacy positional-knob
-/// signatures below are deprecated one-PR shims over it.
+/// PsrEngine::Create take it directly.
 struct ScanRequest {
   /// Engine checkpoint cadence default, in live tuples (see
   /// PsrEngine::kInitialCheckpointInterval, which aliases this).
@@ -217,33 +216,6 @@ struct ScanResult {
 /// base() is not `db`.
 Result<ScanResult> ComputePsrLadder(const ProbabilisticDatabase& db,
                                     const ScanRequest& request);
-
-// ----- deprecated one-PR shims (see CHANGES.md for the removal note) -----
-
-/// Runs the PSR scan for a top-k query over `db`.
-///
-/// Fails with InvalidArgument when k == 0.
-[[deprecated(
-    "build a ScanRequest (ScanRequest::ForK) and call "
-    "ComputePsrLadder(db, request)")]]
-Result<PsrOutput> ComputePsr(const ProbabilisticDatabase& db, size_t k,
-                             const PsrOptions& options = {});
-
-/// Ladder scan with positional knobs.
-[[deprecated(
-    "build a ScanRequest and call ComputePsrLadder(db, request)")]]
-Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
-                                                const KLadder& ladder,
-                                                const PsrOptions& options = {});
-
-/// Ladder scan with positional knobs including ExecOptions.
-[[deprecated(
-    "build a ScanRequest (set request.exec) and call "
-    "ComputePsrLadder(db, request)")]]
-Result<std::vector<PsrOutput>> ComputePsrLadder(const ProbabilisticDatabase& db,
-                                                const KLadder& ladder,
-                                                const PsrOptions& options,
-                                                const ExecOptions& exec);
 
 }  // namespace uclean
 

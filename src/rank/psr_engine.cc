@@ -36,37 +36,6 @@ Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
   return engine;
 }
 
-// Deprecated positional-knob shims; the definitions necessarily name the
-// deprecated entry points they implement.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db, size_t k,
-                                    const PsrOptions& options,
-                                    size_t checkpoint_interval,
-                                    const ExecOptions& exec) {
-  Result<ScanRequest> request = ScanRequest::ForK(k, options);
-  if (!request.ok()) return request.status();
-  request->exec = exec;
-  request->checkpoint_interval = checkpoint_interval;
-  return Create(db, *request);
-}
-
-Result<PsrEngine> PsrEngine::Create(const ProbabilisticDatabase& db,
-                                    const KLadder& ladder,
-                                    const PsrOptions& options,
-                                    size_t checkpoint_interval,
-                                    const ExecOptions& exec) {
-  ScanRequest request;
-  request.ladder = ladder;
-  request.psr = options;
-  request.exec = exec;
-  request.checkpoint_interval = checkpoint_interval;
-  return Create(db, request);
-}
-
-#pragma GCC diagnostic pop
-
 void PsrEngine::ThinCheckpoints(std::vector<Checkpoint>* cps,
                                 size_t* interval) {
   // Keep every other checkpoint (always retaining the first one) and
@@ -266,15 +235,21 @@ void PsrEngine::FinalizeAggregates(const Db& db, size_t begin,
   });
 }
 
-void PsrEngine::InvalidateBelow(size_t first_changed_rank) {
+void PsrEngine::InvalidateBelowLocked(size_t first_changed_rank) {
   while (!checkpoints_.empty() &&
          checkpoints_.back().pos > first_changed_rank) {
     checkpoints_.pop_back();
   }
 }
 
+void PsrEngine::InvalidateBelow(size_t first_changed_rank) {
+  ScopedSerialCall guard(gate_);
+  InvalidateBelowLocked(first_changed_rank);
+}
+
 Status PsrEngine::Replay(const ProbabilisticDatabase& db,
                          size_t first_changed_rank) {
+  ScopedSerialCall guard(gate_);
   if (outputs_.empty()) {
     return Status::FailedPrecondition("PsrEngine was not initialized");
   }
@@ -284,7 +259,8 @@ Status PsrEngine::Replay(const ProbabilisticDatabase& db,
         "created from it, and ApplyCompaction called after compaction?)");
   }
   if (first_changed_rank >= db.num_tuples()) return Status::OK();  // no-op
-  InvalidateBelow(first_changed_rank);  // snapshots past the change are stale
+  // Snapshots past the change are stale.
+  InvalidateBelowLocked(first_changed_rank);
   if (checkpoints_.empty()) {
     return Status::FailedPrecondition("PsrEngine was not initialized");
   }
@@ -389,6 +365,7 @@ Status PsrEngine::ReplaySession(const DatabaseOverlay& db,
 
 Status PsrEngine::ApplyCompaction(const ProbabilisticDatabase& db,
                                   const std::vector<int32_t>& old_to_new) {
+  ScopedSerialCall guard(gate_);
   if (old_to_new.empty()) return Status::OK();  // compaction was a no-op
   const size_t old_n = old_to_new.size();
   if (outputs_.front().topk_prob.size() != old_n) {

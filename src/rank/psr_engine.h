@@ -65,7 +65,10 @@
 // Threading contract, per entry point:
 //  * Replay / ApplyCompaction / InvalidateBelow MUTATE the engine:
 //    serialized caller, one thread at a time, never concurrently with
-//    any other engine call.
+//    any other engine call. Enforced as a common/serial_gate.h
+//    capability on gate_: each mutator opens a ScopedSerialCall window
+//    (overlap aborts in debug builds) and the Clang -Wthread-safety
+//    build rejects reentrant entry statically.
 //  * After Create, the shared state (checkpoints, base outputs, ladder)
 //    is read-only for the pooled path: ForkSession and ReplaySession are
 //    const and safe to call CONCURRENTLY from multiple threads as long
@@ -83,7 +86,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serial_gate.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "exec/thread_pool.h"
 #include "model/database.h"
 #include "model/database_overlay.h"
@@ -132,28 +137,6 @@ class PsrEngine {
   static Result<PsrEngine> Create(const ProbabilisticDatabase& db,
                                   const ScanRequest& request);
 
-  // ----- deprecated one-PR shims (see CHANGES.md for the removal note) -----
-
-  /// Single-k form with positional knobs.
-  [[deprecated(
-      "build a ScanRequest (ScanRequest::ForK; set exec / "
-      "checkpoint_interval on it) and call Create(db, request)")]]
-  static Result<PsrEngine> Create(
-      const ProbabilisticDatabase& db, size_t k,
-      const PsrOptions& options = {},
-      size_t checkpoint_interval = kInitialCheckpointInterval,
-      const ExecOptions& exec = {});
-
-  /// Ladder form with positional knobs.
-  [[deprecated(
-      "build a ScanRequest (set exec / checkpoint_interval on it) and "
-      "call Create(db, request)")]]
-  static Result<PsrEngine> Create(
-      const ProbabilisticDatabase& db, const KLadder& ladder,
-      const PsrOptions& options = {},
-      size_t checkpoint_interval = kInitialCheckpointInterval,
-      const ExecOptions& exec = {});
-
   /// The ladder this engine serves (ascending).
   const KLadder& ladder() const { return ladder_; }
   size_t num_rungs() const { return outputs_.size(); }
@@ -179,7 +162,8 @@ class PsrEngine {
   /// no-ops (the call is then free). Only the scan suffix from the last
   /// checkpoint at or before that rank is replayed, and only for the rungs
   /// whose own scan reaches past it.
-  Status Replay(const ProbabilisticDatabase& db, size_t first_changed_rank);
+  Status Replay(const ProbabilisticDatabase& db, size_t first_changed_rank)
+      UCLEAN_EXCLUDES(gate_);
 
   /// Drops the checkpoints invalidated by cleans whose shallowest change
   /// is `first_changed_rank` (their snapshots were taken below it and
@@ -187,13 +171,14 @@ class PsrEngine {
   /// explicitly BEFORE compacting the database, because compaction can
   /// remap a stale checkpoint onto the replay boundary itself when every
   /// slot in between was tombstoned.
-  void InvalidateBelow(size_t first_changed_rank);
+  void InvalidateBelow(size_t first_changed_rank) UCLEAN_EXCLUDES(gate_);
 
   /// Rewrites all rank indices held by the engine through the old-to-new
   /// map returned by ProbabilisticDatabase::CompactTombstones. `db` is the
   /// already-compacted database.
   Status ApplyCompaction(const ProbabilisticDatabase& db,
-                         const std::vector<int32_t>& old_to_new);
+                         const std::vector<int32_t>& old_to_new)
+      UCLEAN_EXCLUDES(gate_);
 
   /// The current checkpoint ranks, ascending (introspection: replay-cost
   /// diagnostics and the shard cut-point equivalence tests restart scans
@@ -275,6 +260,11 @@ class PsrEngine {
 
   static void RestoreInto(const Checkpoint& cp, psr_internal::ScanCore* core);
 
+  /// InvalidateBelow's body, inside an already-open gate window (Replay
+  /// opens one and must not re-enter the non-recursive gate).
+  void InvalidateBelowLocked(size_t first_changed_rank)
+      UCLEAN_REQUIRES(gate_);
+
   /// Zeroes `outputs` from `begin` on and runs the scan loop over `db` to
   /// its stop point, snapshotting into `cps` along the way -- sharded
   /// over `exec`'s pool when the range justifies it, sequentially
@@ -304,6 +294,11 @@ class PsrEngine {
   psr_internal::ScanCore core_;
   std::vector<Checkpoint> checkpoints_;
   size_t checkpoint_interval_ = kInitialCheckpointInterval;
+
+  // Serialized-caller capability over the mutating surface (see the
+  // threading contract above). ForkSession/ReplaySession are const and
+  // deliberately outside it: they are safe concurrently.
+  mutable SerialGate gate_;
 };
 
 }  // namespace uclean

@@ -1,0 +1,33 @@
+// MUST NOT COMPILE under -Werror=thread-safety: acquiring a mutex the
+// caller already holds (self-deadlock on std::mutex). Registered
+// WILL_FAIL in ctest.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Reentrant {
+ public:
+  void Outer() UCLEAN_EXCLUDES(mu_) {
+    uclean::MutexLock lock(mu_);
+    Inner();  // error: Inner acquires mu_, which is already held
+  }
+
+  void Inner() UCLEAN_EXCLUDES(mu_) {
+    uclean::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  uclean::Mutex mu_;
+  int value_ UCLEAN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Reentrant reentrant;
+  reentrant.Outer();
+  return 0;
+}

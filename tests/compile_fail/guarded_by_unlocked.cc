@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Werror=thread-safety: reads a GUARDED_BY
+// member without holding its mutex. Registered WILL_FAIL in ctest --
+// if this ever compiles, the guarded-member contract has gone dark.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int ReadWithoutLock() {
+    return value_;  // error: reading value_ requires holding mu_
+  }
+
+ private:
+  uclean::Mutex mu_;
+  int value_ UCLEAN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.ReadWithoutLock();
+}

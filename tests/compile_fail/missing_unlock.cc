@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Werror=thread-safety: a Lock() with no
+// matching Unlock() on some path. Registered WILL_FAIL in ctest.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Leaky {
+ public:
+  void LockAndForget(bool bail) {
+    mu_.Lock();
+    if (bail) return;  // error: mu_ still held at function exit
+    ++value_;
+    mu_.Unlock();
+  }
+
+ private:
+  uclean::Mutex mu_;
+  int value_ UCLEAN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Leaky leaky;
+  leaky.LockAndForget(true);
+  return 0;
+}

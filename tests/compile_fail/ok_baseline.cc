@@ -1,0 +1,55 @@
+// Positive control for the negative-compile suite: idiomatic use of the
+// annotated primitives must compile CLEAN under -Werror=thread-safety.
+// If this file fails, the toolchain or the annotations are broken and
+// the WILL_FAIL results of the sibling cases mean nothing.
+//
+// Driven by ctest (Clang only): see the compile_fail block in
+// CMakeLists.txt -- each case is a bare `clang++ -fsyntax-only
+// -Werror=thread-safety` invocation, no linking.
+
+#include "common/mutex.h"
+#include "common/serial_gate.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() UCLEAN_EXCLUDES(mu_) {
+    uclean::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Read() UCLEAN_EXCLUDES(mu_) {
+    uclean::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  uclean::Mutex mu_;
+  int value_ UCLEAN_GUARDED_BY(mu_) = 0;
+};
+
+class Serialized {
+ public:
+  void Mutate() UCLEAN_EXCLUDES(gate_) {
+    uclean::ScopedSerialCall guard(gate_);
+    MutateLocked();
+  }
+
+ private:
+  void MutateLocked() UCLEAN_REQUIRES(gate_) { ++state_; }
+
+  uclean::SerialGate gate_;
+  int state_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  Serialized serialized;
+  serialized.Mutate();
+  return counter.Read();
+}

@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under -Werror=thread-safety: calling a
+// REQUIRES(gate) internal helper without opening the serialized-call
+// window first -- the exact future bug the SerialGate annotations exist
+// to catch (a new entry point that forgets its guard). Registered
+// WILL_FAIL in ctest.
+
+#include "common/serial_gate.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Serialized {
+ public:
+  void ForgotTheGuard() {
+    MutateLocked();  // error: requires holding gate_
+  }
+
+ private:
+  void MutateLocked() UCLEAN_REQUIRES(gate_) { ++state_; }
+
+  uclean::SerialGate gate_;
+  int state_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Serialized serialized;
+  serialized.ForgotTheGuard();
+  return 0;
+}

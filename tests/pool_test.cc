@@ -511,6 +511,42 @@ TEST(SessionPoolDeathTest, ConcurrentUseTripsTheSerializedCallerGuard) {
       },
       "serialized");
 }
+
+/// Same violated contract against a dedicated CleaningSession: its
+/// serialized-caller guard was promoted from documentation to a
+/// SerialGate capability alongside the pool's, so two threads driving
+/// one session must abort the same way.
+TEST(SessionPoolDeathTest, ConcurrentSessionUseTripsTheSerializedGuard) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SyntheticOptions opts;
+        opts.num_xtuples = 500;
+        opts.real_mass_min = 0.4;
+        opts.real_mass_max = 0.9;
+        Result<ProbabilisticDatabase> base = GenerateSynthetic(opts);
+        UCLEAN_CHECK(base.ok());
+        Result<CleaningSession> session =
+            CleaningSession::Start(std::move(base).value(), 8);
+        UCLEAN_CHECK(session.ok());
+        const auto hammer = [&session](uint64_t seed) {
+          Rng rng(seed);
+          for (int iter = 0; iter < 4000; ++iter) {
+            const ProbabilisticDatabase& view = session->db();
+            const size_t rank = static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(view.num_tuples() - 1)));
+            if (view.is_tombstone(rank)) continue;
+            const Tuple& t = view.tuple(rank);
+            (void)session->ApplyCleanOutcome(t.xtuple, t.id);
+            (void)session->Refresh();
+          }
+        };
+        std::thread other([&hammer] { hammer(2); });
+        hammer(1);
+        other.join();
+      },
+      "serialized");
+}
 #endif  // NDEBUG
 
 }  // namespace

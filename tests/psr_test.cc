@@ -252,41 +252,5 @@ TEST(ScanRequest, FactoriesValidate) {
   EXPECT_NE(scan->kernel, KernelKind::kAuto);
 }
 
-// Shim coverage: the deprecated positional-knob entry points stay thin
-// wrappers over the request API for one PR (removal noted in CHANGES.md)
-// and must keep compiling and agreeing with it until then.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Psr, DeprecatedShimsMatchRequestApi) {
-  ProbabilisticDatabase db = MakeUdb1();
-  EXPECT_FALSE(ComputePsr(db, 0).ok());
-  Result<PsrOutput> via_shim = ComputePsr(db, 3);
-  Result<PsrOutput> via_request = ScanPsr(db, 3);
-  ASSERT_TRUE(via_shim.ok());
-  ASSERT_TRUE(via_request.ok());
-  EXPECT_EQ(via_shim->topk_prob, via_request->topk_prob);  // bitwise
-
-  Result<KLadder> ladder = KLadder::Of({2, 4});
-  ASSERT_TRUE(ladder.ok());
-  Result<std::vector<PsrOutput>> ladder_shim = ComputePsrLadder(db, *ladder);
-  Result<std::vector<PsrOutput>> ladder_exec_shim =
-      ComputePsrLadder(db, *ladder, PsrOptions(), ExecOptions());
-  ASSERT_TRUE(ladder_shim.ok());
-  ASSERT_TRUE(ladder_exec_shim.ok());
-  Result<std::vector<PsrOutput>> ladder_request = ScanPsrLadder(db, *ladder);
-  ASSERT_TRUE(ladder_request.ok());
-  ASSERT_EQ(ladder_shim->size(), ladder_request->size());
-  for (size_t j = 0; j < ladder_shim->size(); ++j) {
-    EXPECT_EQ((*ladder_shim)[j].topk_prob, (*ladder_request)[j].topk_prob);
-    EXPECT_EQ((*ladder_exec_shim)[j].topk_prob,
-              (*ladder_request)[j].topk_prob);
-  }
-
-  Result<PsrEngine> engine_shim = PsrEngine::Create(db, 3);
-  ASSERT_TRUE(engine_shim.ok());
-  EXPECT_EQ(engine_shim->output().topk_prob, via_request->topk_prob);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace uclean

@@ -1,8 +1,7 @@
 // Shared helpers for randomized/property tests: small random databases with
 // controlled shape (so brute-force oracles stay tractable), plus
 // ScanRequest-based one-line scan wrappers so every test drives the
-// request API of rank/psr.h -- the deprecated positional shims are
-// exercised only by the dedicated shim-coverage tests.
+// request API of rank/psr.h.
 
 #ifndef UCLEAN_TESTS_TEST_UTIL_H_
 #define UCLEAN_TESTS_TEST_UTIL_H_
