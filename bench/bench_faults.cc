@@ -277,6 +277,8 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"faults\",\n");
+  std::fprintf(json, "  \"kernel\": \"%s\", \"threads\": 4,\n",
+               bench::ResolvedKernelName());
   std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
                cores == 0 ? 1 : cores);
   std::fprintf(json,

@@ -235,6 +235,8 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"incremental\",\n");
+  std::fprintf(json, "  \"kernel\": \"%s\", \"threads\": 1,\n",
+               bench::ResolvedKernelName());
   std::fprintf(json,
                "  \"workload\": {\"num_xtuples\": %zu, \"tuples_per_xtuple\": "
                "%zu, \"planner\": \"greedy\", \"agent_seed\": %llu},\n",

@@ -345,6 +345,8 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"kernel\",\n");
+  std::fprintf(json, "  \"kernel\": \"%s\", \"threads\": 1,\n",
+               bench::ResolvedKernelName());
   std::fprintf(json,
                "  \"workload\": \"independent 8K singleton x-tuples (fold-"
                "bound), alternatives 800x10 Gaussian (divide-out-bound), "

@@ -246,6 +246,8 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"pipeline\",\n");
+  std::fprintf(json, "  \"kernel\": \"%s\", \"threads\": 8,\n",
+               bench::ResolvedKernelName());
   std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
                cores == 0 ? 1 : cores);
   std::fprintf(json,

@@ -400,6 +400,8 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"pool\",\n");
+  std::fprintf(json, "  \"kernel\": \"%s\", \"threads\": 1,\n",
+               bench::ResolvedKernelName());
   std::fprintf(json,
                "  \"workloads\": {\"unit\": \"synthetic 5Kx10 (paper "
                "default)\", \"subunit\": \"synthetic 5Kx10, existence mass "

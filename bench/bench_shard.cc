@@ -331,6 +331,8 @@ int main() {
     return 1;
   }
   std::fprintf(json, "{\n  \"bench\": \"shard\",\n");
+  std::fprintf(json, "  \"kernel\": \"%s\", \"threads\": 8,\n",
+               bench::ResolvedKernelName());
   std::fprintf(json,
                "  \"workload\": \"synthetic 30Kx10, existence mass U[0.2, "
                "0.5], k up to 1024\",\n");

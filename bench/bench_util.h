@@ -13,10 +13,21 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "rank/kernel.h"
 #include "rank/psr.h"
 
 namespace uclean {
 namespace bench {
+
+/// The concrete scan kernel KernelKind::kAuto resolves to on this
+/// machine/build ("scalar" or "avx2") -- provenance every bench records
+/// in its JSON, because throughput numbers are meaningless without the
+/// kernel that produced them (tools/check_bench.py requires the field).
+inline const char* ResolvedKernelName() {
+  Result<const psr_internal::ScanKernel*> kernel =
+      SelectScanKernel(KernelKind::kAuto);
+  return kernel.ok() ? (*kernel)->name : "scalar";
+}
 
 /// Single-k scan through the request API (rank/psr.h).
 inline Result<PsrOutput> ScanPsr(const ProbabilisticDatabase& db, size_t k,

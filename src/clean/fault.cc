@@ -177,6 +177,56 @@ int64_t FaultInjector::BackoffWithJitter(int64_t retry_index) {
   return backoff;
 }
 
+FaultInjectorState FaultInjector::SaveState() const {
+  FaultInjectorState state;
+  state.rng_state = rng_.SaveState();
+  state.now_us = now_us_;
+  state.ever_opened = ever_opened_;
+  state.breakers.reserve(breakers_.size());
+  for (const auto& [source, breaker] : breakers_) {
+    state.breakers.push_back({source, static_cast<uint8_t>(breaker.state),
+                              breaker.consecutive_failures,
+                              breaker.open_until_us});
+  }
+  std::sort(state.breakers.begin(), state.breakers.end(),
+            [](const FaultInjectorState::BreakerEntry& a,
+               const FaultInjectorState::BreakerEntry& b) {
+              return a.source < b.source;
+            });
+  state.down.reserve(down_.size());
+  for (const auto& [source, is_down] : down_) {
+    state.down.push_back({source, is_down});
+  }
+  std::sort(state.down.begin(), state.down.end(),
+            [](const FaultInjectorState::DownEntry& a,
+               const FaultInjectorState::DownEntry& b) {
+              return a.source < b.source;
+            });
+  return state;
+}
+
+Status FaultInjector::RestoreState(const FaultInjectorState& state) {
+  ScopedSerialCall guard(gate_);
+  UCLEAN_RETURN_IF_ERROR(rng_.RestoreState(state.rng_state));
+  now_us_ = state.now_us;
+  ever_opened_ = state.ever_opened;
+  breakers_.clear();
+  for (const FaultInjectorState::BreakerEntry& entry : state.breakers) {
+    if (entry.state > static_cast<uint8_t>(BreakerState::kHalfOpen)) {
+      return Status::DataLoss("breaker state byte out of range");
+    }
+    Breaker& breaker = breakers_[entry.source];
+    breaker.state = static_cast<BreakerState>(entry.state);
+    breaker.consecutive_failures = entry.consecutive_failures;
+    breaker.open_until_us = entry.open_until_us;
+  }
+  down_.clear();
+  for (const FaultInjectorState::DownEntry& entry : state.down) {
+    down_[entry.source] = entry.down;
+  }
+  return Status::OK();
+}
+
 BreakerState FaultInjector::breaker_state(XTupleId source) const {
   auto it = breakers_.find(source);
   return it == breakers_.end() ? BreakerState::kClosed : it->second.state;

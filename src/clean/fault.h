@@ -44,7 +44,9 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/serial_gate.h"
@@ -176,6 +178,35 @@ struct FaultStats {
   }
 };
 
+/// The complete portable state of a FaultInjector mid-campaign, for the
+/// snapshot store (store/snapshot.h): the dedicated fault stream, the
+/// simulated clock and every breaker/down entry. Map entries are listed
+/// sorted by source so equal injectors always save equal states (the
+/// injector's own behavior never depends on map iteration order: it only
+/// looks sources up and counts open entries). Restoring a SaveState
+/// capture into an injector built from the SAME FaultOptions resumes the
+/// exact campaign: every later draw, backoff and breaker decision is
+/// bitwise the one the saved injector would have made.
+struct FaultInjectorState {
+  std::string rng_state;  ///< Rng::SaveState of the dedicated stream
+  int64_t now_us = 0;
+  bool ever_opened = false;
+
+  struct BreakerEntry {
+    XTupleId source = 0;
+    uint8_t state = 0;  ///< BreakerState underlying value (0, 1, 2)
+    int64_t consecutive_failures = 0;
+    int64_t open_until_us = 0;
+  };
+  std::vector<BreakerEntry> breakers;  ///< sorted by source
+
+  struct DownEntry {
+    XTupleId source = 0;
+    bool down = false;
+  };
+  std::vector<DownEntry> down;  ///< sorted by source
+};
+
 /// Per-source circuit-breaker state machine: kClosed admits probes and
 /// counts consecutive failures; `threshold` failures trip it to kOpen,
 /// which blocks the source for `cooldown_us` simulated time; the first
@@ -234,6 +265,17 @@ class FaultInjector {
   /// fingerprint for the determinism tests (equal engines mean two runs
   /// drew exactly the same fault randomness).
   const std::mt19937_64& engine() const { return rng_.engine(); }
+
+  /// Captures the injector's complete mid-campaign state (header note on
+  /// FaultInjectorState); pair with an injector built from the same
+  /// FaultOptions to resume bitwise.
+  FaultInjectorState SaveState() const;
+
+  /// Restores a SaveState capture. Fails with DataLoss when the state is
+  /// malformed (invalid rng encoding, out-of-range breaker state); the
+  /// injector is then unusable until a successful restore.
+  Status RestoreState(const FaultInjectorState& state)
+      UCLEAN_EXCLUDES(gate_);
 
  private:
   struct Breaker {

@@ -52,21 +52,40 @@ Result<PipelineReport> RunPipelinedCleaning(
   // Per-session fault injectors, seeded `fault.seed + s` like the probe
   // Rngs. Each one is consumed only by its own session's draw loop (the
   // in-flight contract of clean/agent.h), so batches stay race-free and
-  // serial and pipelined campaigns draw identical fault streams.
-  std::vector<FaultInjector> injectors;
+  // serial and pipelined campaigns draw identical fault streams. A
+  // caller passing PipelineOptions::injectors substitutes its own
+  // identically-constructed set (so it can read their state after the
+  // call -- the snapshot store's mid-campaign save).
+  std::vector<FaultInjector> owned_injectors;
+  std::vector<FaultInjector>* injectors = options.injectors;
   if (options.fault.enabled) {
     UCLEAN_RETURN_IF_ERROR(options.fault.Validate());
-    injectors.reserve(n);
-    for (size_t s = 0; s < n; ++s) {
-      FaultOptions session_fault = options.fault;
-      session_fault.seed = options.fault.seed + s;
-      injectors.emplace_back(session_fault);
+    if (injectors != nullptr) {
+      if (injectors->size() != n) {
+        return Status::InvalidArgument(
+            "PipelineOptions::injectors must hold one injector per session");
+      }
+    } else {
+      owned_injectors.reserve(n);
+      for (size_t s = 0; s < n; ++s) {
+        FaultOptions session_fault = options.fault;
+        session_fault.seed = options.fault.seed + s;
+        owned_injectors.emplace_back(session_fault);
+      }
+      injectors = &owned_injectors;
     }
   }
 
   PipelineReport report;
   report.sessions.resize(n);
   std::vector<int64_t> remaining(n, budget);
+  if (!options.spent_so_far.empty()) {
+    if (options.spent_so_far.size() != n) {
+      return Status::InvalidArgument(
+          "PipelineOptions::spent_so_far must hold one entry per session");
+    }
+    for (size_t s = 0; s < n; ++s) remaining[s] -= options.spent_so_far[s];
+  }
   std::vector<bool> done(n, false);
 
   // One slot per session and round: the in-flight future (overlap mode)
@@ -86,7 +105,7 @@ Result<PipelineReport> RunPipelinedCleaning(
       in_flight[s] = false;
       if (done[s] || remaining[s] <= 0) continue;
       FaultInjector* injector =
-          options.fault.enabled ? &injectors[s] : nullptr;
+          options.fault.enabled ? &(*injectors)[s] : nullptr;
       Result<CleaningProblem> problem = MakeCleaningProblem(
           pool->tps(ids[s]), options.plan_weights, profile, remaining[s]);
       if (!problem.ok()) return problem.status();

@@ -91,6 +91,29 @@ struct PipelineOptions {
   /// commit identical outcomes at any fail rate.
   FaultOptions fault;
 
+  /// Caller-owned injectors, one per session id, overriding the internal
+  /// fault.seed + s construction above (used with fault.enabled; must
+  /// then have exactly one entry per id). The loop consumes them exactly
+  /// as it would its own, and they survive the call -- which is what lets
+  /// the snapshot store capture mid-campaign breaker/clock/stream state:
+  /// run part of a campaign with external injectors, save their
+  /// SaveState alongside the session Rngs, and a resumed run (restored
+  /// injectors + spent_so_far below) continues the exact fault stream.
+  /// Not owned; must outlive the call.
+  std::vector<FaultInjector>* injectors = nullptr;
+
+  /// Budget already spent per session (positional on `ids`; empty means
+  /// none). Session s probes with `budget - spent_so_far[s]` remaining,
+  /// which is how a resumed campaign carries differing per-session
+  /// spends forward. The returned report still counts only THIS call's
+  /// activity; the resuming caller merges it with the saved progress.
+  /// For deterministic planners (greedy, DP) a save/resume split at a
+  /// round boundary commits bitwise the outcomes of the uninterrupted
+  /// run; the randomized planners (randu, randp) would consume one extra
+  /// planning draw on sessions that finish before the split, so resumed
+  /// determinism is only guaranteed for the deterministic planners.
+  std::vector<int64_t> spent_so_far;
+
   /// Test hook: extra per-probe latency added for session s (index into
   /// this vector; missing entries add nothing). Seeded shuffles of this
   /// vector permute batch COMPLETION order without touching any session's

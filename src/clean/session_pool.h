@@ -69,6 +69,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -122,6 +123,22 @@ class SessionPool {
                                     const Options& options);
   static Result<SessionPool> Create(ProbabilisticDatabase base, size_t k) {
     return Create(std::move(base), k, Options());
+  }
+
+  /// Warm start: reconstructs a serving pool from a snapshot file written
+  /// by store/snapshot.h's WriteSnapshot, with ZERO scans -- the base
+  /// database, the engine's checkpointed scan state and every saved
+  /// session come back bitwise identical to the saved pool. Only
+  /// `options.exec` (and the checkpoint cadence for sessions opened
+  /// later) is taken from `options`; the logical state -- ladder, PSR
+  /// options, checkpoint contents -- comes from the file. Fails with
+  /// DataLoss on a truncated, corrupt or version-mismatched file.
+  /// (Defined in src/store/snapshot_reader.cc; this declaration keeps the
+  /// pool header free of store dependencies.)
+  static Result<SessionPool> OpenFromSnapshot(const std::string& path,
+                                              const Options& options);
+  static Result<SessionPool> OpenFromSnapshot(const std::string& path) {
+    return OpenFromSnapshot(path, Options());
   }
 
   /// The shared base database (never mutated while the pool lives).
@@ -226,6 +243,11 @@ class SessionPool {
   Status Close(SessionId id) UCLEAN_EXCLUDES(gate_);
 
  private:
+  // The snapshot store (store/snapshot.h) serializes the whole pool --
+  // base, engine, slot table, free list -- and reassembles it for
+  // OpenFromSnapshot without touching the public (scanning) Create path.
+  friend class SnapshotAccess;
+
   static constexpr size_t kNoPending = static_cast<size_t>(-1);
 
   struct Session {

@@ -10,7 +10,11 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include "common/status.h"
 
 namespace uclean {
 
@@ -85,6 +89,33 @@ class Rng {
 
   /// Underlying engine, for use with std distributions not wrapped here.
   std::mt19937_64& engine() { return engine_; }
+
+  /// Read-only engine view: the strictest equality fingerprint two runs
+  /// can be compared by (equal engines = identical future streams).
+  const std::mt19937_64& engine() const { return engine_; }
+
+  /// The engine's full state as the standard's portable text encoding
+  /// (mt19937_64 operator<<): RestoreState on any host resumes the exact
+  /// stream. This is what the snapshot store (store/snapshot.h) persists
+  /// so a reloaded cleaning session draws the same randomness the saved
+  /// one would have.
+  std::string SaveState() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restores a SaveState capture. Fails with DataLoss when `state` is
+  /// not a valid engine encoding (the engine is left unspecified then;
+  /// re-seed or restore again before use).
+  Status RestoreState(const std::string& state) {
+    std::istringstream in(state);
+    in >> engine_;
+    if (in.fail()) {
+      return Status::DataLoss("invalid mt19937_64 state string");
+    }
+    return Status::OK();
+  }
 
  private:
   std::mt19937_64 engine_;

@@ -31,6 +31,11 @@ enum class StatusCode {
   kUnavailable = 8,
   /// A configured deadline elapsed before the operation completed.
   kDeadlineExceeded = 9,
+  /// Stored data is unrecoverably damaged: a checksum mismatch, a
+  /// truncated file, or a format the reader cannot understand. Distinct
+  /// from kIOError (the medium failed) -- here the bytes arrived but
+  /// cannot be trusted.
+  kDataLoss = 10,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -80,6 +85,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

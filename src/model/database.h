@@ -131,6 +131,11 @@ class ProbabilisticDatabase {
 
  private:
   friend class DatabaseBuilder;
+  // The snapshot store (store/snapshot.h) persists and reconstitutes the
+  // exact private representation -- including tombstone state -- so a
+  // reloaded database is bitwise the saved one without re-validating or
+  // re-sorting through the builder.
+  friend class SnapshotAccess;
 
   std::vector<Tuple> tuples_;                 // descending rank order
   std::vector<std::vector<int32_t>> members_; // per-x-tuple rank indices

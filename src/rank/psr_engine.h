@@ -214,6 +214,7 @@ class PsrEngine {
 
    private:
     friend class PsrEngine;
+    friend class SnapshotAccess;  // store/snapshot.h persistence
     std::vector<PsrOutput> outputs_;       // one per rung, ascending k
     std::vector<Checkpoint> checkpoints_;  // private suffix snapshots
     psr_internal::ScanCore core_;          // session replay scratch
@@ -246,6 +247,12 @@ class PsrEngine {
   static constexpr size_t kMaxCheckpoints = 160;
 
  private:
+  // The snapshot store (store/snapshot.h) serializes the full engine
+  // state -- checkpoints, outputs, ladder, cadence -- and rebuilds it
+  // without a scan; it owns the invariants a hand-assembled engine must
+  // satisfy (outputs consistent with the ladder, checkpoints ascending).
+  friend class SnapshotAccess;
+
   /// Copies the scan state into a fresh checkpoint appended to `cps`,
   /// thinning (and doubling `*interval`) at capacity. `live` is pos's
   /// live-tuple ordinal.

@@ -510,6 +510,164 @@ TEST_F(CliTest, MovGeneration) {
   EXPECT_EQ(db->num_xtuples(), 200u);
 }
 
+TEST_F(CliTest, SnapshotWorkflow) {
+  std::string out;
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 80 --out " +
+                    Path("snap_db.csv") + " --seed 21",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("profile --xtuples 80 --out " + Path("snap_profile.csv"),
+                &out),
+            0)
+      << out;
+
+  // save: one shared scan, persisted with two pristine sessions.
+  ASSERT_EQ(Run("snapshot save --db " + Path("snap_db.csv") + " --out " +
+                    Path("pool.snap") + " --k-ladder 3,6 --sessions 2",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("wrote snapshot"), std::string::npos) << out;
+  EXPECT_NE(out.find("k-ladder {3, 6}"), std::string::npos) << out;
+
+  // inspect: section table + meta, every checksum verified.
+  ASSERT_EQ(Run("snapshot inspect --snapshot " + Path("pool.snap"), &out), 0)
+      << out;
+  EXPECT_NE(out.find("format v1"), std::string::npos) << out;
+  EXPECT_NE(out.find("all checksums verified"), std::string::npos) << out;
+  for (const char* section : {"meta", "database", "engine", "sessions"}) {
+    EXPECT_NE(out.find(section), std::string::npos)
+        << "missing section row '" << section << "':\n" << out;
+  }
+  EXPECT_NE(out.find("k-ladder {3, 6}"), std::string::npos) << out;
+
+  // load: full reconstruction summary.
+  ASSERT_EQ(Run("snapshot load --snapshot " + Path("pool.snap"), &out), 0)
+      << out;
+  EXPECT_NE(out.find("zero scans"), std::string::npos) << out;
+  EXPECT_NE(out.find("2 open sessions"), std::string::npos) << out;
+  EXPECT_NE(out.find("k = 6: base quality"), std::string::npos) << out;
+
+  // query/quality serve warm from the snapshot; the ladder is the
+  // file's, so --k/--k-ladder there is a user error.
+  ASSERT_EQ(Run("query --snapshot " + Path("pool.snap") +
+                    " --semantics ptk",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("PT-3"), std::string::npos) << out;
+  EXPECT_NE(out.find("PT-6"), std::string::npos) << out;
+  ASSERT_EQ(Run("quality --snapshot " + Path("pool.snap"), &out), 0) << out;
+  EXPECT_NE(out.find("k = 3:"), std::string::npos) << out;
+  EXPECT_NE(Run("query --snapshot " + Path("pool.snap") + " --k 5", &out),
+            0);
+  EXPECT_NE(out.find("k-ladder"), std::string::npos) << out;
+  EXPECT_NE(Run("quality --snapshot " + Path("pool.snap") +
+                    " --algo mc --samples 1000",
+                &out),
+            0);
+  EXPECT_NE(out.find("--algo tp"), std::string::npos) << out;
+
+  // The warm quality numbers must be the ones a cold run computes.
+  std::string cold;
+  ASSERT_EQ(Run("quality --db " + Path("snap_db.csv") + " --k-ladder 3,6",
+                &cold),
+            0)
+      << cold;
+  ASSERT_EQ(Run("quality --snapshot " + Path("pool.snap"), &out), 0) << out;
+  const size_t k3 = cold.find("k = 3:");
+  ASSERT_NE(k3, std::string::npos) << cold;
+  EXPECT_NE(out.find(cold.substr(k3, cold.find('\n', k3) - k3)),
+            std::string::npos)
+      << "warm quality diverged from cold:\n" << out << "\nvs\n" << cold;
+
+  // clean --snapshot: warm-started pooled adaptive campaign.
+  EXPECT_NE(Run("clean --snapshot " + Path("pool.snap") + " --profile " +
+                    Path("snap_profile.csv") + " --budget 10 --out " +
+                    Path("snap_clean.csv"),
+                &out),
+            0);
+  EXPECT_NE(out.find("--adaptive"), std::string::npos) << out;
+  ASSERT_EQ(Run("clean --snapshot " + Path("pool.snap") + " --profile " +
+                    Path("snap_profile.csv") +
+                    " --budget 10 --adaptive --sessions 2 --out " +
+                    Path("snap_clean.csv") + " --seed 3",
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("warm start: pool reconstructed"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("session pool: 2 adaptive sessions"), std::string::npos)
+      << out;
+  Result<ProbabilisticDatabase> cleaned =
+      ReadDatabaseCsvFile(Path("snap_clean.csv"));
+  ASSERT_TRUE(cleaned.ok());
+  EXPECT_EQ(cleaned->num_xtuples(), 80u);
+}
+
+TEST_F(CliTest, SnapshotCorruptionExitsWithDataLossCode) {
+  std::string out;
+  ASSERT_EQ(Run("generate --type synthetic --xtuples 30 --out " +
+                    Path("corrupt_db.csv") + " --seed 8",
+                &out),
+            0)
+      << out;
+  ASSERT_EQ(Run("snapshot save --db " + Path("corrupt_db.csv") + " --out " +
+                    Path("good.snap") + " --k 4",
+                &out),
+            0)
+      << out;
+
+  std::string bytes;
+  {
+    std::ifstream in(Path("good.snap"), std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  // A flipped bit in the middle of a payload: exit code 3, not 1 --
+  // scripts must be able to tell "bad file" from "bad flags".
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x40;
+  {
+    std::ofstream f(Path("flipped.snap"), std::ios::binary);
+    f.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  }
+  EXPECT_EQ(Run("snapshot inspect --snapshot " + Path("flipped.snap"), &out),
+            3)
+      << out;
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_EQ(Run("snapshot load --snapshot " + Path("flipped.snap"), &out), 3)
+      << out;
+  EXPECT_EQ(Run("query --snapshot " + Path("flipped.snap"), &out), 3) << out;
+
+  // Truncation is data loss too.
+  {
+    std::ofstream f(Path("truncated.snap"), std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  EXPECT_EQ(Run("snapshot inspect --snapshot " + Path("truncated.snap"),
+                &out),
+            3)
+      << out;
+
+  // A missing file is an I/O error (generic 1), NOT data loss: nothing
+  // was lost, the path is just wrong.
+  EXPECT_EQ(Run("snapshot inspect --snapshot " + Path("nope.snap"), &out), 1)
+      << out;
+  // Bad action word and missing flags are plain usage errors.
+  EXPECT_EQ(Run("snapshot frobnicate --snapshot " + Path("good.snap"), &out),
+            1)
+      << out;
+  EXPECT_EQ(Run("snapshot", &out), 1) << out;
+
+  // The pristine file still loads after all of the above.
+  EXPECT_EQ(Run("snapshot load --snapshot " + Path("good.snap"), &out), 0)
+      << out;
+}
+
 TEST_F(CliTest, ErrorPaths) {
   std::string out;
   // Missing required flag.

@@ -119,5 +119,31 @@ TEST(Rng, NormalMoments) {
   EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
 }
 
+TEST(Rng, SaveRestoreResumesExactStream) {
+  // The snapshot store persists Rng streams as SaveState strings; a
+  // restored generator must continue the EXACT engine state, mid-stream.
+  Rng rng(47);
+  for (int i = 0; i < 17; ++i) (void)rng.UniformUnit();
+  const std::string state = rng.SaveState();
+
+  Rng restored(0);  // seed is irrelevant once restored
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.engine(), rng.engine());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.UniformUnit(), rng.UniformUnit()) << i;
+  }
+  // Restoring the same state again rewinds to the capture point.
+  Rng rewound(1);
+  ASSERT_TRUE(rewound.RestoreState(state).ok());
+  EXPECT_NE(rewound.engine(), rng.engine());  // rng has advanced since
+}
+
+TEST(Rng, RestoreRejectsGarbage) {
+  Rng rng(1);
+  EXPECT_EQ(rng.RestoreState("not an engine state").code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(rng.RestoreState("").code(), StatusCode::kDataLoss);
+}
+
 }  // namespace
 }  // namespace uclean

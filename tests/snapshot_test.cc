@@ -1,0 +1,738 @@
+// Keystone tests of the snapshot store (store/snapshot.h): a saved pool
+// reloads with ZERO scans into a pool whose behavior is BITWISE the
+// original's --
+//
+//  * same PSR outputs, checkpoint positions, session overlays and
+//    qualities, with re-serialization reproducing the exact file bytes
+//    (the strongest round-trip statement: load == built, byte for byte);
+//  * post-load serving behaves identically: the same cleans produce the
+//    same refreshed state on the original and the reloaded pool;
+//  * every corruption mode -- a bit flip inside each section, truncation
+//    at every section boundary, unknown feature flags, future section
+//    versions, missing sections -- fails with Status::DataLoss;
+//  * a mid-campaign save (adaptive cleaning with faults, serial AND
+//    pipelined) resumes in a fresh pool and finishes with qualities,
+//    spend, probe logs, fault counters, Rng engines and FaultInjector
+//    states bitwise equal to the uninterrupted campaign.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clean/fault.h"
+#include "clean/pipeline.h"
+#include "clean/session_pool.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/database.h"
+#include "rank/psr.h"
+#include "store/snapshot.h"
+#include "workload/cleaning_profile_gen.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace {
+
+constexpr uint64_t kRngBase = 4000;
+
+KLadder MakeLadder(std::vector<size_t> ks) {
+  Result<KLadder> ladder = KLadder::Of(std::move(ks));
+  UCLEAN_CHECK(ladder.ok());
+  return std::move(ladder).value();
+}
+
+ProbabilisticDatabase MakeDb(size_t xtuples = 400) {
+  SyntheticOptions opts;
+  opts.num_xtuples = xtuples;
+  opts.tuples_per_xtuple = 4;
+  opts.real_mass_min = 0.7;  // sub-unit masses: null outcomes occur too
+  opts.real_mass_max = 1.0;
+  opts.seed = 20260806;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  UCLEAN_CHECK(db.ok());
+  return std::move(db).value();
+}
+
+CleaningProfile MakeProfile(size_t xtuples) {
+  CleaningProfileOptions opts;
+  opts.sc_pdf = ScPdf::Uniform(0.2, 0.9);
+  opts.seed = 99;
+  Result<CleaningProfile> profile = GenerateCleaningProfile(xtuples, opts);
+  UCLEAN_CHECK(profile.ok());
+  return std::move(profile).value();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Resolves x-tuple `l` to its best-ranked member's tuple id.
+TupleId FirstMemberId(const ProbabilisticDatabase& db, XTupleId l) {
+  return db.tuple(db.xtuple_members(l)[0]).id;
+}
+
+void ExpectPsrEq(const PsrOutput& a, const PsrOutput& b) {
+  EXPECT_EQ(a.k, b.k);
+  EXPECT_EQ(a.topk_prob, b.topk_prob);
+  EXPECT_EQ(a.num_nonzero, b.num_nonzero);
+  EXPECT_EQ(a.scan_end, b.scan_end);
+  EXPECT_EQ(a.best_rank_prob, b.best_rank_prob);
+  EXPECT_EQ(a.best_rank_index, b.best_rank_index);
+  EXPECT_EQ(a.rank_prob, b.rank_prob);
+  EXPECT_EQ(a.has_rank_probabilities, b.has_rank_probabilities);
+}
+
+void ExpectInjectorStateEq(const FaultInjectorState& a,
+                           const FaultInjectorState& b) {
+  EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.now_us, b.now_us);
+  EXPECT_EQ(a.ever_opened, b.ever_opened);
+  ASSERT_EQ(a.breakers.size(), b.breakers.size());
+  for (size_t i = 0; i < a.breakers.size(); ++i) {
+    EXPECT_EQ(a.breakers[i].source, b.breakers[i].source);
+    EXPECT_EQ(a.breakers[i].state, b.breakers[i].state);
+    EXPECT_EQ(a.breakers[i].consecutive_failures,
+              b.breakers[i].consecutive_failures);
+    EXPECT_EQ(a.breakers[i].open_until_us, b.breakers[i].open_until_us);
+  }
+  ASSERT_EQ(a.down.size(), b.down.size());
+  for (size_t i = 0; i < a.down.size(); ++i) {
+    EXPECT_EQ(a.down[i].source, b.down[i].source);
+    EXPECT_EQ(a.down[i].down, b.down[i].down);
+  }
+}
+
+/// A pool with three sessions: two carrying cleans (one real resolution,
+/// one null outcome), one pristine -- the shape most round-trip tests use.
+struct TestPool {
+  SessionPool pool;
+  std::vector<SessionPool::SessionId> ids;
+};
+
+TestPool MakeServingPool(const ProbabilisticDatabase& db,
+                         const KLadder& ladder, size_t threads = 1) {
+  SessionPool::Options options;
+  options.exec.num_threads = threads;
+  Result<SessionPool> pool =
+      SessionPool::Create(ProbabilisticDatabase(db), ladder, options);
+  UCLEAN_CHECK(pool.ok());
+  TestPool tp{std::move(pool).value(), {}};
+  for (size_t s = 0; s < 3; ++s) tp.ids.push_back(tp.pool.OpenSession());
+  UCLEAN_CHECK(
+      tp.pool.ApplyCleanOutcome(tp.ids[0], 3, FirstMemberId(db, 3)).ok());
+  UCLEAN_CHECK(
+      tp.pool.ApplyCleanOutcome(tp.ids[0], 11, FirstMemberId(db, 11)).ok());
+  UCLEAN_CHECK(tp.pool.ApplyCleanOutcome(tp.ids[1], 7, -1).ok());  // null
+  UCLEAN_CHECK(tp.pool.RefreshAll().ok());
+  return tp;
+}
+
+std::string SerializedPool(const SessionPool& pool) {
+  std::string bytes;
+  UCLEAN_CHECK(SnapshotAccess::Serialize(pool, nullptr, &bytes).ok());
+  return bytes;
+}
+
+// ------------------------------------------------------------- round trip
+
+TEST(SnapshotRoundTripTest, LoadedPoolIsBitwiseIdentical) {
+  const ProbabilisticDatabase db = MakeDb();
+  const KLadder ladder = MakeLadder({5, 20});
+  TestPool built = MakeServingPool(db, ladder);
+
+  const std::string path = TempPath("roundtrip.snap");
+  ASSERT_TRUE(store::WriteSnapshot(built.pool, path).ok());
+
+  SessionPool::Options options;  // same exec mode as the writer
+  Result<SessionPool> loaded = SessionPool::OpenFromSnapshot(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  // Database: shape and per-tuple content.
+  ASSERT_EQ(loaded->base().num_tuples(), built.pool.base().num_tuples());
+  ASSERT_EQ(loaded->base().num_xtuples(), built.pool.base().num_xtuples());
+  for (size_t i = 0; i < built.pool.base().num_tuples(); ++i) {
+    const Tuple& a = built.pool.base().tuple(i);
+    const Tuple& b = loaded->base().tuple(i);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.xtuple, b.xtuple);
+    EXPECT_EQ(a.score, b.score);
+    EXPECT_EQ(a.prob, b.prob);
+    EXPECT_EQ(a.is_null, b.is_null);
+    EXPECT_EQ(a.label, b.label);
+  }
+
+  // Ladder, sessions, per-session PSR + TP state, overlays.
+  EXPECT_EQ(loaded->ladder().ks, built.pool.ladder().ks);
+  ASSERT_EQ(loaded->num_open(), built.pool.num_open());
+  for (SessionPool::SessionId id : built.ids) {
+    ASSERT_TRUE(loaded->is_open(id));
+    EXPECT_EQ(loaded->overlay(id).outcomes(),
+              built.pool.overlay(id).outcomes());
+    for (size_t rung = 0; rung < built.pool.num_rungs(); ++rung) {
+      ExpectPsrEq(loaded->psr(id, rung), built.pool.psr(id, rung));
+      EXPECT_EQ(loaded->quality(id, rung), built.pool.quality(id, rung));
+    }
+  }
+
+  // Checkpoint geometry: the shared scan's and each session's private
+  // suffix checkpoints restore at the exact same ranks.
+  EXPECT_EQ(SnapshotAccess::EngineCheckpointPositions(*loaded),
+            SnapshotAccess::EngineCheckpointPositions(built.pool));
+  for (SessionPool::SessionId id : built.ids) {
+    EXPECT_EQ(SnapshotAccess::SessionCheckpointPositions(*loaded, id),
+              SnapshotAccess::SessionCheckpointPositions(built.pool, id));
+  }
+
+  // The strongest statement: serializing the loaded pool reproduces the
+  // file image byte for byte.
+  EXPECT_EQ(SerializedPool(*loaded), SerializedPool(built.pool));
+}
+
+TEST(SnapshotRoundTripTest, LoadedPoolServesIdenticallyAfterMoreCleaning) {
+  const ProbabilisticDatabase db = MakeDb();
+  const KLadder ladder = MakeLadder({10});
+  TestPool built = MakeServingPool(db, ladder);
+
+  const std::string path = TempPath("serve.snap");
+  ASSERT_TRUE(store::WriteSnapshot(built.pool, path).ok());
+  Result<SessionPool> loaded = SessionPool::OpenFromSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  // Same mutations on both pools -> same refreshed state, and sessions
+  // opened after the reload fork the same slots with the same state.
+  const SessionPool::SessionId fresh_a = built.pool.OpenSession();
+  const SessionPool::SessionId fresh_b = loaded->OpenSession();
+  ASSERT_EQ(fresh_a, fresh_b);
+  for (SessionPool* pool : {&built.pool, &*loaded}) {
+    ASSERT_TRUE(
+        pool->ApplyCleanOutcome(built.ids[1], 21, FirstMemberId(db, 21))
+            .ok());
+    ASSERT_TRUE(
+        pool->ApplyCleanOutcome(fresh_a, 5, FirstMemberId(db, 5)).ok());
+    ASSERT_TRUE(pool->RefreshAll().ok());
+  }
+  for (SessionPool::SessionId id : {built.ids[1], fresh_a}) {
+    for (size_t rung = 0; rung < built.pool.num_rungs(); ++rung) {
+      ExpectPsrEq(loaded->psr(id, rung), built.pool.psr(id, rung));
+      EXPECT_EQ(loaded->quality(id, rung), built.pool.quality(id, rung));
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, SurvivesClosedSlotsAndThreadedWriter) {
+  const ProbabilisticDatabase db = MakeDb();
+  const KLadder ladder = MakeLadder({5, 20});
+  // A multi-threaded pool with a hole in the slot table: slot reuse
+  // bookkeeping (free list, num_open) must survive the round trip.
+  TestPool built = MakeServingPool(db, ladder, /*threads=*/4);
+  ASSERT_TRUE(built.pool.Close(built.ids[1]).ok());
+
+  const std::string path = TempPath("slots.snap");
+  ASSERT_TRUE(store::WriteSnapshot(built.pool, path).ok());
+  SessionPool::Options options;
+  options.exec.num_threads = 4;
+  Result<SessionPool> loaded = SessionPool::OpenFromSnapshot(path, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_EQ(loaded->num_open(), built.pool.num_open());
+  EXPECT_FALSE(loaded->is_open(built.ids[1]));
+  // The freed slot is reused in the same order.
+  EXPECT_EQ(loaded->OpenSession(), built.pool.OpenSession());
+  EXPECT_EQ(SerializedPool(*loaded), SerializedPool(built.pool));
+}
+
+TEST(SnapshotWriteTest, DirtySessionIsRejected) {
+  const ProbabilisticDatabase db = MakeDb(120);
+  TestPool built = MakeServingPool(db, MakeLadder({5}));
+  ASSERT_TRUE(
+      built.pool.ApplyCleanOutcome(built.ids[2], 9, FirstMemberId(db, 9))
+          .ok());  // applied but NOT refreshed: the session is dirty
+  const std::string path = TempPath("dirty.snap");
+  Status status = store::WriteSnapshot(built.pool, path);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotReadTest, MissingFileIsIOError) {
+  Result<SessionPool> loaded =
+      SessionPool::OpenFromSnapshot(TempPath("does_not_exist.snap"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+// ------------------------------------------------------------- corruption
+
+TEST(SnapshotCorruptionTest, BitFlipInEverySectionIsDataLoss) {
+  const ProbabilisticDatabase db = MakeDb(120);
+  TestPool built = MakeServingPool(db, MakeLadder({5}));
+  const std::string good = SerializedPool(built.pool);
+  Result<store::SnapshotFile> file = store::SnapshotFile::Parse(good);
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->sections().size(), 4u);
+
+  for (const store::SectionEntry& entry : file->sections()) {
+    for (uint64_t at : {entry.offset, entry.offset + entry.size / 2,
+                        entry.offset + entry.size - 1}) {
+      std::string bad = good;
+      bad[at] = static_cast<char>(bad[at] ^ 0x01);
+      Result<store::LoadedSnapshot> loaded =
+          SnapshotAccess::Deserialize(std::move(bad), SessionPool::Options());
+      EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+          << store::SectionName(entry.id) << " byte " << at;
+    }
+  }
+}
+
+TEST(SnapshotCorruptionTest, TruncationAtEverySectionBoundaryIsDataLoss) {
+  const ProbabilisticDatabase db = MakeDb(120);
+  TestPool built = MakeServingPool(db, MakeLadder({5}));
+  const std::string good = SerializedPool(built.pool);
+  Result<store::SnapshotFile> file = store::SnapshotFile::Parse(good);
+  ASSERT_TRUE(file.ok());
+
+  std::vector<size_t> cuts = {0, store::kSnapshotHeaderSize - 1,
+                              store::kSnapshotHeaderSize, good.size() - 1};
+  for (const store::SectionEntry& entry : file->sections()) {
+    cuts.push_back(entry.offset);
+    cuts.push_back(entry.offset + entry.size);
+  }
+  for (size_t cut : cuts) {
+    ASSERT_LE(cut, good.size());
+    // In memory...
+    Result<store::LoadedSnapshot> loaded = SnapshotAccess::Deserialize(
+        good.substr(0, cut), SessionPool::Options());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss) << cut;
+    // ...and through the file path the CLI takes.
+    const std::string path = TempPath("truncated.snap");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(good.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_EQ(SessionPool::OpenFromSnapshot(path).status().code(),
+              StatusCode::kDataLoss)
+        << cut;
+  }
+}
+
+/// Rebuilds the container of `good` through a mutator over its parsed
+/// sections -- how the tests synthesize future/foreign files that are
+/// checksum-valid but semantically out of range.
+template <typename Fn>
+std::string RebuildContainer(const std::string& good, Fn mutate) {
+  Result<store::SnapshotFile> file = store::SnapshotFile::Parse(good);
+  UCLEAN_CHECK(file.ok());
+  store::SnapshotFileBuilder builder;
+  builder.set_feature_flags(file->feature_flags());
+  for (const store::SectionEntry& entry : file->sections()) {
+    builder.AddSection(entry.id, entry.version,
+                       std::string(file->payload(entry)));
+  }
+  mutate(&builder, *file);
+  return builder.Finish();
+}
+
+TEST(SnapshotCorruptionTest, UnknownFeatureFlagIsDataLoss) {
+  TestPool built = MakeServingPool(MakeDb(120), MakeLadder({5}));
+  const std::string bad = RebuildContainer(
+      SerializedPool(built.pool),
+      [](store::SnapshotFileBuilder* builder, const store::SnapshotFile&) {
+        builder->set_feature_flags(0x40000000u);
+      });
+  Result<store::LoadedSnapshot> loaded =
+      SnapshotAccess::Deserialize(bad, SessionPool::Options());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SnapshotCorruptionTest, FutureSectionVersionIsDataLoss) {
+  TestPool built = MakeServingPool(MakeDb(120), MakeLadder({5}));
+  const std::string good = SerializedPool(built.pool);
+  Result<store::SnapshotFile> file = store::SnapshotFile::Parse(good);
+  ASSERT_TRUE(file.ok());
+  for (const store::SectionEntry& bump : file->sections()) {
+    store::SnapshotFileBuilder builder;
+    for (const store::SectionEntry& entry : file->sections()) {
+      const uint32_t version = entry.id == bump.id
+                                   ? store::kSectionVersion + 1
+                                   : entry.version;
+      builder.AddSection(entry.id, version,
+                         std::string(file->payload(entry)));
+    }
+    Result<store::LoadedSnapshot> loaded =
+        SnapshotAccess::Deserialize(builder.Finish(), SessionPool::Options());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << store::SectionName(bump.id);
+  }
+}
+
+TEST(SnapshotCorruptionTest, MissingRequiredSectionIsDataLoss) {
+  TestPool built = MakeServingPool(MakeDb(120), MakeLadder({5}));
+  const std::string good = SerializedPool(built.pool);
+  Result<store::SnapshotFile> file = store::SnapshotFile::Parse(good);
+  ASSERT_TRUE(file.ok());
+  for (const store::SectionEntry& drop : file->sections()) {
+    store::SnapshotFileBuilder builder;
+    for (const store::SectionEntry& entry : file->sections()) {
+      if (entry.id == drop.id) continue;
+      builder.AddSection(entry.id, entry.version,
+                         std::string(file->payload(entry)));
+    }
+    Result<store::LoadedSnapshot> loaded =
+        SnapshotAccess::Deserialize(builder.Finish(), SessionPool::Options());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << store::SectionName(drop.id);
+  }
+}
+
+TEST(SnapshotCompatTest, UnknownSectionIsSkipped) {
+  TestPool built = MakeServingPool(MakeDb(120), MakeLadder({5}));
+  const std::string good = SerializedPool(built.pool);
+  const std::string extended = RebuildContainer(
+      good,
+      [](store::SnapshotFileBuilder* builder, const store::SnapshotFile&) {
+        builder->AddSection(/*id=*/42, /*version=*/9, "bytes from the future");
+      });
+  Result<store::LoadedSnapshot> loaded =
+      SnapshotAccess::Deserialize(extended, SessionPool::Options());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  // The reconstructed pool is the one the un-extended file describes.
+  EXPECT_EQ(SerializedPool(loaded->pool), good);
+}
+
+// ---------------------------------------------------------------- inspect
+
+TEST(SnapshotInspectTest, ReportsSectionsAndMeta) {
+  const ProbabilisticDatabase db = MakeDb(120);
+  TestPool built = MakeServingPool(db, MakeLadder({5, 20}));
+  const std::string path = TempPath("inspect.snap");
+  ASSERT_TRUE(store::WriteSnapshot(built.pool, path).ok());
+
+  Result<store::SnapshotInfo> info = store::InspectSnapshot(path);
+  ASSERT_TRUE(info.ok()) << info.status().message();
+  EXPECT_EQ(info->format_version, store::kSnapshotFormatVersion);
+  ASSERT_EQ(info->sections.size(), 4u);
+  EXPECT_EQ(info->sections[0].name, "meta");
+  EXPECT_EQ(info->sections[1].name, "database");
+  EXPECT_EQ(info->sections[2].name, "engine");
+  EXPECT_EQ(info->sections[3].name, "sessions");
+  ASSERT_TRUE(info->has_meta);
+  EXPECT_EQ(info->meta.tool, "uclean");
+  // The recorded kernel is the writer's RESOLVED one, never "auto".
+  EXPECT_TRUE(info->meta.kernel == "scalar" || info->meta.kernel == "avx2")
+      << info->meta.kernel;
+  EXPECT_GE(info->meta.threads, 1u);
+  EXPECT_EQ(info->meta.num_xtuples, db.num_xtuples());
+  EXPECT_EQ(info->meta.num_sessions, 3u);
+  EXPECT_EQ(info->meta.ladder, (std::vector<size_t>{5, 20}));
+
+  // Corrupt file: inspect fails with DataLoss like the full reader.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  const std::string bad_path = TempPath("inspect_bad.snap");
+  std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_EQ(store::InspectSnapshot(bad_path).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// ------------------------------------------------- resumed determinism
+
+struct CampaignArm {
+  PipelineReport report;
+  std::vector<std::vector<double>> quality;  // [session][rung], from the pool
+  std::vector<std::mt19937_64> engines;      // final Rng engine states
+  std::vector<FaultInjectorState> injectors; // final injector states
+};
+
+FaultOptions CampaignFaults() {
+  FaultOptions fault;
+  fault.enabled = true;
+  fault.profile.fail_rate = 0.25;
+  fault.profile.down_rate = 0.05;
+  fault.seed = 71;
+  return fault;
+}
+
+std::vector<FaultInjector> MakeInjectors(const FaultOptions& fault,
+                                         size_t n) {
+  std::vector<FaultInjector> injectors;
+  injectors.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    FaultOptions session_fault = fault;
+    session_fault.seed = fault.seed + s;
+    injectors.emplace_back(session_fault);
+  }
+  return injectors;
+}
+
+/// Runs the uninterrupted reference campaign: `rounds` rounds of adaptive
+/// cleaning with faults on a fresh pool.
+CampaignArm RunUninterrupted(const ProbabilisticDatabase& db,
+                             const KLadder& ladder,
+                             const CleaningProfile& profile, size_t sessions,
+                             int64_t budget, size_t rounds, bool overlap,
+                             size_t threads) {
+  SessionPool::Options pool_options;
+  pool_options.exec.num_threads = threads;
+  Result<SessionPool> pool =
+      SessionPool::Create(ProbabilisticDatabase(db), ladder, pool_options);
+  UCLEAN_CHECK(pool.ok());
+  std::vector<SessionPool::SessionId> ids;
+  std::vector<Rng> rngs;
+  for (size_t s = 0; s < sessions; ++s) {
+    ids.push_back(pool->OpenSession());
+    rngs.emplace_back(kRngBase + s);
+  }
+  const FaultOptions fault = CampaignFaults();
+  std::vector<FaultInjector> injectors = MakeInjectors(fault, sessions);
+
+  PipelineOptions options;
+  options.overlap = overlap;
+  options.max_rounds = rounds;
+  options.fault = fault;
+  options.injectors = &injectors;
+  Result<PipelineReport> report =
+      RunPipelinedCleaning(&*pool, ids, profile, budget, &rngs, options);
+  UCLEAN_CHECK(report.ok());
+
+  CampaignArm arm;
+  arm.report = std::move(report).value();
+  for (size_t s = 0; s < sessions; ++s) {
+    std::vector<double> quality;
+    for (size_t rung = 0; rung < pool->num_rungs(); ++rung) {
+      quality.push_back(pool->quality(ids[s], rung));
+    }
+    arm.quality.push_back(std::move(quality));
+    arm.engines.push_back(rngs[s].engine());
+    arm.injectors.push_back(injectors[s].SaveState());
+  }
+  return arm;
+}
+
+/// Runs `split` rounds, snapshots pool + campaign to disk, reloads into a
+/// FRESH pool and finishes the remaining rounds from the file's state.
+CampaignArm RunSplitThroughSnapshot(const ProbabilisticDatabase& db,
+                                    const KLadder& ladder,
+                                    const CleaningProfile& profile,
+                                    size_t sessions, int64_t budget,
+                                    size_t rounds, size_t split, bool overlap,
+                                    size_t threads, const std::string& path) {
+  SessionPool::Options pool_options;
+  pool_options.exec.num_threads = threads;
+  const FaultOptions fault = CampaignFaults();
+
+  // ---- part 1: rounds [0, split) on the original pool.
+  store::CampaignSnapshot saved;
+  {
+    Result<SessionPool> pool =
+        SessionPool::Create(ProbabilisticDatabase(db), ladder, pool_options);
+    UCLEAN_CHECK(pool.ok());
+    std::vector<SessionPool::SessionId> ids;
+    std::vector<Rng> rngs;
+    for (size_t s = 0; s < sessions; ++s) {
+      ids.push_back(pool->OpenSession());
+      rngs.emplace_back(kRngBase + s);
+    }
+    std::vector<FaultInjector> injectors = MakeInjectors(fault, sessions);
+    PipelineOptions options;
+    options.overlap = overlap;
+    options.max_rounds = split;
+    options.fault = fault;
+    options.injectors = &injectors;
+    Result<PipelineReport> part1 =
+        RunPipelinedCleaning(&*pool, ids, profile, budget, &rngs, options);
+    UCLEAN_CHECK(part1.ok());
+
+    saved.budget = budget;
+    for (size_t s = 0; s < sessions; ++s) {
+      store::CampaignSessionSnapshot cs;
+      cs.session_id = ids[s];
+      cs.spent = part1->sessions[s].spent;
+      cs.leftover = part1->sessions[s].leftover;
+      cs.successes = part1->sessions[s].successes;
+      cs.rounds = part1->sessions[s].rounds;
+      cs.log = part1->sessions[s].log;
+      cs.faults = part1->sessions[s].faults;
+      cs.rng_state = rngs[s].SaveState();
+      cs.has_injector = true;
+      cs.injector = injectors[s].SaveState();
+      saved.sessions.push_back(std::move(cs));
+    }
+    UCLEAN_CHECK(store::WriteSnapshot(*pool, path, &saved).ok());
+    // The writer's pool dies here: the resumed arm starts from the file.
+  }
+
+  // ---- part 2: reload and finish rounds [split, rounds).
+  Result<store::LoadedSnapshot> loaded = store::ReadSnapshot(path, [&] {
+    SessionPool::Options o;
+    o.exec.num_threads = threads;
+    return o;
+  }());
+  UCLEAN_CHECK(loaded.ok());
+  UCLEAN_CHECK(loaded->has_campaign);
+  SessionPool pool = std::move(loaded->pool);
+
+  std::vector<SessionPool::SessionId> ids;
+  std::vector<Rng> rngs;
+  std::vector<FaultInjector> injectors = MakeInjectors(fault, sessions);
+  std::vector<int64_t> spent_so_far;
+  for (size_t s = 0; s < sessions; ++s) {
+    const store::CampaignSessionSnapshot& cs = loaded->campaign.sessions[s];
+    ids.push_back(static_cast<SessionPool::SessionId>(cs.session_id));
+    rngs.emplace_back(0);
+    UCLEAN_CHECK(rngs.back().RestoreState(cs.rng_state).ok());
+    UCLEAN_CHECK(cs.has_injector);
+    UCLEAN_CHECK(injectors[s].RestoreState(cs.injector).ok());
+    spent_so_far.push_back(cs.spent);
+  }
+  PipelineOptions options;
+  options.overlap = overlap;
+  options.max_rounds = rounds - split;
+  options.fault = fault;
+  options.injectors = &injectors;
+  options.spent_so_far = spent_so_far;
+  Result<PipelineReport> part2 =
+      RunPipelinedCleaning(&pool, ids, profile, budget, &rngs, options);
+  UCLEAN_CHECK(part2.ok());
+
+  // Merge the saved progress with part 2's report -- what a resuming
+  // caller does.
+  CampaignArm arm;
+  arm.report = std::move(part2).value();
+  for (size_t s = 0; s < sessions; ++s) {
+    const store::CampaignSessionSnapshot& cs = loaded->campaign.sessions[s];
+    PipelineSessionReport& session = arm.report.sessions[s];
+    session.spent += cs.spent;
+    session.leftover += cs.leftover;
+    session.successes += cs.successes;
+    session.rounds += cs.rounds;
+    session.log.insert(session.log.begin(), cs.log.begin(), cs.log.end());
+    session.faults += cs.faults;
+    std::vector<double> quality;
+    for (size_t rung = 0; rung < pool.num_rungs(); ++rung) {
+      quality.push_back(pool.quality(ids[s], rung));
+    }
+    arm.quality.push_back(std::move(quality));
+    arm.engines.push_back(rngs[s].engine());
+    arm.injectors.push_back(injectors[s].SaveState());
+  }
+  return arm;
+}
+
+void ExpectCampaignsBitwiseEqual(const CampaignArm& a, const CampaignArm& b) {
+  ASSERT_EQ(a.report.sessions.size(), b.report.sessions.size());
+  for (size_t s = 0; s < a.report.sessions.size(); ++s) {
+    const PipelineSessionReport& x = a.report.sessions[s];
+    const PipelineSessionReport& y = b.report.sessions[s];
+    EXPECT_EQ(x.spent, y.spent) << s;
+    EXPECT_EQ(x.leftover, y.leftover) << s;
+    EXPECT_EQ(x.successes, y.successes) << s;
+    EXPECT_EQ(x.rounds, y.rounds) << s;
+    EXPECT_EQ(x.log, y.log) << s;
+    EXPECT_TRUE(x.faults == y.faults) << s;
+    EXPECT_EQ(x.final_quality, y.final_quality) << s;
+    EXPECT_EQ(a.quality[s], b.quality[s]) << s;
+    EXPECT_EQ(a.engines[s], b.engines[s]) << s;
+    ExpectInjectorStateEq(a.injectors[s], b.injectors[s]);
+  }
+}
+
+TEST(SnapshotResumeTest, MidCampaignSaveResumesBitwiseSerial) {
+  const ProbabilisticDatabase db = MakeDb();
+  const KLadder ladder = MakeLadder({10});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  const size_t kSessions = 3;
+  const int64_t kBudget = 60;
+  const size_t kRounds = 4;
+
+  CampaignArm whole = RunUninterrupted(db, ladder, profile, kSessions,
+                                       kBudget, kRounds, /*overlap=*/false,
+                                       /*threads=*/1);
+  CampaignArm resumed = RunSplitThroughSnapshot(
+      db, ladder, profile, kSessions, kBudget, kRounds, /*split=*/1,
+      /*overlap=*/false, /*threads=*/1, TempPath("resume_serial.snap"));
+
+  // The split must be a genuine mid-campaign save: both halves probed.
+  ASSERT_GT(resumed.report.sessions[0].spent, 0);
+  ExpectCampaignsBitwiseEqual(whole, resumed);
+}
+
+TEST(SnapshotResumeTest, MidCampaignSaveResumesBitwisePipelined) {
+  const ProbabilisticDatabase db = MakeDb();
+  const KLadder ladder = MakeLadder({10});
+  const CleaningProfile profile = MakeProfile(db.num_xtuples());
+  const size_t kSessions = 3;
+  const int64_t kBudget = 60;
+  const size_t kRounds = 4;
+
+  CampaignArm whole = RunUninterrupted(db, ladder, profile, kSessions,
+                                       kBudget, kRounds, /*overlap=*/true,
+                                       /*threads=*/4);
+  CampaignArm resumed = RunSplitThroughSnapshot(
+      db, ladder, profile, kSessions, kBudget, kRounds, /*split=*/2,
+      /*overlap=*/true, /*threads=*/4, TempPath("resume_pipelined.snap"));
+
+  ASSERT_GT(resumed.report.sessions[0].spent, 0);
+  ExpectCampaignsBitwiseEqual(whole, resumed);
+}
+
+TEST(SnapshotResumeTest, CampaignSectionRoundTripsVerbatim) {
+  const ProbabilisticDatabase db = MakeDb(120);
+  TestPool built = MakeServingPool(db, MakeLadder({5}));
+
+  store::CampaignSnapshot campaign;
+  campaign.budget = 77;
+  store::CampaignSessionSnapshot cs;
+  cs.session_id = built.ids[0];
+  cs.spent = 13;
+  cs.leftover = 2;
+  cs.successes = 4;
+  cs.rounds = 2;
+  ProbeRecord record;
+  record.xtuple = 3;
+  record.attempts = 2;
+  record.spent = 6;
+  record.success = true;
+  record.resolved_id = FirstMemberId(db, 3);
+  record.retries = 1;
+  record.last_error = StatusCode::kUnavailable;
+  cs.log.push_back(record);
+  cs.faults.transient = 5;
+  cs.faults.budget_unspent = 3;
+  Rng rng(123);
+  (void)rng.UniformUnit();
+  cs.rng_state = rng.SaveState();
+  cs.has_injector = false;
+  campaign.sessions.push_back(cs);
+
+  const std::string path = TempPath("campaign.snap");
+  ASSERT_TRUE(store::WriteSnapshot(built.pool, path, &campaign).ok());
+  Result<store::LoadedSnapshot> loaded = store::ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ASSERT_TRUE(loaded->has_campaign);
+  EXPECT_EQ(loaded->campaign.budget, 77);
+  ASSERT_EQ(loaded->campaign.sessions.size(), 1u);
+  const store::CampaignSessionSnapshot& got = loaded->campaign.sessions[0];
+  EXPECT_EQ(got.session_id, cs.session_id);
+  EXPECT_EQ(got.spent, cs.spent);
+  EXPECT_EQ(got.leftover, cs.leftover);
+  EXPECT_EQ(got.successes, cs.successes);
+  EXPECT_EQ(got.rounds, cs.rounds);
+  EXPECT_EQ(got.log, cs.log);
+  EXPECT_TRUE(got.faults == cs.faults);
+  EXPECT_EQ(got.rng_state, cs.rng_state);
+  EXPECT_FALSE(got.has_injector);
+
+  // A campaign referencing a closed session must not load.
+  store::CampaignSnapshot stale = campaign;
+  stale.sessions[0].session_id = 99;
+  const std::string stale_path = TempPath("campaign_stale.snap");
+  ASSERT_TRUE(store::WriteSnapshot(built.pool, stale_path, &stale).ok());
+  EXPECT_EQ(store::ReadSnapshot(stale_path).status().code(),
+            StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace uclean

@@ -37,6 +37,7 @@ TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
       {Status::Unavailable("h"), StatusCode::kUnavailable, "Unavailable"},
       {Status::DeadlineExceeded("i"), StatusCode::kDeadlineExceeded,
        "DeadlineExceeded"},
+      {Status::DataLoss("j"), StatusCode::kDataLoss, "DataLoss"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -160,6 +160,22 @@ KERNEL_AVX2_ALTERNATIVES_FLOOR = 0.95
 KERNEL_SCALAR_TPS_FLOORS = [(4, 30000), (1, 20000)]
 
 
+# bench_snapshot: warm SessionPool::OpenFromSnapshot (file read + decode,
+# zero scans) vs cold SessionPool::Create (full PSR scan + TP pass) plus
+# P session opens, at k = 5000 on the sub-unit 10Kx2 workload. Locally
+# ~53x at 8 sessions and ~14x at 64 (the per-session fork cost is paid
+# by BOTH arms, so the ratio compresses as P grows); the acceptance gate
+# is >= 10x at the 64-session point. Correctness is absolute: the warm
+# pool must re-serialize to the cold pool's exact bytes on every machine.
+SNAPSHOT_SPEEDUP_FLOOR = 10.0
+SNAPSHOT_GATED_SESSIONS = 64
+SNAPSHOT_SERIES = {8, 64}
+
+# Every bench JSON must carry kernel/threads provenance -- throughput
+# numbers are meaningless without the kernel that produced them.
+KNOWN_KERNELS = {"scalar", "avx2"}
+
+
 def check_kernel(doc):
     failures = []
     cores = doc.get("hardware_concurrency", 1) or 1
@@ -429,6 +445,62 @@ def check_pipeline(doc):
     return failures
 
 
+def check_snapshot(doc):
+    failures = []
+    seen = set()
+    for series in doc["series"]:
+        sessions = series["sessions"]
+        seen.add(sessions)
+        speedup = series["speedup"]
+        equal = series["bitwise_equal"]
+        label = f"snapshot sessions={sessions}"
+        print(
+            f"{label}: warm-vs-cold {speedup:.2f}x, "
+            f"{series['bytes_per_tuple']:.1f} bytes/tuple, "
+            f"save {series['save_mb_per_s']:.1f} MB/s, "
+            f"load {series['load_mb_per_s']:.1f} MB/s, "
+            f"bitwise_equal {equal}"
+        )
+        if not equal:
+            failures.append(
+                f"{label}: warm pool re-serializes to different bytes than "
+                f"the cold pool (decode is lossy; must be bitwise equal)"
+            )
+        if (
+            sessions == SNAPSHOT_GATED_SESSIONS
+            and speedup < SNAPSHOT_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"{label}: warm start {speedup:.2f}x < "
+                f"{SNAPSHOT_SPEEDUP_FLOOR}x over the cold scan"
+            )
+    for sessions in SNAPSHOT_SERIES:
+        if sessions not in seen:
+            failures.append(
+                f"snapshot sessions={sessions}: series missing from the JSON"
+            )
+    return failures
+
+
+def check_provenance(path, doc):
+    """Every bench doc must say which kernel produced its numbers and how
+    wide the executor ran; a JSON without them is unreviewable."""
+    failures = []
+    kernel = doc.get("kernel")
+    if kernel not in KNOWN_KERNELS:
+        failures.append(
+            f"{path}: kernel {kernel!r} not in {sorted(KNOWN_KERNELS)} "
+            f"(every bench must record its resolved scan kernel)"
+        )
+    threads = doc.get("threads")
+    if not isinstance(threads, int) or threads < 1:
+        failures.append(
+            f"{path}: threads {threads!r} invalid (every bench must record "
+            f"the widest executor it drove, >= 1)"
+        )
+    return failures
+
+
 CHECKERS = {
     "faults": check_faults,
     "incremental": check_incremental,
@@ -437,6 +509,7 @@ CHECKERS = {
     "pipeline": check_pipeline,
     "pool": check_pool,
     "shard": check_shard,
+    "snapshot": check_snapshot,
 }
 
 
@@ -453,6 +526,7 @@ def main(argv):
         if checker is None:
             failures.append(f"{path}: unknown bench '{bench}'")
             continue
+        failures.extend(check_provenance(path, doc))
         failures.extend(checker(doc))
     if failures:
         print("\nBENCH REGRESSION:")

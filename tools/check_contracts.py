@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project contract linter: the invariants the compiler cannot see.
 
-Five rules, each guarding a determinism or portability contract the
+Six rules, each guarding a determinism or portability contract the
 codebase documents but no compiler flag enforces on its own:
 
  1. AVX CONTAINMENT. AVX intrinsics (immintrin.h, __m256*, _mm256_*,
@@ -29,6 +29,15 @@ codebase documents but no compiler flag enforces on its own:
     "threading contract"). The thread-safety annotations enforce the
     mechanics; the prose contract is the part reviewers and callers
     read.
+ 6. BINSTREAM CONTAINMENT. Raw binary serialization -- fwrite/fread,
+    reinterpret_cast byte punning, std::ios::binary streams -- appears
+    in src/ and tools/ only under src/store/, where binstream.h owns
+    the little-endian wire encoding and the snapshot reader/writer own
+    the file I/O. An ad-hoc binary writer anywhere else would bypass
+    the format versioning, checksums, and endianness discipline that
+    make snapshots portable and corruptions detectable.
+    src/rank/kernel_avx2.cc is exempt for reinterpret_cast only: SIMD
+    lane loads pun pointers in-register, never onto the wire.
 
 Pure stdlib. Run from the repo root (or pass it):
 
@@ -60,6 +69,11 @@ RNG_TOKEN_RE = re.compile(
 )
 DEPRECATED_RE = re.compile(r"\[\[\s*deprecated")
 THREADING_RE = re.compile(r"[Tt]hreading")
+BINSTREAM_STORE_PREFIX = "src/store/"
+BINSTREAM_TOKEN_RE = re.compile(
+    r"(?<![\w:])f(?:write|read)\s*\(|reinterpret_cast|std::ios::binary"
+)
+BINSTREAM_SIMD_EXEMPT = {AVX_ALLOWED: re.compile(r"reinterpret_cast")}
 
 
 def strip_code(text):
@@ -230,12 +244,30 @@ def check_threading_contracts(root):
     return failures
 
 
+def check_binstream_containment(root):
+    failures = []
+    for rel in iter_source_files(root, ["src", "tools"], {".cc", ".h"}):
+        if rel.startswith(BINSTREAM_STORE_PREFIX):
+            continue
+        exempt = BINSTREAM_SIMD_EXEMPT.get(rel)
+        for lineno, tok in token_lines(root, rel, BINSTREAM_TOKEN_RE):
+            if exempt is not None and exempt.fullmatch(tok):
+                continue
+            failures.append(
+                f"{rel}:{lineno}: raw serialization token '{tok}' outside "
+                f"{BINSTREAM_STORE_PREFIX} (binary encoding goes through "
+                f"store/binstream.h so versioning and checksums apply)"
+            )
+    return failures
+
+
 RULES = [
     ("avx-containment", check_avx_containment),
     ("kernel-fp-pinning", check_kernel_flags),
     ("rng-discipline", check_rng_discipline),
     ("no-deprecated-shims", check_no_deprecated),
     ("threading-contracts", check_threading_contracts),
+    ("binstream-containment", check_binstream_containment),
 ]
 
 
@@ -274,7 +306,10 @@ def _build_good_tree(root):
     _write(
         root,
         "src/rank/kernel_avx2.cc",
-        "#include <immintrin.h>\n__m256d v = _mm256_setzero_pd();\n",
+        "#include <immintrin.h>\n__m256d v = _mm256_setzero_pd();\n"
+        "// SIMD lane load: the one sanctioned reinterpret_cast outside\n"
+        "// src/store/ (in-register pun, never the wire).\n"
+        "auto* lanes = reinterpret_cast<const __m128i*>(nullptr);\n",
     )
     _write(root, "src/rank/kernel.cc", "// scalar kernel\n")
     _write(
@@ -299,6 +334,13 @@ def _build_good_tree(root):
         "src/clean/ok.cc",
         '// a comment saying std::mt19937 and rand() is fine\n'
         'const char* msg = "std::random_device in a string is fine";\n',
+    )
+    _write(
+        root,
+        "src/store/binstream.h",
+        "// The sanctioned home of raw serialization.\n"
+        "std::ofstream out(path, std::ios::binary);\n"
+        "out.write(reinterpret_cast<const char*>(data), size);\n",
     )
     _write(root, "tests/shuffle_test.cc", "std::mt19937 rng(7);\n")
 
@@ -343,6 +385,21 @@ def self_test():
             "threading-contracts",
             "src/clean/new_component.h",
             "// A header with no contract prose at all.\nclass C {};\n",
+        ),
+        (
+            "binstream-containment",
+            "src/model/dump.cc",
+            "void Dump(FILE* f) { fwrite(&hdr, sizeof(hdr), 1, f); }\n",
+        ),
+        (
+            "binstream-containment",
+            "src/clean/punned.cc",
+            "auto* raw = reinterpret_cast<const char*>(&record);\n",
+        ),
+        (
+            "binstream-containment",
+            "tools/export.cc",
+            "std::ofstream out(path, std::ios::binary);\n",
         ),
     ]
     for rule_name, rel, text in violations:

@@ -11,12 +11,18 @@
 //   plan      plan a cleaning campaign (dp | greedy | randp | randu)
 //   clean     plan and execute a campaign, write the cleaned database
 //   target    minimal budget to reach a quality target
+//   snapshot  save / load / inspect a binary pool snapshot (store/)
+//
+// query, quality and clean also accept --snapshot SNAP.bin in place of
+// --db: the pool warm-starts from the file with zero scans. A corrupt
+// or truncated snapshot exits with code 3 (data loss), not 1.
 //
 // Run `uclean_cli help` or any subcommand with missing flags for usage.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <thread>
@@ -38,6 +44,7 @@
 #include "pworld/pw_quality.h"
 #include "quality/evaluation.h"
 #include "rank/kernel.h"
+#include "store/snapshot.h"
 #include "quality/pwr.h"
 #include "quality/tp.h"
 #include "workload/cleaning_profile_gen.h"
@@ -60,15 +67,18 @@ commands:
            [--sc-pdf uniform|normal] [--sc-lo 0] [--sc-hi 1]
            [--sc-mean 0.5] [--sc-sigma 0.167] [--seed S]
   inspect  --db DB.csv [--rows 20]
-  query    --db DB.csv --k K [--k-ladder K1,K2,...] [--threads N|auto]
+  query    --db DB.csv|--snapshot SNAP.bin
+           --k K [--k-ladder K1,K2,...] [--threads N|auto]
            [--kernel scalar|avx2|auto]
            [--semantics all|ptk|ukranks|global] [--threshold 0.1]
-  quality  --db DB.csv --k K [--k-ladder K1,K2,...] [--threads N|auto]
+  quality  --db DB.csv|--snapshot SNAP.bin
+           --k K [--k-ladder K1,K2,...] [--threads N|auto]
            [--kernel scalar|avx2|auto]
            [--algo tp|pwr|pw|mc] [--samples 100000] [--seed S]
   plan     --db DB.csv --profile PROFILE.csv --k K --budget C
            [--planner dp|greedy|randp|randu] [--seed S]
-  clean    --db DB.csv --profile PROFILE.csv --k K --budget C --out OUT.csv
+  clean    --db DB.csv|--snapshot SNAP.bin
+           --profile PROFILE.csv --k K --budget C --out OUT.csv
            [--planner dp|greedy|randp|randu] [--seed S] [--adaptive]
            [--k-ladder K1,K2,...] [--sessions N] [--threads N|auto]
            [--kernel scalar|avx2|auto]
@@ -77,6 +87,12 @@ commands:
            [--retry-backoff-us U] [--breaker-threshold N]
   target   --db DB.csv --profile PROFILE.csv --k K --target Q
            [--max-budget 100000]
+  snapshot save --db DB.csv --out SNAP.bin
+           [--k K | --k-ladder K1,K2,...] [--sessions N]
+           [--threads N|auto] [--kernel scalar|avx2|auto]
+  snapshot load --snapshot SNAP.bin
+           [--threads N|auto] [--kernel scalar|avx2|auto]
+  snapshot inspect --snapshot SNAP.bin
 
 --k-ladder serves every listed k from ONE shared PSR scan (query and
 quality report per-k results; adaptive cleaning plans against the uniform
@@ -115,6 +131,18 @@ to --retry-max times with exponential backoff from --retry-backoff-us
 --breaker-threshold consecutive failed probes trip a per-source circuit
 breaker the planner then routes around. Failed probes never spend budget
 -- the adaptive loop reinvests it in sources that still answer.
+
+snapshot save runs the one shared scan + TP pass and persists the whole
+serving pool (database, engine scan state, sessions) to a versioned,
+checksummed binary file. snapshot load -- and --snapshot SNAP.bin on
+query/quality/clean, in place of --db -- warm-starts from that file with
+ZERO scans and bitwise-identical state; the k-ladder comes from the
+file, so --k/--k-ladder are rejected there (and --snapshot clean runs
+the pooled adaptive loop: pass --adaptive). --threads/--kernel remain
+the LOADER's choice -- execution mode is never persisted. snapshot
+inspect prints the section table after verifying every checksum. Any
+corrupt, truncated or version-mismatched snapshot exits with code 3
+(data loss) instead of the generic 1.
 )";
 
 /// Minimal --key value flag map.
@@ -317,6 +345,34 @@ Result<ScanCliOptions> BuildScanCliOptions(const Flags& flags) {
   return options;
 }
 
+/// The --threads/--kernel pair WITHOUT the ladder flags: the execution
+/// options a snapshot loader picks for itself. The k-ladder is the one
+/// flag a snapshot consumer must NOT pass -- the ladder is logical state
+/// and comes from the file -- so the mismatch is rejected with a pointed
+/// message instead of being silently overridden.
+Result<ExecOptions> BuildSnapshotExec(const Flags& flags) {
+  if (flags.Has("k") || flags.Has("k-ladder")) {
+    return Status::InvalidArgument(
+        "--snapshot serves the snapshot's own k-ladder; drop "
+        "--k/--k-ladder (use `snapshot save` to build a different ladder)");
+  }
+  CLI_ASSIGN_OR_RETURN(exec, ParseThreads(flags));
+  CLI_ASSIGN_OR_RETURN(kernel, ParseKernel(flags));
+  exec.kernel = kernel;
+  return exec;
+}
+
+/// "{5, 20}" for a raw meta ladder (KLadder::ToString's format, without
+/// constructing a KLadder from possibly-foreign bytes).
+std::string LadderToString(const std::vector<size_t>& ks) {
+  std::string out = "{";
+  for (size_t i = 0; i < ks.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(ks[i]);
+  }
+  return out + "}";
+}
+
 /// Parses the fault-injection flags into a FaultOptions. Injection is
 /// enabled by passing ANY of them; the fault stream is seeded off --seed
 /// decorrelated from the probe Rng (same seed value in two mt19937_64
@@ -478,25 +534,21 @@ Status RunInspect(const Flags& flags) {
   return Status::OK();
 }
 
-/// Prints the requested per-k answers from one shared ladder scan.
-Status RunQueryLadder(const ProbabilisticDatabase& db, const KLadder& ladder,
-                      const std::string& semantics, double threshold,
-                      const ExecOptions& exec) {
+/// Prints the requested per-k answers for a served ladder; `psr_at`
+/// yields rung `j`'s PSR output (a fresh scan for `query --db`, the
+/// reconstructed engine state for `query --snapshot`).
+Status PrintLadderAnswers(
+    const ProbabilisticDatabase& db, const KLadder& ladder,
+    const std::function<const PsrOutput&(size_t)>& psr_at,
+    const std::string& semantics, double threshold) {
   const bool ukranks = semantics == "all" || semantics == "ukranks";
   const bool ptk = semantics == "all" || semantics == "ptk";
   const bool global_topk = semantics == "all" || semantics == "global";
   if (!ukranks && !ptk && !global_topk) {
     return Status::InvalidArgument("unknown --semantics '" + semantics + "'");
   }
-  ScanRequest request;
-  request.ladder = ladder;
-  request.exec = exec;
-  Result<ScanResult> scan = ComputePsrLadder(db, request);
-  if (!scan.ok()) return scan.status();
-  std::printf("k-ladder %s from one shared PSR scan:\n",
-              ladder.ToString().c_str());
   for (size_t rung = 0; rung < ladder.size(); ++rung) {
-    const PsrOutput& psr = scan->output(rung);
+    const PsrOutput& psr = psr_at(rung);
     std::printf("-- k = %zu (%zu tuples with nonzero top-k probability)\n",
                 ladder[rung], psr.num_nonzero);
     if (ptk) {
@@ -520,7 +572,50 @@ Status RunQueryLadder(const ProbabilisticDatabase& db, const KLadder& ladder,
   return Status::OK();
 }
 
+/// Prints the requested per-k answers from one shared ladder scan.
+Status RunQueryLadder(const ProbabilisticDatabase& db, const KLadder& ladder,
+                      const std::string& semantics, double threshold,
+                      const ExecOptions& exec) {
+  ScanRequest request;
+  request.ladder = ladder;
+  request.exec = exec;
+  Result<ScanResult> scan = ComputePsrLadder(db, request);
+  if (!scan.ok()) return scan.status();
+  std::printf("k-ladder %s from one shared PSR scan:\n",
+              ladder.ToString().c_str());
+  return PrintLadderAnswers(
+      db, ladder, [&scan](size_t rung) -> const PsrOutput& {
+        return scan->output(rung);
+      },
+      semantics, threshold);
+}
+
+/// `query --snapshot`: serves the snapshot's ladder from the
+/// reconstructed pool -- zero scans, answers bitwise identical to the
+/// pool the writer saved. The served PSR state is a pristine session's
+/// fork (a memcpy of the engine state, still no scan).
+Status RunQueryFromSnapshot(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("snapshot"));
+  CLI_ASSIGN_OR_RETURN(exec, BuildSnapshotExec(flags));
+  CLI_ASSIGN_OR_RETURN(threshold, flags.GetDouble("threshold", 0.1));
+  const std::string semantics = flags.GetString("semantics", "all");
+  SessionPool::Options options;
+  options.exec = exec;
+  Result<SessionPool> pool = SessionPool::OpenFromSnapshot(path, options);
+  if (!pool.ok()) return pool.status();
+  const SessionPool::SessionId sid = pool->OpenSession();
+  std::printf("k-ladder %s served warm from %s (zero scans):\n",
+              pool->ladder().ToString().c_str(), path.c_str());
+  return PrintLadderAnswers(
+      pool->base(), pool->ladder(),
+      [&pool, sid](size_t rung) -> const PsrOutput& {
+        return pool->psr(sid, rung);
+      },
+      semantics, threshold);
+}
+
 Status RunQuery(const Flags& flags) {
+  if (flags.Has("snapshot")) return RunQueryFromSnapshot(flags);
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(scan_options, BuildScanCliOptions(flags));
   CLI_ASSIGN_OR_RETURN(threshold, flags.GetDouble("threshold", 0.1));
@@ -580,7 +675,32 @@ Status RunQuery(const Flags& flags) {
   return Status::OK();
 }
 
+/// `quality --snapshot`: the base TP ladder is part of the snapshot, so
+/// this is a pure read -- no scan, no TP pass.
+Status RunQualityFromSnapshot(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("snapshot"));
+  const std::string algo = flags.GetString("algo", "tp");
+  if (algo != "tp") {
+    return Status::InvalidArgument(
+        "--snapshot quality requires --algo tp (the snapshot persists the "
+        "TP ladder; other algorithms recompute from a database)");
+  }
+  CLI_ASSIGN_OR_RETURN(exec, BuildSnapshotExec(flags));
+  SessionPool::Options options;
+  options.exec = exec;
+  Result<SessionPool> pool = SessionPool::OpenFromSnapshot(path, options);
+  if (!pool.ok()) return pool.status();
+  std::printf("PWS-quality (TP, served warm from %s, zero scans):\n",
+              path.c_str());
+  for (size_t rung = 0; rung < pool->num_rungs(); ++rung) {
+    std::printf("  k = %zu: %.6f\n", pool->ladder()[rung],
+                pool->base_tp(rung).quality);
+  }
+  return Status::OK();
+}
+
 Status RunQuality(const Flags& flags) {
+  if (flags.Has("snapshot")) return RunQualityFromSnapshot(flags);
   CLI_ASSIGN_OR_RETURN(path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(scan_options, BuildScanCliOptions(flags));
   const KLadder& ladder = scan_options.ladder;
@@ -699,7 +819,9 @@ Status RunPlan(const Flags& flags) {
 }
 
 /// `clean --adaptive --sessions N [--pipeline]`: N concurrent adaptive
-/// cleaning sessions over ONE shared scan (SessionPool). Each session is
+/// cleaning sessions over ONE shared scan (SessionPool). The pool is the
+/// caller's -- built by a fresh Create for `clean --db`, reconstructed
+/// with zero scans for `clean --snapshot`. Each session is
 /// an independent analyst running the plan/execute/re-plan loop with the
 /// full budget against their own copy-on-write view; the pool amortizes
 /// the database copy, PSR scan, checkpoint set and TP pass a dedicated
@@ -709,17 +831,11 @@ Status RunPlan(const Flags& flags) {
 /// planning) with --pipeline -- per-session results are bitwise equal
 /// either way. Session 0's merged database is written to --out (the
 /// others are what-if runs that close unmaterialized).
-Status RunCleanPool(const ProbabilisticDatabase& db,
-                    const CleaningProfile& profile, const KLadder& ladder,
+Status RunCleanPool(SessionPool* pool, const CleaningProfile& profile,
                     int64_t budget, size_t num_sessions, PlannerKind planner,
-                    uint64_t seed, const ExecOptions& exec, bool pipeline,
-                    int64_t probe_latency_us, const FaultOptions& fault,
-                    const std::string& out) {
-  SessionPool::Options pool_options;
-  pool_options.exec = exec;
-  Result<SessionPool> pool =
-      SessionPool::Create(ProbabilisticDatabase(db), ladder, pool_options);
-  if (!pool.ok()) return pool.status();
+                    uint64_t seed, bool pipeline, int64_t probe_latency_us,
+                    const FaultOptions& fault, const std::string& out) {
+  const ExecOptions& exec = pool->exec();
   const size_t rungs = pool->num_rungs();
   double initial = 0.0;
   for (size_t j = 0; j < rungs; ++j) {
@@ -754,7 +870,7 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
     }
   }
   Result<PipelineReport> report = RunPipelinedCleaning(
-      &*pool, ids, profile, budget, &rngs, pipeline_options);
+      pool, ids, profile, budget, &rngs, pipeline_options);
   if (!report.ok()) return report.status();
 
   std::printf("session pool: %zu adaptive sessions over one shared scan, "
@@ -787,7 +903,56 @@ Status RunCleanPool(const ProbabilisticDatabase& db,
   return WriteDatabaseCsvFile(*merged, out);
 }
 
+/// `clean --snapshot`: warm-starts the serving pool from a snapshot file
+/// (zero scans) and runs the pooled adaptive loop against it. The ladder
+/// is the snapshot's; the executor, planner, budget and fault knobs are
+/// this run's. Sessions saved in the snapshot stay open untouched --
+/// the campaign here drives --sessions N freshly opened forks.
+Status RunCleanFromSnapshot(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("snapshot"));
+  CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
+  CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
+  CLI_ASSIGN_OR_RETURN(budget, flags.GetInt("budget"));
+  CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 1));
+  CLI_ASSIGN_OR_RETURN(planner,
+                       ParsePlanner(flags.GetString("planner", "greedy")));
+  if (!flags.Has("adaptive")) {
+    return Status::InvalidArgument(
+        "--snapshot cleaning runs the pooled adaptive loop; pass "
+        "--adaptive");
+  }
+  CLI_ASSIGN_OR_RETURN(exec, BuildSnapshotExec(flags));
+  CLI_ASSIGN_OR_RETURN(sessions, flags.GetInt("sessions", 1));
+  if (sessions < 1) {
+    return Status::InvalidArgument("--sessions must be >= 1");
+  }
+  CLI_ASSIGN_OR_RETURN(probe_latency_us, flags.GetInt("probe-latency-us", 0));
+  if (probe_latency_us < 0 || probe_latency_us > 60000000) {
+    return Status::InvalidArgument(
+        "bad --probe-latency-us '" + flags.GetString("probe-latency-us", "") +
+        "': expected microseconds in [0, 60000000]");
+  }
+  CLI_ASSIGN_OR_RETURN(fault,
+                       ParseFaultOptions(flags, static_cast<uint64_t>(seed)));
+
+  Result<CleaningProfile> profile = ReadProfileCsvFile(profile_path);
+  if (!profile.ok()) return profile.status();
+  SessionPool::Options pool_options;
+  pool_options.exec = exec;
+  Result<SessionPool> pool = SessionPool::OpenFromSnapshot(path, pool_options);
+  if (!pool.ok()) return pool.status();
+  std::printf("warm start: pool reconstructed from %s (zero scans)\n",
+              path.c_str());
+  UCLEAN_RETURN_IF_ERROR(RunCleanPool(
+      &*pool, *profile, budget, static_cast<size_t>(sessions), planner,
+      static_cast<uint64_t>(seed), flags.Has("pipeline"), probe_latency_us,
+      fault, out));
+  std::printf("cleaned database written to %s\n", out.c_str());
+  return Status::OK();
+}
+
 Status RunClean(const Flags& flags) {
+  if (flags.Has("snapshot")) return RunCleanFromSnapshot(flags);
   CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
   CLI_ASSIGN_OR_RETURN(profile_path, flags.GetString("profile"));
   CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
@@ -838,10 +1003,14 @@ Status RunClean(const Flags& flags) {
         "tolerance lives in the adaptive probe loop)");
   }
   if (pooled) {
+    SessionPool::Options pool_options;
+    pool_options.exec = exec;
+    Result<SessionPool> pool = SessionPool::Create(
+        ProbabilisticDatabase(*db), cli_ladder, pool_options);
+    if (!pool.ok()) return pool.status();
     UCLEAN_RETURN_IF_ERROR(RunCleanPool(
-        *db, *profile, cli_ladder, budget, static_cast<size_t>(sessions),
-        planner, static_cast<uint64_t>(seed), exec, pipeline,
-        probe_latency_us, fault, out));
+        &*pool, *profile, budget, static_cast<size_t>(sessions), planner,
+        static_cast<uint64_t>(seed), pipeline, probe_latency_us, fault, out));
     std::printf("cleaned database written to %s\n", out.c_str());
     return Status::OK();
   }
@@ -932,6 +1101,111 @@ Status RunTarget(const Flags& flags) {
   return Status::OK();
 }
 
+/// `snapshot save`: builds a serving pool (one shared scan + TP pass),
+/// opens --sessions pristine forks, and persists the whole thing.
+Status RunSnapshotSave(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(out, flags.GetString("out"));
+  CLI_ASSIGN_OR_RETURN(scan_options, BuildScanCliOptions(flags));
+  CLI_ASSIGN_OR_RETURN(sessions, flags.GetInt("sessions", 0));
+  if (sessions < 0 || sessions > 100000) {
+    return Status::InvalidArgument(
+        "bad --sessions '" + flags.GetString("sessions", "") +
+        "': expected a count in [0, 100000]");
+  }
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
+  if (!db.ok()) return db.status();
+  SessionPool::Options pool_options;
+  pool_options.exec = scan_options.exec;
+  Result<SessionPool> pool = SessionPool::Create(
+      std::move(*db), scan_options.ladder, pool_options);
+  if (!pool.ok()) return pool.status();
+  for (int64_t s = 0; s < sessions; ++s) pool->OpenSession();
+  UCLEAN_RETURN_IF_ERROR(store::WriteSnapshot(*pool, out));
+  Result<store::SnapshotInfo> info = store::InspectSnapshot(out);
+  if (!info.ok()) return info.status();
+  std::printf("wrote snapshot %s: %llu bytes, %zu sections, k-ladder %s, "
+              "%lld open sessions\n",
+              out.c_str(), static_cast<unsigned long long>(info->file_size),
+              info->sections.size(), pool->ladder().ToString().c_str(),
+              static_cast<long long>(sessions));
+  return Status::OK();
+}
+
+/// `snapshot load`: full warm-start reconstruction plus a summary of
+/// what came back -- the smoke test for "can this file serve".
+Status RunSnapshotLoad(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("snapshot"));
+  CLI_ASSIGN_OR_RETURN(exec, BuildSnapshotExec(flags));
+  SessionPool::Options options;
+  options.exec = exec;
+  Result<store::LoadedSnapshot> loaded = store::ReadSnapshot(path, options);
+  if (!loaded.ok()) return loaded.status();
+  const SessionPool& pool = loaded->pool;
+  const store::SnapshotMeta& meta = loaded->meta;
+  std::printf("loaded snapshot %s with zero scans (written by %s, %s "
+              "kernel, %llu threads)\n",
+              path.c_str(), meta.tool.c_str(), meta.kernel.c_str(),
+              static_cast<unsigned long long>(meta.threads));
+  std::printf("  %zu x-tuples / %zu tuples, k-ladder %s, %zu open "
+              "sessions%s\n",
+              pool.base().num_xtuples(), pool.base().num_tuples(),
+              pool.ladder().ToString().c_str(), pool.num_open(),
+              loaded->has_campaign ? ", paused campaign attached" : "");
+  for (size_t rung = 0; rung < pool.num_rungs(); ++rung) {
+    std::printf("  k = %zu: base quality %.6f\n", pool.ladder()[rung],
+                pool.base_tp(rung).quality);
+  }
+  return Status::OK();
+}
+
+/// `snapshot inspect`: container-level report -- verifies every CRC and
+/// prints the section table without reconstructing the pool.
+Status RunSnapshotInspect(const Flags& flags) {
+  CLI_ASSIGN_OR_RETURN(path, flags.GetString("snapshot"));
+  Result<store::SnapshotInfo> info = store::InspectSnapshot(path);
+  if (!info.ok()) return info.status();
+  std::printf("snapshot %s: format v%u, feature flags 0x%x, %llu bytes, "
+              "all checksums verified\n",
+              path.c_str(), info->format_version, info->feature_flags,
+              static_cast<unsigned long long>(info->file_size));
+  std::printf("  %-10s %4s %8s %10s %12s %10s\n", "section", "id", "version",
+              "offset", "size", "crc");
+  for (const store::SectionInfo& s : info->sections) {
+    std::printf("  %-10s %4u %8u %10llu %12llu 0x%08x\n", s.name.c_str(),
+                s.id, s.version, static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.size), s.crc);
+  }
+  if (info->has_meta) {
+    std::printf("  meta: written by %s (%s kernel, %llu threads), %llu "
+                "x-tuples / %llu tuples, k-ladder %s, %llu sessions\n",
+                info->meta.tool.c_str(), info->meta.kernel.c_str(),
+                static_cast<unsigned long long>(info->meta.threads),
+                static_cast<unsigned long long>(info->meta.num_xtuples),
+                static_cast<unsigned long long>(info->meta.num_tuples),
+                LadderToString(info->meta.ladder).c_str(),
+                static_cast<unsigned long long>(info->meta.num_sessions));
+  }
+  return Status::OK();
+}
+
+/// Dispatches `snapshot <action> --flags`: the one command with a
+/// positional action word, so it parses its own argv tail.
+Status RunSnapshot(int argc, char** argv) {
+  if (argc < 3) {
+    return Status::InvalidArgument(
+        "snapshot needs an action: save, load or inspect");
+  }
+  const std::string action = argv[2];
+  Result<Flags> flags = Flags::Parse(argc, argv, 3);
+  if (!flags.ok()) return flags.status();
+  if (action == "save") return RunSnapshotSave(*flags);
+  if (action == "load") return RunSnapshotLoad(*flags);
+  if (action == "inspect") return RunSnapshotInspect(*flags);
+  return Status::InvalidArgument("unknown snapshot action '" + action +
+                                 "' (expected save, load or inspect)");
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2 || std::string_view(argv[1]) == "help" ||
       std::string_view(argv[1]) == "--help") {
@@ -939,6 +1213,15 @@ int Main(int argc, char** argv) {
     return argc < 2 ? 1 : 0;
   }
   const std::string command = argv[1];
+  if (command == "snapshot") {
+    // `snapshot` takes a positional action word before its flags.
+    const Status status = RunSnapshot(argc, argv);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return status.code() == StatusCode::kDataLoss ? 3 : 1;
+    }
+    return 0;
+  }
   Result<Flags> flags = Flags::Parse(argc, argv, 2);
   Status status = Status::OK();
   if (!flags.ok()) {
@@ -966,7 +1249,10 @@ int Main(int argc, char** argv) {
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
+    // Data loss (corrupt/truncated/version-mismatched snapshot) gets its
+    // own exit code so scripts and CI can tell "bad file" from "bad
+    // flags" without scraping stderr.
+    return status.code() == StatusCode::kDataLoss ? 3 : 1;
   }
   return 0;
 }
