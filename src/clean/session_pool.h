@@ -151,6 +151,16 @@ class SessionPool {
   /// The base TP state of rung `rung` (what a fresh session starts from).
   const TpOutput& base_tp(size_t rung = 0) const { return base_tps_[rung]; }
 
+  /// Admission hooks for the serving front-end (src/serve/): the shared
+  /// engine's maintained PSR output for rung `rung`. For a pristine
+  /// session this IS the session's state (ForkSession is a memcpy), so
+  /// replay-from-checkpoint serving reads base queries straight from
+  /// here with zero scans; the rung scan_ends also anchor the cost
+  /// model's ScanDepthProbe. Read-only after Create/OpenFromSnapshot.
+  const PsrOutput& base_psr(size_t rung = 0) const {
+    return engine_.output(rung);
+  }
+
   /// The resolved execution options (Options::exec after ResolveExec):
   /// the ONE executor shared by the base scan, session replays, RefreshAll
   /// and -- through clean/pipeline.h -- in-flight probe batches.

@@ -174,6 +174,14 @@ Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
   return std::move((*outs)[0]);
 }
 
+Result<TpOutput> ComputeTpQuality(const DatabaseOverlay& db,
+                                  const PsrOutput& psr) {
+  const PsrOutput* ptr = &psr;
+  Result<std::vector<TpOutput>> outs = ComputeImpl(db, &ptr, 1, {});
+  if (!outs.ok()) return outs.status();
+  return std::move((*outs)[0]);
+}
+
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k) {
   Result<ScanRequest> request = ScanRequest::ForK(k);
   if (!request.ok()) return request.status();

@@ -66,6 +66,14 @@ struct TpOutput {
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db,
                                   const PsrOutput& psr);
 
+/// Overlay form for the serving front-end (src/serve/): quality of one
+/// session's copy-on-write view (base + its own outcomes) from a PSR
+/// pass over the same view. The TP pass is view-templated, so this is
+/// the exact arithmetic of the database form -- results are bitwise what
+/// the materialized cleaned database would produce.
+Result<TpOutput> ComputeTpQuality(const DatabaseOverlay& db,
+                                  const PsrOutput& psr);
+
 /// Convenience: runs PSR (with default options) and TP in sequence.
 Result<TpOutput> ComputeTpQuality(const ProbabilisticDatabase& db, size_t k);
 

@@ -1,0 +1,108 @@
+#include "serve/cost_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "rank/psr.h"
+
+namespace uclean {
+namespace serve {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSequential:
+      return "seq";
+    case PlanKind::kSharded:
+      return "shard";
+    case PlanKind::kLadderShared:
+      return "ladder";
+    case PlanKind::kReplay:
+      return "replay";
+  }
+  UCLEAN_CHECK(false);
+  return "";
+}
+
+Result<PlanKind> ParsePlanKind(std::string_view name) {
+  if (name == "seq") return PlanKind::kSequential;
+  if (name == "shard") return PlanKind::kSharded;
+  if (name == "ladder") return PlanKind::kLadderShared;
+  if (name == "replay") return PlanKind::kReplay;
+  return Status::InvalidArgument("unknown plan '" + std::string(name) +
+                                 "' (want seq|shard|ladder|replay)");
+}
+
+double CostModel::Estimate(PlanKind kind, const CostInputs& inputs) const {
+  const double depth = static_cast<double>(inputs.scan_depth);
+  const double admission = session_ns * static_cast<double>(inputs.pool_occupancy);
+  switch (kind) {
+    case PlanKind::kSequential:
+      return admission + tuple_ns * depth;
+    case PlanKind::kSharded: {
+      if (inputs.num_threads <= 1) return kInfeasible;
+      const double speed =
+          1.0 + shard_efficiency * static_cast<double>(inputs.num_threads - 1);
+      return admission + shard_setup_ns + tuple_ns * depth / speed;
+    }
+    case PlanKind::kLadderShared: {
+      if (inputs.rung_count <= 1) return kInfeasible;
+      const double rungs = static_cast<double>(inputs.rung_count);
+      // One shared scan (the deepest rung's depth dominates; `depth` is
+      // this request's own estimate, a lower bound) plus per-rung
+      // emission, amortized over the batch.
+      return admission + (tuple_ns * depth + rung_emit_ns * rungs) / rungs;
+    }
+    case PlanKind::kReplay:
+      if (!inputs.replay_available) return kInfeasible;
+      return admission + replay_read_ns;
+  }
+  UCLEAN_CHECK(false);
+  return kInfeasible;
+}
+
+PlanKind CostModel::Choose(const CostInputs& inputs) const {
+  PlanKind best = PlanKind::kSequential;
+  double best_cost = Estimate(best, inputs);
+  for (PlanKind kind : {PlanKind::kSharded, PlanKind::kLadderShared,
+                        PlanKind::kReplay}) {
+    const double cost = Estimate(kind, inputs);
+    if (cost < best_cost) {
+      best = kind;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+CostModel CostModel::Measure(const ProbabilisticDatabase& db) {
+  CostModel model;
+  Result<ScanRequest> request = ScanRequest::ForK(8);
+  UCLEAN_CHECK(request.ok());
+  Stopwatch timer;
+  Result<ScanResult> scan = ComputePsrLadder(db, *request);
+  const double elapsed_ns = timer.ElapsedSeconds() * 1e9;
+  if (scan.ok() && scan->output().scan_end > 0) {
+    const double measured =
+        elapsed_ns / static_cast<double>(scan->output().scan_end);
+    // Clamp: a cold first scan or a timer blip must not produce a model
+    // that believes scans are free or astronomically expensive.
+    model.tuple_ns = std::min(std::max(measured, 1.0), 100000.0);
+  }
+  return model;
+}
+
+std::string PlanRecord::ToString() const {
+  std::string out = "plan=";
+  out += PlanKindName(chosen);
+  out += " exec=";
+  out += PlanKindName(executed);
+  out += " forced=";
+  out += forced ? '1' : '0';
+  out += " batch=" + std::to_string(batch_size);
+  out += " threads=" + std::to_string(threads);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace uclean

@@ -1,0 +1,133 @@
+// Cost-based plan selection for the serving front-end (serve/frontend.h).
+//
+// Every admitted top-k / quality request can be executed four ways, and
+// all four produce bitwise-identical answers (the scan is deterministic
+// for any thread count, kernel and ladder composition), so plan choice is
+// purely a latency decision -- a timing-driven model can never change a
+// result:
+//
+//  * kSequential    one single-threaded scan for this request alone;
+//  * kSharded       the same scan, rank-range sharded over the exec pool
+//                   (rank/sharded_scan.h);
+//  * kLadderShared  the request joins the admission batcher's on-the-fly
+//                   KLadder and shares ONE scan with every compatible
+//                   request in the round (generalizing multi-k sharing to
+//                   strangers);
+//  * kReplay        no scan at all: the answer is read from the warm
+//                   SessionPool's maintained per-rung state
+//                   (replay-from-checkpoint serving, PsrEngine
+//                   checkpoints + suffix replays keep it current).
+//
+// The model is a handful of measured calibration constants applied to the
+// request's CostInputs (tuple count, estimated live prefix depth, rung
+// count of the candidate batch, pool occupancy, exec width). Estimate()
+// returns kInfeasible for strategies the inputs cannot execute (sharding
+// without threads, ladder sharing without a batch, replay off the warm
+// ladder); Choose() picks the cheapest feasible strategy. A forced plan
+// (--plan / per-request "plan=") bypasses Choose() entirely -- that seam
+// is what the cost-model unit tests pin each strategy with -- and every
+// decision is recorded in the reply as a PlanRecord (chosen vs executed,
+// ScanResult-style), so plan selection stays observable and testable.
+//
+// Threading: CostModel and the helper types are plain immutable values;
+// const use from any thread is safe. Measure() runs a scan and must not
+// race with other users of its database.
+
+#ifndef UCLEAN_SERVE_COST_MODEL_H_
+#define UCLEAN_SERVE_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "model/database.h"
+
+namespace uclean {
+namespace serve {
+
+/// The four execution strategies the front-end picks between.
+enum class PlanKind : uint8_t {
+  kSequential = 0,
+  kSharded = 1,
+  kLadderShared = 2,
+  kReplay = 3,
+};
+
+inline constexpr size_t kNumPlanKinds = 4;
+
+/// Short wire/CLI name: "seq", "shard", "ladder", "replay".
+const char* PlanKindName(PlanKind kind);
+
+/// Parses a PlanKindName spelling. Fails with InvalidArgument on anything
+/// else ("auto" is not a PlanKind -- callers map it to "no forced plan").
+Result<PlanKind> ParsePlanKind(std::string_view name);
+
+/// Everything the model knows about one candidate execution.
+struct CostInputs {
+  size_t num_tuples = 0;       ///< tuple count of the served database
+  size_t scan_depth = 0;       ///< estimated live prefix depth for this k
+  size_t rung_count = 1;       ///< distinct ks in the candidate batch
+  size_t pool_occupancy = 0;   ///< open sessions on the warm pool
+  size_t num_threads = 1;      ///< resolved exec width
+  bool replay_available = false;  ///< k on the warm ladder, state current
+};
+
+/// Calibration constants + the estimate/choice functions. The defaults
+/// are honest same-order figures for the scan core; Measure() replaces
+/// the per-position constant with one timed on the actual database.
+struct CostModel {
+  /// Cost per live-prefix position of the count-vector recurrence, ns.
+  double tuple_ns = 40.0;
+  /// Fixed fan-out/merge overhead of a sharded scan, ns.
+  double shard_setup_ns = 50000.0;
+  /// Fraction of extra threads that turns into speedup (boundary-state
+  /// rebuilds and the final merge are sequential).
+  double shard_efficiency = 0.7;
+  /// Per-rung emission cost a ladder adds to the shared scan, ns.
+  double rung_emit_ns = 2000.0;
+  /// Cost of serving straight from maintained pool state, ns.
+  double replay_read_ns = 1500.0;
+  /// Per-open-session admission bookkeeping, ns.
+  double session_ns = 100.0;
+
+  /// Estimate() result for a strategy `inputs` cannot execute.
+  static constexpr double kInfeasible = 1e300;
+
+  /// Estimated per-request latency of `kind` under `inputs`, in ns
+  /// (ladder sharing amortizes the scan over the batch). kInfeasible when
+  /// the strategy does not apply.
+  double Estimate(PlanKind kind, const CostInputs& inputs) const;
+
+  /// The cheapest feasible strategy (kSequential is always feasible;
+  /// ties break toward the smaller enum value).
+  PlanKind Choose(const CostInputs& inputs) const;
+
+  /// Times one small calibration scan of `db` and returns a model whose
+  /// tuple_ns matches the measured per-position cost (other constants
+  /// keep their defaults). Plan choice may then depend on the timing;
+  /// answers never do -- every strategy is bitwise-equal by construction.
+  static CostModel Measure(const ProbabilisticDatabase& db);
+};
+
+/// ScanResult-style record of one plan decision, carried in every reply:
+/// what the model (or the override) chose, what actually ran -- a chosen
+/// kLadderShared degrades to a per-request scan when the round leaves the
+/// request alone in its batch -- and the context of the decision.
+struct PlanRecord {
+  PlanKind chosen = PlanKind::kSequential;
+  PlanKind executed = PlanKind::kSequential;
+  bool forced = false;      ///< chosen came from --plan / "plan=", not Choose
+  size_t batch_size = 1;    ///< requests sharing the executed scan
+  size_t threads = 1;       ///< exec width of the executed scan
+  double estimate_ns = 0.0; ///< Estimate(chosen) at decision time
+
+  /// "plan=ladder exec=ladder forced=0 batch=4 threads=2".
+  std::string ToString() const;
+};
+
+}  // namespace serve
+}  // namespace uclean
+
+#endif  // UCLEAN_SERVE_COST_MODEL_H_

@@ -1,0 +1,166 @@
+// Serving front-end: admission, batching, cost-based plan selection and
+// execution of top-k / quality / clean requests over one warm SessionPool.
+//
+// Every connected client owns one pooled cleaning session (its private
+// copy-on-write view of the shared base) plus one seeded Rng for its
+// probes. Requests execute in ADMISSION ROUNDS: the I/O loop
+// (serve/server.h) hands ExecuteRound at most one request per client, in
+// arrival order, and gets one reply per request back. Client state is
+// pairwise disjoint (a clean touches only its own overlay; a query reads
+// only its own view), so any interleaving of rounds produces results
+// bitwise equal to running each client's stream alone through the
+// one-shot APIs -- the determinism keystone tests/serve_test.cc holds
+// across thread counts and batching modes.
+//
+// The ADMISSION BATCHER generalizes multi-k ladder sharing to strangers:
+// all compatible top-k/quality requests of a round -- same database view,
+// i.e. clients whose sessions are still pristine -- merge their distinct
+// ks into one on-the-fly KLadder and share a single scan; each request
+// then reads its own rung. A rung of a merged scan is bitwise the output
+// of a dedicated single-k scan (the count-vector recurrence is
+// k-independent and untruncated, emission latches per rung, the Lemma-2
+// stop fires per rung), so batching never changes an answer, only its
+// latency.
+//
+// Plan selection (serve/cost_model.h) picks per request between the four
+// bitwise-equal strategies -- sequential, sharded, ladder-shared, replay
+// from the pool's checkpointed state -- and records the decision in the
+// reply's PlanRecord. FrontendOptions::forced_plan / a request's "plan="
+// token pin a strategy (the testing seam); a forced strategy the request
+// cannot execute (replay off the warm ladder, sharding without threads)
+// yields a kFailedPrecondition reply.
+//
+// Threading: SERIALIZED CALLER, like the pool it drives. One I/O loop
+// thread calls Connect/Disconnect/Execute*; hardware parallelism is
+// applied THROUGH the pool's ExecOptions (sharded scans, fanned
+// refreshes), never by calling the front-end concurrently.
+
+#ifndef UCLEAN_SERVE_FRONTEND_H_
+#define UCLEAN_SERVE_FRONTEND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "clean/problem.h"
+#include "clean/session_pool.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "rank/psr.h"
+#include "serve/cost_model.h"
+#include "serve/protocol.h"
+
+namespace uclean {
+namespace serve {
+
+struct FrontendOptions {
+  /// Merge compatible same-view top-k/quality requests of a round into
+  /// one shared ladder scan. Off = every request executes alone (the
+  /// bench's per-request baseline). Answers are identical either way.
+  bool batching = true;
+
+  /// Upper bound on requests sharing one merged scan.
+  size_t max_batch = 64;
+
+  /// Pin every query to one strategy (CLI --plan); per-request "plan="
+  /// tokens override this. Empty = cost model decides.
+  std::optional<PlanKind> forced_plan;
+
+  /// Base seed of the per-client probe Rngs (ClientSeed below).
+  uint64_t seed = 2026;
+
+  /// Calibration constants; see CostModel::Measure for measured ones.
+  CostModel cost;
+};
+
+class Frontend {
+ public:
+  using ClientId = size_t;
+
+  /// Takes ownership of a warm pool (Create or OpenFromSnapshot).
+  /// `profile` supplies probe costs/sc-probabilities for clean requests;
+  /// without one every clean yields a kFailedPrecondition reply.
+  static Result<Frontend> Create(SessionPool pool,
+                                 std::optional<CleaningProfile> profile,
+                                 const FrontendOptions& options);
+
+  /// Per-client probe-stream seed: connection order fully determines
+  /// every client's randomness (shared with the serial test oracle).
+  static uint64_t ClientSeed(uint64_t seed, size_t client_index);
+
+  /// Admits a client: opens a pooled session and seeds its Rng with
+  /// ClientSeed(options.seed, <number of connects so far>).
+  ClientId Connect();
+
+  /// Closes a client's session. Requires an open id.
+  Status Disconnect(ClientId client);
+
+  /// Executes one admission round: at most one request per client (the
+  /// caller's per-connection queues guarantee per-client order), replies
+  /// in `round` order. Never fails as a whole -- per-request problems
+  /// come back as error replies.
+  std::vector<Reply> ExecuteRound(
+      const std::vector<std::pair<ClientId, Request>>& round);
+
+  /// Single-request convenience (a round of one).
+  Reply Execute(ClientId client, const Request& request);
+
+  /// Fingerprint of the client's Rng state (Fnv1a64 over the engine's
+  /// portable encoding): equal fingerprints = identical future streams.
+  /// Requires an open id (hard check).
+  uint64_t RngFingerprint(ClientId client) const;
+
+  size_t num_clients() const { return num_open_; }
+  const SessionPool& pool() const { return pool_; }
+  const FrontendOptions& options() const { return options_; }
+
+ private:
+  struct Client {
+    bool open = false;
+    SessionPool::SessionId session = 0;
+    std::unique_ptr<Rng> rng;
+    /// True once any clean outcome landed in this client's overlay; its
+    /// queries then run over the overlay view and leave the batcher.
+    bool dirty_view = false;
+  };
+
+  Frontend(SessionPool pool, std::optional<CleaningProfile> profile,
+           FrontendOptions options);
+
+  const Client& Slot(ClientId client) const;
+  CostInputs InputsFor(size_t k, size_t rung_count) const;
+
+  /// Decides the plan for one query (forced seam included). Not-OK means
+  /// an infeasible forced plan.
+  Result<PlanRecord> DecidePlan(const Request& request, size_t rung_count);
+
+  /// Executes one query alone (kSequential / kSharded / 1-rung forced
+  /// ladder) over `client`'s view and fills `reply`.
+  void ExecuteSingle(const Client& client, const Request& request,
+                     PlanRecord record, Reply* reply);
+
+  /// Serves a query from the pool's maintained rung state (kReplay).
+  void ExecuteReplay(const Client& client, const Request& request,
+                     PlanRecord record, Reply* reply);
+
+  Reply ExecuteClean(ClientId client_id, const Request& request);
+  Reply ExecuteStats() const;
+
+  void FillTopk(const PsrOutput& psr, Reply* reply) const;
+
+  SessionPool pool_;
+  std::optional<CleaningProfile> profile_;
+  FrontendOptions options_;
+  ScanDepthProbe depth_probe_;
+  std::vector<Client> clients_;
+  size_t num_open_ = 0;
+  size_t num_connects_ = 0;  ///< total ever, drives ClientSeed
+};
+
+}  // namespace serve
+}  // namespace uclean
+
+#endif  // UCLEAN_SERVE_FRONTEND_H_

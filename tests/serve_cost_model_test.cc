@@ -1,0 +1,296 @@
+// Cost-based plan selection (serve/cost_model.h): each of the four
+// strategies is pinned by crafted inputs, the forced-plan seam routes
+// every strategy through the front-end, all four return bitwise-equal
+// answers, and the recorded PlanRecord matches what actually ran.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clean/session_pool.h"
+#include "gtest/gtest.h"
+#include "model/database.h"
+#include "serve/cost_model.h"
+#include "serve/frontend.h"
+#include "serve/protocol.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace serve {
+namespace {
+
+ProbabilisticDatabase MakeDb() {
+  SyntheticOptions opts;
+  opts.num_xtuples = 60;
+  opts.tuples_per_xtuple = 4;
+  opts.real_mass_min = 0.6;
+  opts.real_mass_max = 1.0;
+  opts.seed = 17;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(*db);
+}
+
+/// Warm pool over ladder {5, 20} with `threads` exec width: k=5 keeps
+/// replay feasible, two threads keep sharding feasible.
+Result<Frontend> MakeFrontend(size_t threads,
+                              FrontendOptions options = FrontendOptions()) {
+  Result<KLadder> ladder = KLadder::Of({5, 20});
+  EXPECT_TRUE(ladder.ok());
+  SessionPool::Options pool_options;
+  pool_options.exec.num_threads = threads;
+  Result<SessionPool> pool =
+      SessionPool::Create(MakeDb(), *ladder, pool_options);
+  EXPECT_TRUE(pool.ok()) << pool.status().ToString();
+  return Frontend::Create(std::move(*pool), std::nullopt, options);
+}
+
+Request TopkRequest(size_t k, std::optional<PlanKind> plan = std::nullopt) {
+  Request request;
+  request.verb = Verb::kTopk;
+  request.k = k;
+  request.plan = plan;
+  return request;
+}
+
+// ------------------------------------------------------------- Estimate
+
+TEST(CostModelTest, FeasibilityGates) {
+  const CostModel model;
+  CostInputs inputs;
+  inputs.num_tuples = 1000;
+  inputs.scan_depth = 500;
+
+  // Sequential is always feasible.
+  EXPECT_LT(model.Estimate(PlanKind::kSequential, inputs),
+            CostModel::kInfeasible);
+  // Sharding needs more than one thread.
+  inputs.num_threads = 1;
+  EXPECT_EQ(model.Estimate(PlanKind::kSharded, inputs),
+            CostModel::kInfeasible);
+  inputs.num_threads = 2;
+  EXPECT_LT(model.Estimate(PlanKind::kSharded, inputs),
+            CostModel::kInfeasible);
+  // Ladder sharing needs a batch of at least two distinct rungs.
+  inputs.rung_count = 1;
+  EXPECT_EQ(model.Estimate(PlanKind::kLadderShared, inputs),
+            CostModel::kInfeasible);
+  inputs.rung_count = 2;
+  EXPECT_LT(model.Estimate(PlanKind::kLadderShared, inputs),
+            CostModel::kInfeasible);
+  // Replay needs current maintained state for this k.
+  inputs.replay_available = false;
+  EXPECT_EQ(model.Estimate(PlanKind::kReplay, inputs), CostModel::kInfeasible);
+  inputs.replay_available = true;
+  EXPECT_LT(model.Estimate(PlanKind::kReplay, inputs), CostModel::kInfeasible);
+}
+
+TEST(CostModelTest, AdmissionCostScalesWithPoolOccupancy) {
+  const CostModel model;
+  CostInputs a;
+  a.scan_depth = 100;
+  CostInputs b = a;
+  b.pool_occupancy = 10;
+  EXPECT_DOUBLE_EQ(model.Estimate(PlanKind::kSequential, b) -
+                       model.Estimate(PlanKind::kSequential, a),
+                   model.session_ns * 10);
+}
+
+// --------------------------------------------------------------- Choose
+
+TEST(CostModelTest, ChoosesSequentialForShallowSoloScans) {
+  const CostModel model;
+  CostInputs inputs;
+  inputs.scan_depth = 100;  // 4us of scan: overheads dwarf it
+  inputs.num_threads = 8;
+  EXPECT_EQ(model.Choose(inputs), PlanKind::kSequential);
+}
+
+TEST(CostModelTest, ChoosesShardedForDeepSoloScansWithThreads) {
+  const CostModel model;
+  CostInputs inputs;
+  inputs.scan_depth = 10'000'000;  // 400ms sequential
+  inputs.num_threads = 8;
+  EXPECT_EQ(model.Choose(inputs), PlanKind::kSharded);
+}
+
+TEST(CostModelTest, ChoosesLadderSharingForBatchedDeepScans) {
+  const CostModel model;
+  CostInputs inputs;
+  inputs.scan_depth = 1'000'000;
+  inputs.num_threads = 1;  // sharding off the table
+  inputs.rung_count = 4;   // amortize the scan four ways
+  EXPECT_EQ(model.Choose(inputs), PlanKind::kLadderShared);
+}
+
+TEST(CostModelTest, ChoosesReplayWhenWarmStateServes) {
+  const CostModel model;
+  CostInputs inputs;
+  inputs.scan_depth = 1'000'000;
+  inputs.num_threads = 8;
+  inputs.rung_count = 4;
+  inputs.replay_available = true;  // 1.5us beats every scan
+  EXPECT_EQ(model.Choose(inputs), PlanKind::kReplay);
+}
+
+TEST(CostModelTest, TiesBreakTowardTheSmallerEnumValue) {
+  CostModel model;
+  model.tuple_ns = 1500.0;  // seq cost at depth 1 == replay_read_ns
+  model.replay_read_ns = 1500.0;
+  CostInputs inputs;
+  inputs.scan_depth = 1;
+  inputs.replay_available = true;
+  EXPECT_DOUBLE_EQ(model.Estimate(PlanKind::kSequential, inputs),
+                   model.Estimate(PlanKind::kReplay, inputs));
+  EXPECT_EQ(model.Choose(inputs), PlanKind::kSequential);
+}
+
+TEST(CostModelTest, MeasureClampsIntoSaneRange) {
+  const ProbabilisticDatabase db = MakeDb();
+  const CostModel measured = CostModel::Measure(db);
+  EXPECT_GE(measured.tuple_ns, 1.0);
+  EXPECT_LE(measured.tuple_ns, 100000.0);
+  // Only the per-position constant is recalibrated.
+  const CostModel defaults;
+  EXPECT_DOUBLE_EQ(measured.shard_setup_ns, defaults.shard_setup_ns);
+  EXPECT_DOUBLE_EQ(measured.rung_emit_ns, defaults.rung_emit_ns);
+  EXPECT_DOUBLE_EQ(measured.replay_read_ns, defaults.replay_read_ns);
+}
+
+TEST(PlanRecordTest, ToStringIsTheWireForm) {
+  PlanRecord record;
+  record.chosen = PlanKind::kLadderShared;
+  record.executed = PlanKind::kSequential;
+  record.forced = true;
+  record.batch_size = 1;
+  record.threads = 2;
+  EXPECT_EQ(record.ToString(),
+            "plan=ladder exec=seq forced=1 batch=1 threads=2");
+}
+
+// ------------------------------------------- the forced seam, end to end
+
+TEST(ForcedPlanTest, EveryStrategyReturnsBitwiseEqualAnswers) {
+  Result<Frontend> frontend = MakeFrontend(/*threads=*/2);
+  ASSERT_TRUE(frontend.ok()) << frontend.status().ToString();
+  const Frontend::ClientId a = frontend->Connect();
+  const Frontend::ClientId b = frontend->Connect();
+
+  // seq / shard / replay pin directly (k=5 is on the warm ladder, the
+  // pool has two threads). The ladder arm needs a real batch: two
+  // clients forcing plan=ladder with distinct ks in one round.
+  const Reply seq = frontend->Execute(a, TopkRequest(5, PlanKind::kSequential));
+  const Reply shard = frontend->Execute(a, TopkRequest(5, PlanKind::kSharded));
+  const Reply replay = frontend->Execute(a, TopkRequest(5, PlanKind::kReplay));
+  const std::vector<Reply> batched = frontend->ExecuteRound(
+      {{a, TopkRequest(5, PlanKind::kLadderShared)},
+       {b, TopkRequest(20, PlanKind::kLadderShared)}});
+  ASSERT_EQ(batched.size(), 2u);
+  const Reply& ladder = batched[0];
+
+  for (const Reply* reply : {&seq, &shard, &replay, &ladder}) {
+    ASSERT_TRUE(reply->status.ok()) << reply->status.ToString();
+    EXPECT_TRUE(reply->plan.forced);
+  }
+  EXPECT_EQ(seq.plan.executed, PlanKind::kSequential);
+  EXPECT_EQ(shard.plan.executed, PlanKind::kSharded);
+  EXPECT_EQ(shard.plan.threads, 2u);
+  EXPECT_EQ(replay.plan.executed, PlanKind::kReplay);
+  EXPECT_EQ(ladder.plan.executed, PlanKind::kLadderShared);
+  EXPECT_EQ(ladder.plan.batch_size, 2u);
+
+  // The whole point of the cost model: plan choice can never change an
+  // answer. All four strategies agree bitwise on k=5.
+  for (const Reply* reply : {&shard, &replay, &ladder}) {
+    EXPECT_EQ(reply->fingerprint, seq.fingerprint);
+    EXPECT_EQ(reply->num_nonzero, seq.num_nonzero);
+    EXPECT_EQ(reply->top_id, seq.top_id);
+    EXPECT_EQ(reply->top_index, seq.top_index);
+    EXPECT_EQ(reply->top_prob, seq.top_prob);
+  }
+  // Replay serves from maintained state, scans report their Lemma-2
+  // stop; both seq and shard and ladder agree on where that is.
+  EXPECT_EQ(shard.scan_end, seq.scan_end);
+  EXPECT_EQ(ladder.scan_end, seq.scan_end);
+}
+
+TEST(ForcedPlanTest, QualityAgreesAcrossStrategies) {
+  Result<Frontend> frontend = MakeFrontend(/*threads=*/2);
+  ASSERT_TRUE(frontend.ok());
+  const Frontend::ClientId a = frontend->Connect();
+  Request request = TopkRequest(5, PlanKind::kSequential);
+  request.verb = Verb::kQuality;
+  const Reply seq = frontend->Execute(a, request);
+  request.plan = PlanKind::kSharded;
+  const Reply shard = frontend->Execute(a, request);
+  request.plan = PlanKind::kReplay;
+  const Reply replay = frontend->Execute(a, request);
+  ASSERT_TRUE(seq.status.ok());
+  ASSERT_TRUE(shard.status.ok());
+  ASSERT_TRUE(replay.status.ok());
+  EXPECT_EQ(seq.quality, shard.quality);  // exact: bitwise-equal paths
+  EXPECT_EQ(seq.quality, replay.quality);
+}
+
+TEST(ForcedPlanTest, BatchOfOneDegradesExecutedButKeepsChosen) {
+  Result<Frontend> frontend = MakeFrontend(/*threads=*/1);
+  ASSERT_TRUE(frontend.ok());
+  const Frontend::ClientId a = frontend->Connect();
+  // Forced ladder, but the round has nobody to share with: the record
+  // keeps chosen=ladder (forced), executed degrades to a solo scan.
+  const Reply reply =
+      frontend->Execute(a, TopkRequest(5, PlanKind::kLadderShared));
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_EQ(reply.plan.chosen, PlanKind::kLadderShared);
+  EXPECT_TRUE(reply.plan.forced);
+  EXPECT_EQ(reply.plan.batch_size, 1u);
+  EXPECT_NE(reply.plan.executed, PlanKind::kLadderShared);
+}
+
+TEST(ForcedPlanTest, InfeasibleForcedPlansFailPrecondition) {
+  Result<Frontend> frontend = MakeFrontend(/*threads=*/1);
+  ASSERT_TRUE(frontend.ok());
+  const Frontend::ClientId a = frontend->Connect();
+  // One thread: sharding cannot run.
+  const Reply shard = frontend->Execute(a, TopkRequest(5, PlanKind::kSharded));
+  EXPECT_EQ(shard.status.code(), StatusCode::kFailedPrecondition);
+  // k=7 is off the warm ladder {5, 20}: replay cannot serve it.
+  const Reply replay = frontend->Execute(a, TopkRequest(7, PlanKind::kReplay));
+  EXPECT_EQ(replay.status.code(), StatusCode::kFailedPrecondition);
+  // The client survives both and keeps serving.
+  const Reply ok = frontend->Execute(a, TopkRequest(5));
+  EXPECT_TRUE(ok.status.ok());
+}
+
+TEST(ForcedPlanTest, RecordedPlanMatchesExecutionWhenAuto) {
+  // Regression: with no forced plan the record must be internally
+  // consistent -- executed is the chosen strategy unless a chosen
+  // ladder degraded to a solo scan, and forced stays false.
+  Result<Frontend> frontend = MakeFrontend(/*threads=*/2);
+  ASSERT_TRUE(frontend.ok());
+  const Frontend::ClientId a = frontend->Connect();
+  const Frontend::ClientId b = frontend->Connect();
+  const std::vector<std::vector<std::pair<Frontend::ClientId, Request>>>
+      rounds = {
+          {{a, TopkRequest(5)}},
+          {{a, TopkRequest(20)}, {b, TopkRequest(5)}},
+          {{a, TopkRequest(7)}, {b, TopkRequest(13)}},
+      };
+  for (const auto& round : rounds) {
+    for (const Reply& reply : frontend->ExecuteRound(round)) {
+      ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+      EXPECT_FALSE(reply.plan.forced);
+      if (reply.plan.chosen != reply.plan.executed) {
+        EXPECT_EQ(reply.plan.chosen, PlanKind::kLadderShared);
+        EXPECT_EQ(reply.plan.batch_size, 1u);
+      }
+      if (reply.plan.executed == PlanKind::kLadderShared) {
+        EXPECT_GE(reply.plan.batch_size, 2u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace uclean

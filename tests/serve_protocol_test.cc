@@ -1,0 +1,301 @@
+// Malformed-input hardening of the serving protocol and LineServer:
+// truncated lines, oversized payloads, unknown verbs and bad arguments
+// must never crash or wedge the loop -- each becomes one structured
+// kInvalidArgument reply in order, and the server keeps serving.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "clean/session_pool.h"
+#include "gtest/gtest.h"
+#include "model/database.h"
+#include "serve/cost_model.h"
+#include "serve/frontend.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "workload/synthetic.h"
+
+namespace uclean {
+namespace serve {
+namespace {
+
+ProbabilisticDatabase MakeDb() {
+  SyntheticOptions opts;
+  opts.num_xtuples = 30;
+  opts.tuples_per_xtuple = 3;
+  opts.real_mass_min = 0.7;
+  opts.real_mass_max = 1.0;
+  opts.seed = 5;
+  Result<ProbabilisticDatabase> db = GenerateSynthetic(opts);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(*db);
+}
+
+Result<Frontend> MakeFrontend() {
+  Result<KLadder> ladder = KLadder::Of({5, 10});
+  EXPECT_TRUE(ladder.ok());
+  Result<SessionPool> pool =
+      SessionPool::Create(MakeDb(), *ladder, SessionPool::Options());
+  EXPECT_TRUE(pool.ok()) << pool.status().ToString();
+  // No cleaning profile on purpose: clean requests must degrade to a
+  // kFailedPrecondition reply, not a crash.
+  return Frontend::Create(std::move(*pool), std::nullopt, FrontendOptions());
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ParseRequestTest, AcceptsEveryVerbShape) {
+  Result<Request> topk = ParseRequest("topk 25");
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->verb, Verb::kTopk);
+  EXPECT_EQ(topk->k, 25u);
+  EXPECT_FALSE(topk->plan.has_value());
+
+  Result<Request> pinned = ParseRequest("quality 7 plan=replay");
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->verb, Verb::kQuality);
+  EXPECT_EQ(pinned->k, 7u);
+  ASSERT_TRUE(pinned->plan.has_value());
+  EXPECT_EQ(*pinned->plan, PlanKind::kReplay);
+
+  Result<Request> clean = ParseRequest("clean 12");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->verb, Verb::kClean);
+  EXPECT_EQ(clean->xtuple, 12);
+
+  Result<Request> stats = ParseRequest("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->verb, Verb::kStats);
+
+  // Token separation tolerates tabs and runs of spaces.
+  EXPECT_TRUE(ParseRequest("topk\t3").ok());
+  EXPECT_TRUE(ParseRequest("  topk   3  ").ok());
+}
+
+TEST(ParseRequestTest, RejectsMalformedLinesWithInvalidArgument) {
+  const char* kBad[] = {
+      "",                           // empty line
+      "bogus 5",                    // unknown verb
+      "TOPK 5",                     // verbs are case-sensitive
+      "topk",                       // missing k
+      "topk abc",                   // non-numeric k
+      "topk 0",                     // k below range
+      "topk -3",                    // negative k
+      "topk 99999999999999999999",  // k past int64
+      "topk 10000001",              // k past kMaxK
+      "topk 5 6",                   // trailing junk
+      "topk 5 plan=warp",           // unknown plan name
+      "topk 5 plan=",               // empty plan name
+      "topk 5 plan=seq extra",      // junk after the plan token
+      "quality",                    // missing k
+      "clean",                      // missing xtuple
+      "clean x",                    // non-numeric xtuple
+      "clean -1",                   // negative xtuple
+      "clean 1 2",                  // trailing junk
+      "clean 5 plan=seq",           // plan token on a non-query verb
+      "stats 1",                    // stats takes no arguments
+  };
+  for (const char* line : kBad) {
+    Result<Request> request = ParseRequest(line);
+    EXPECT_FALSE(request.ok()) << "'" << line << "' should not parse";
+    if (!request.ok()) {
+      EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+          << "'" << line << "': " << request.status().ToString();
+    }
+  }
+}
+
+TEST(ParseRequestTest, PlanNamesRoundTrip) {
+  const PlanKind kinds[] = {PlanKind::kSequential, PlanKind::kSharded,
+                            PlanKind::kLadderShared, PlanKind::kReplay};
+  for (PlanKind kind : kinds) {
+    Result<PlanKind> parsed = ParsePlanKind(PlanKindName(kind));
+    ASSERT_TRUE(parsed.ok()) << PlanKindName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(ParsePlanKind("auto").ok());  // "auto" means no forced plan
+  EXPECT_FALSE(ParsePlanKind("").ok());
+  EXPECT_FALSE(ParsePlanKind("SEQ").ok());
+}
+
+TEST(FormatReplyTest, ErrorRepliesAreOneSanitizedLine) {
+  Reply reply;
+  reply.status = Status::InvalidArgument("bad \"quoted\"\r\nmultiline");
+  const std::string line = FormatReply(reply);
+  EXPECT_EQ(line.rfind("error code=InvalidArgument msg=", 0), 0u) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;
+  EXPECT_EQ(line.find('\r'), std::string::npos) << line;
+  // Only the two delimiting quotes survive sanitization.
+  size_t quotes = 0;
+  for (char c : line) quotes += c == '"';
+  EXPECT_EQ(quotes, 2u) << line;
+}
+
+// ------------------------------------------------------------- the server
+
+/// Runs one socketpair connection through a fresh LineServer: writes
+/// `input`, half-closes, serves to completion, returns the reply lines.
+std::vector<std::string> ServeOneConnection(
+    Frontend* frontend, const std::string& input,
+    const ServerOptions& options = ServerOptions()) {
+  LineServer server(frontend, options);
+  int sv[2];
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  Result<size_t> added = server.AddClient(sv[1], sv[1]);
+  EXPECT_TRUE(added.ok());
+  size_t written = 0;
+  while (written < input.size()) {
+    const ssize_t n =
+        write(sv[0], input.data() + written, input.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+  EXPECT_EQ(written, input.size());
+  shutdown(sv[0], SHUT_WR);
+  const Status run = server.Run();
+  EXPECT_TRUE(run.ok()) << run.ToString();
+  std::string all;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = read(sv[0], chunk, sizeof(chunk));
+    if (n <= 0) break;
+    all.append(chunk, static_cast<size_t>(n));
+  }
+  close(sv[0]);
+  std::vector<std::string> lines;
+  size_t begin = 0;
+  while (true) {
+    const size_t newline = all.find('\n', begin);
+    if (newline == std::string::npos) break;
+    lines.push_back(all.substr(begin, newline - begin));
+    begin = newline + 1;
+  }
+  EXPECT_EQ(begin, all.size()) << "partial reply line: " << all.substr(begin);
+  return lines;
+}
+
+TEST(LineServerTest, MalformedLinesYieldErrorsInOrderAndServingContinues) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  const std::vector<std::string> lines = ServeOneConnection(
+      &*frontend,
+      "topk 5\n"
+      "bogus verb\n"
+      "topk 0\n"
+      "quality 10\n"
+      "topk 5 plan=warp\n"
+      "stats\n");
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0].rfind("ok verb=topk k=5 ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("error code=InvalidArgument ", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("error code=InvalidArgument ", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("ok verb=quality k=10 ", 0), 0u) << lines[3];
+  EXPECT_EQ(lines[4].rfind("error code=InvalidArgument ", 0), 0u) << lines[4];
+  EXPECT_EQ(lines[5].rfind("ok verb=stats ", 0), 0u) << lines[5];
+}
+
+TEST(LineServerTest, OversizedLineGetsOneErrorAndResynchronizes) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  const std::string oversized(1000, 'x');
+  const std::vector<std::string> lines = ServeOneConnection(
+      &*frontend, "topk 5\n" + oversized + "\ntopk 10\n", options);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("ok verb=topk k=5 ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("error code=InvalidArgument ", 0), 0u) << lines[1];
+  EXPECT_NE(lines[1].find("exceeds"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2].rfind("ok verb=topk k=10 ", 0), 0u) << lines[2];
+}
+
+TEST(LineServerTest, OversizedFinalLineWithoutNewlineErrorsOnce) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  const std::vector<std::string> lines =
+      ServeOneConnection(&*frontend, std::string(500, 'y'), options);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("error code=InvalidArgument ", 0), 0u) << lines[0];
+}
+
+TEST(LineServerTest, TruncatedFinalLineIsServedAtEof) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  // No trailing newline before EOF: the line still counts as a request.
+  const std::vector<std::string> lines =
+      ServeOneConnection(&*frontend, "topk 5\ntopk 10");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ok verb=topk k=5 ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok verb=topk k=10 ", 0), 0u) << lines[1];
+}
+
+TEST(LineServerTest, CrlfAndBlankLinesAreTolerated) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  const std::vector<std::string> lines =
+      ServeOneConnection(&*frontend, "topk 5\r\n\r\n   \nquality 10\r\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ok verb=topk k=5 ", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok verb=quality k=10 ", 0), 0u) << lines[1];
+}
+
+TEST(LineServerTest, CleanWithoutProfileIsFailedPreconditionNotDeath) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  const std::vector<std::string> lines =
+      ServeOneConnection(&*frontend, "clean 3\ntopk 5\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("error code=FailedPrecondition ", 0), 0u)
+      << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok verb=topk k=5 ", 0), 0u) << lines[1];
+}
+
+TEST(LineServerTest, InfeasibleForcedPlansAreStructuredErrors) {
+  // Single-threaded pool: plan=shard cannot run; k=33 is off the warm
+  // ladder {5, 10}: plan=replay cannot serve it. Both must reply with
+  // kFailedPrecondition, then the connection keeps working.
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  const std::vector<std::string> lines = ServeOneConnection(
+      &*frontend, "topk 5 plan=shard\ntopk 33 plan=replay\ntopk 5\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("error code=FailedPrecondition ", 0), 0u)
+      << lines[0];
+  EXPECT_EQ(lines[1].rfind("error code=FailedPrecondition ", 0), 0u)
+      << lines[1];
+  EXPECT_EQ(lines[2].rfind("ok verb=topk k=5 ", 0), 0u) << lines[2];
+}
+
+TEST(LineServerTest, RejectsNegativeFds) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  LineServer server(&*frontend, ServerOptions());
+  EXPECT_FALSE(server.AddClient(-1, 1).ok());
+  EXPECT_FALSE(server.AddClient(1, -1).ok());
+  EXPECT_EQ(server.num_connections(), 0u);
+}
+
+// ------------------------------------------------------------ death tests
+
+TEST(ServeDeathTest, NullFrontendIsAHardCheck) {
+  EXPECT_DEATH(LineServer(nullptr, ServerOptions()), "UCLEAN_CHECK failed");
+}
+
+TEST(ServeDeathTest, FingerprintOfClosedClientIsAHardCheck) {
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  const Frontend::ClientId id = frontend->Connect();
+  ASSERT_TRUE(frontend->Disconnect(id).ok());
+  EXPECT_DEATH(frontend->RngFingerprint(id), "UCLEAN_CHECK failed");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace uclean

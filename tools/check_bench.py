@@ -171,6 +171,19 @@ SNAPSHOT_SPEEDUP_FLOOR = 10.0
 SNAPSHOT_GATED_SESSIONS = 64
 SNAPSHOT_SERIES = {8, 64}
 
+# bench_serve: the serving front-end's traffic replay, admission batching
+# on vs off over identical seeded streams. The batched speedup comes from
+# WORK REMOVED (one shared ladder scan per round instead of one scan per
+# request), not work parallelized, so it holds on any core count -- but
+# CI runners queue differently under load, so the floor is cores-aware:
+# the >=1.5x acceptance gate at >= 4 cores, parity at 1 core (locally
+# ~2.1x even single-core). `bitwise_equal` is the correctness gate:
+# normalized replies must be identical across arms and reps on every
+# machine. The QPS floor only catches an order-of-magnitude collapse.
+SERVE_SPEEDUP_FLOORS = [(4, 1.5), (1, 1.0)]  # [(min_cores, floor), ...]
+SERVE_QPS_FLOORS = [(4, 500.0), (1, 200.0)]
+SERVE_ARMS = {"per_request", "batched"}
+
 # Every bench JSON must carry kernel/threads provenance -- throughput
 # numbers are meaningless without the kernel that produced them.
 KNOWN_KERNELS = {"scalar", "avx2"}
@@ -482,6 +495,57 @@ def check_snapshot(doc):
     return failures
 
 
+def check_serve(doc):
+    failures = []
+    cores = doc.get("cores", 1) or 1
+    expected = doc["clients"] * doc["requests_per_client"]
+    speedup = doc["batched_speedup"]
+    equal = doc["bitwise_equal"]
+    speedup_floor = next(
+        f for min_cores, f in SERVE_SPEEDUP_FLOORS if cores >= min_cores
+    )
+    qps_floor = next(
+        f for min_cores, f in SERVE_QPS_FLOORS if cores >= min_cores
+    )
+    print(
+        f"serve: batched speedup {speedup:.2f}x "
+        f"(floor {speedup_floor} at {cores} cores), bitwise_equal {equal}"
+    )
+    if not equal:
+        failures.append(
+            "serve: normalized replies differ across batching arms/reps "
+            "(batching must never change an answer)"
+        )
+    if speedup < speedup_floor:
+        failures.append(
+            f"serve: batched speedup {speedup:.2f}x < {speedup_floor}x "
+            f"at {cores} cores"
+        )
+    seen = set()
+    for arm in doc["arms"]:
+        seen.add(arm["name"])
+        qps = arm["median_qps"]
+        label = f"serve {arm['name']}"
+        print(
+            f"{label}: {qps:.1f} QPS (floor {qps_floor}), "
+            f"p50 {arm['p50_ms']:.3f} ms, p99 {arm['p99_ms']:.3f} ms, "
+            f"{arm['replies']} replies"
+        )
+        if qps < qps_floor:
+            failures.append(
+                f"{label}: {qps:.1f} QPS < {qps_floor} floor at {cores} cores"
+            )
+        if arm["replies"] != expected:
+            failures.append(
+                f"{label}: served {arm['replies']} replies, want {expected} "
+                f"(requests were dropped or duplicated)"
+            )
+    for name in SERVE_ARMS:
+        if name not in seen:
+            failures.append(f"serve {name}: arm missing from the JSON")
+    return failures
+
+
 def check_provenance(path, doc):
     """Every bench doc must say which kernel produced its numbers and how
     wide the executor ran; a JSON without them is unreviewable."""
@@ -508,6 +572,7 @@ CHECKERS = {
     "multik": check_multik,
     "pipeline": check_pipeline,
     "pool": check_pool,
+    "serve": check_serve,
     "shard": check_shard,
     "snapshot": check_snapshot,
 }

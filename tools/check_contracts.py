@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Project contract linter: the invariants the compiler cannot see.
 
-Six rules, each guarding a determinism or portability contract the
+Seven rules, each guarding a determinism or portability contract the
 codebase documents but no compiler flag enforces on its own:
 
  1. AVX CONTAINMENT. AVX intrinsics (immintrin.h, __m256*, _mm256_*,
@@ -38,6 +38,15 @@ codebase documents but no compiler flag enforces on its own:
     make snapshots portable and corruptions detectable.
     src/rank/kernel_avx2.cc is exempt for reinterpret_cast only: SIMD
     lane loads pun pointers in-register, never onto the wire.
+ 7. FD CONTAINMENT. Socket/fd primitives -- socket(2)/socketpair,
+    accept/bind/listen/connect, poll, raw read(2)/write(2), shutdown --
+    appear in src/ and tools/ only under src/serve/, where the
+    LineServer owns the transport. Everywhere else talks protocol
+    values (Request/Reply) or streams; an ad-hoc read() loop elsewhere
+    would bypass the line framing, the oversize resync and the
+    per-connection reply ordering the serving tests pin. tests/ and
+    bench/ are exempt: driving a server end-to-end over a socketpair
+    is exactly their job.
 
 Pure stdlib. Run from the repo root (or pass it):
 
@@ -74,6 +83,13 @@ BINSTREAM_TOKEN_RE = re.compile(
     r"(?<![\w:])f(?:write|read)\s*\(|reinterpret_cast|std::ios::binary"
 )
 BINSTREAM_SIMD_EXEMPT = {AVX_ALLOWED: re.compile(r"reinterpret_cast")}
+FD_SERVE_PREFIX = "src/serve/"
+# Bare POSIX calls only: the lookbehind keeps member calls
+# (stream.read(...), obj->write(...)) and qualified names out.
+FD_TOKEN_RE = re.compile(
+    r"(?<![\w.>:])(?:socketpair|socket|accept4?|bind|listen|connect"
+    r"|poll|recv|send|read|write|shutdown)\s*\("
+)
 
 
 def strip_code(text):
@@ -261,6 +277,20 @@ def check_binstream_containment(root):
     return failures
 
 
+def check_fd_containment(root):
+    failures = []
+    for rel in iter_source_files(root, ["src", "tools"], {".cc", ".h"}):
+        if rel.startswith(FD_SERVE_PREFIX):
+            continue
+        for lineno, tok in token_lines(root, rel, FD_TOKEN_RE):
+            failures.append(
+                f"{rel}:{lineno}: fd primitive '{tok.strip()}' outside "
+                f"{FD_SERVE_PREFIX} (transport I/O goes through the "
+                f"LineServer so framing and reply order stay pinned)"
+            )
+    return failures
+
+
 RULES = [
     ("avx-containment", check_avx_containment),
     ("kernel-fp-pinning", check_kernel_flags),
@@ -268,6 +298,7 @@ RULES = [
     ("no-deprecated-shims", check_no_deprecated),
     ("threading-contracts", check_threading_contracts),
     ("binstream-containment", check_binstream_containment),
+    ("fd-containment", check_fd_containment),
 ]
 
 
@@ -342,7 +373,29 @@ def _build_good_tree(root):
         "std::ofstream out(path, std::ios::binary);\n"
         "out.write(reinterpret_cast<const char*>(data), size);\n",
     )
+    _write(
+        root,
+        "src/serve/server.cc",
+        "// The sanctioned home of transport I/O.\n"
+        "int n = poll(fds, count, -1);\n"
+        "ssize_t got = read(fd, buf, len);\n"
+        "ssize_t put = write(fd, out, len);\n"
+        "shutdown(fd, SHUT_WR);\n",
+    )
+    _write(
+        root,
+        "src/model/ok_members.cc",
+        "// Member calls are not fd primitives.\n"
+        "void Load() { stream.read(buf, n); out->write(buf, n); }\n",
+    )
     _write(root, "tests/shuffle_test.cc", "std::mt19937 rng(7);\n")
+    _write(
+        root,
+        "tests/wire_test.cc",
+        "// tests drive servers over socketpairs; exempt.\n"
+        "int rc = socketpair(AF_UNIX, SOCK_STREAM, 0, sv);\n"
+        "ssize_t n = read(sv[0], chunk, sizeof(chunk));\n",
+    )
 
 
 def self_test():
@@ -400,6 +453,17 @@ def self_test():
             "binstream-containment",
             "tools/export.cc",
             "std::ofstream out(path, std::ios::binary);\n",
+        ),
+        (
+            "fd-containment",
+            "src/clean/peek.cc",
+            "void Peek(int fd) { char b[64]; read(fd, b, sizeof(b)); }\n",
+        ),
+        (
+            "fd-containment",
+            "tools/netcat.cc",
+            "int s = socket(AF_INET, SOCK_STREAM, 0);\n"
+            "connect(s, addr, len);\n",
         ),
     ]
     for rule_name, rel, text in violations:

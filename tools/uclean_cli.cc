@@ -12,6 +12,7 @@
 //   clean     plan and execute a campaign, write the cleaned database
 //   target    minimal budget to reach a quality target
 //   snapshot  save / load / inspect a binary pool snapshot (store/)
+//   serve     persistent request loop over a warm pool (serve/)
 //
 // query, quality and clean also accept --snapshot SNAP.bin in place of
 // --db: the pool warm-starts from the file with zero scans. A corrupt
@@ -24,6 +25,7 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -44,6 +46,8 @@
 #include "pworld/pw_quality.h"
 #include "quality/evaluation.h"
 #include "rank/kernel.h"
+#include "serve/frontend.h"
+#include "serve/server.h"
 #include "store/snapshot.h"
 #include "quality/pwr.h"
 #include "quality/tp.h"
@@ -93,6 +97,11 @@ commands:
   snapshot load --snapshot SNAP.bin
            [--threads N|auto] [--kernel scalar|avx2|auto]
   snapshot inspect --snapshot SNAP.bin
+  serve    --db DB.csv|--snapshot SNAP.bin [--profile PROFILE.csv]
+           [--k K | --k-ladder K1,K2,...] [--threads N|auto]
+           [--kernel scalar|avx2|auto]
+           [--plan auto|seq|shard|ladder|replay] [--batch on|off]
+           [--max-batch 64] [--calibrate on|off] [--seed S]
 
 --k-ladder serves every listed k from ONE shared PSR scan (query and
 quality report per-k results; adaptive cleaning plans against the uniform
@@ -143,6 +152,18 @@ the LOADER's choice -- execution mode is never persisted. snapshot
 inspect prints the section table after verifying every checksum. Any
 corrupt, truncated or version-mismatched snapshot exits with code 3
 (data loss) instead of the generic 1.
+
+serve turns stdin/stdout into one serving-protocol connection over a warm
+session pool: one request per line (`topk K`, `quality K`, `clean X`,
+`stats`, each optionally pinned with a trailing `plan=NAME`), one
+`ok`/`error` reply line per request, EOF ends the session. The cost model
+picks the cheapest of the four bitwise-equal strategies per query
+(--calibrate on, the default, times its per-tuple constant on the served
+database); --plan pins one strategy globally, --batch off disables the
+admission batcher. With --db the pool ladder comes from --k/--k-ladder;
+with --snapshot it comes from the file. clean requests need --profile.
+Flag-resolution notes print before the first reply; every reply line
+starts with `ok ` or `error `.
 )";
 
 /// Minimal --key value flag map.
@@ -1189,6 +1210,100 @@ Status RunSnapshotInspect(const Flags& flags) {
   return Status::OK();
 }
 
+/// Builds the warm pool `serve` fronts: a fresh Create (one shared scan)
+/// for --db, an OpenFromSnapshot warm start (zero scans) for --snapshot.
+Result<SessionPool> BuildServePool(const Flags& flags) {
+  SessionPool::Options pool_options;
+  if (flags.Has("snapshot")) {
+    CLI_ASSIGN_OR_RETURN(path, flags.GetString("snapshot"));
+    CLI_ASSIGN_OR_RETURN(exec, BuildSnapshotExec(flags));
+    pool_options.exec = std::move(exec);
+    Result<SessionPool> pool = SessionPool::OpenFromSnapshot(path,
+                                                             pool_options);
+    if (pool.ok()) {
+      std::fprintf(stderr, "serve: pool warm-started from %s (zero scans)\n",
+                   path.c_str());
+    }
+    return pool;
+  }
+  CLI_ASSIGN_OR_RETURN(db_path, flags.GetString("db"));
+  CLI_ASSIGN_OR_RETURN(scan_options, BuildScanCliOptions(flags));
+  Result<ProbabilisticDatabase> db = ReadDatabaseCsvFile(db_path);
+  if (!db.ok()) return db.status();
+  pool_options.exec = scan_options.exec;
+  return SessionPool::Create(std::move(*db), scan_options.ladder,
+                             pool_options);
+}
+
+/// `serve`: the persistent serving loop. stdin/stdout become one
+/// protocol connection (serve/protocol.h) on the LineServer; the
+/// admission batcher and cost model live in serve/frontend.h. Tests and
+/// the traffic-replay bench drive the same server over socketpairs.
+/// Protocol replies go to stdout; the banner goes to stderr so a piped
+/// client sees only notes and reply lines.
+Status RunServe(const Flags& flags) {
+  serve::FrontendOptions options;
+  CLI_ASSIGN_OR_RETURN(seed, flags.GetInt("seed", 2026));
+  options.seed = static_cast<uint64_t>(seed);
+  CLI_ASSIGN_OR_RETURN(max_batch, flags.GetInt("max-batch", 64));
+  if (max_batch < 1 || max_batch > 1000000) {
+    return Status::InvalidArgument(
+        "bad --max-batch '" + flags.GetString("max-batch", "") +
+        "': expected a batch bound in [1, 1000000]");
+  }
+  options.max_batch = static_cast<size_t>(max_batch);
+  const std::string batch = flags.GetString("batch", "on");
+  if (batch == "off") {
+    options.batching = false;
+  } else if (batch != "on") {
+    return Status::InvalidArgument("bad --batch '" + batch +
+                                   "': expected on or off");
+  }
+  const std::string plan = flags.GetString("plan", "auto");
+  if (plan != "auto") {
+    CLI_ASSIGN_OR_RETURN(kind, serve::ParsePlanKind(plan));
+    options.forced_plan = kind;
+    std::printf("note: --plan %s pins every query to the %s strategy "
+                "(answers are bitwise identical under every plan)\n",
+                plan.c_str(), serve::PlanKindName(kind));
+  }
+  const std::string calibrate = flags.GetString("calibrate", "on");
+  if (calibrate != "on" && calibrate != "off") {
+    return Status::InvalidArgument("bad --calibrate '" + calibrate +
+                                   "': expected on or off");
+  }
+  std::optional<CleaningProfile> profile;
+  if (flags.Has("profile")) {
+    CLI_ASSIGN_OR_RETURN(path, flags.GetString("profile"));
+    Result<CleaningProfile> read = ReadProfileCsvFile(path);
+    if (!read.ok()) return read.status();
+    profile = std::move(*read);
+  }
+  CLI_ASSIGN_OR_RETURN(pool, BuildServePool(flags));
+  if (calibrate == "on") {
+    options.cost = serve::CostModel::Measure(pool.base());
+  }
+  CLI_ASSIGN_OR_RETURN(frontend, serve::Frontend::Create(
+                                     std::move(pool), std::move(profile),
+                                     options));
+  serve::LineServer server(&frontend, serve::ServerOptions{});
+  Result<size_t> conn = server.AddClient(0, 1);  // stdin -> stdout
+  if (!conn.ok()) return conn.status();
+  std::fprintf(stderr,
+               "serve: %zu tuples, k-ladder %s, batching %s, plan %s; one "
+               "request per line (topk/quality/clean/stats), EOF ends the "
+               "session\n",
+               frontend.pool().base().num_tuples(),
+               frontend.pool().ladder().ToString().c_str(),
+               options.batching ? "on" : "off",
+               options.forced_plan ? serve::PlanKindName(*options.forced_plan)
+                                   : "auto");
+  // The flag notes above are buffered stdio on the same fd the server
+  // writes raw reply lines to: flush so they precede the first reply.
+  std::fflush(stdout);
+  return server.Run();
+}
+
 /// Dispatches `snapshot <action> --flags`: the one command with a
 /// positional action word, so it parses its own argv tail.
 Status RunSnapshot(int argc, char** argv) {
@@ -1242,6 +1357,8 @@ int Main(int argc, char** argv) {
     status = RunClean(*flags);
   } else if (command == "target") {
     status = RunTarget(*flags);
+  } else if (command == "serve") {
+    status = RunServe(*flags);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
                  kUsage);
