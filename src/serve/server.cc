@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <poll.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -129,6 +130,10 @@ void LineServer::CloseConnection(Connection* conn) {
 }
 
 Status LineServer::Run() {
+  // A reply can race a client that already closed its end; the write()
+  // below must come back as EPIPE, not as a process-killing SIGPIPE, or
+  // one dead client takes down every other connection.
+  signal(SIGPIPE, SIG_IGN);
   std::vector<char> chunk(4096);
   while (true) {
     bool any_open = false;
@@ -176,7 +181,10 @@ Status LineServer::Run() {
         } while (n < 0 && errno == EINTR);
         if (n > 0) {
           conn.buffer.append(chunk.data(), static_cast<size_t>(n));
-        } else if (n == 0) {
+        } else {
+          // n == 0 is EOF; a read error past EINTR (ECONNRESET from a
+          // peer that closed with replies unread) is end-of-stream too,
+          // or the dead fd stays in the poll set and spins the loop.
           conn.saw_eof = true;
         }
         ParseBuffered(&conn, conn.saw_eof);

@@ -27,6 +27,17 @@
 // Threading: SERIALIZED CALLER -- one thread owns Run(). Concurrency
 // comes from the clients (other processes/threads writing the fds) and
 // from the pool's exec options inside the scans, never from the loop.
+//
+// Write path: Run() ignores SIGPIPE process-wide, so a client that
+// closed its end mid-stream turns into an EPIPE on write() and ONLY
+// that connection is torn down -- likewise a read error past EINTR
+// (e.g. ECONNRESET) drains and closes just that connection. Replies
+// are still written with blocking write() from the serving thread: a
+// LIVE client that stops draining its socket stalls the loop once the
+// kernel buffer fills, freezing the other connections (head-of-line
+// blocking). The intended clients -- the CLI's stdout, the tests and
+// the bench harness -- always drain; a deployment facing hostile
+// clients needs per-connection output buffers flushed under POLLOUT.
 
 #ifndef UCLEAN_SERVE_SERVER_H_
 #define UCLEAN_SERVE_SERVER_H_

@@ -273,6 +273,42 @@ TEST(LineServerTest, InfeasibleForcedPlansAreStructuredErrors) {
   EXPECT_EQ(lines[2].rfind("ok verb=topk k=5 ", 0), 0u) << lines[2];
 }
 
+TEST(LineServerTest, ClientGoneWithoutReadingRepliesDoesNotKillTheServer) {
+  // Client A sends requests and closes its socket outright, replies
+  // unread: the server's write() must come back EPIPE (not a fatal
+  // SIGPIPE) and its read() may come back ECONNRESET (not a poll spin).
+  // Either way only A's connection dies; client B is served in full.
+  Result<Frontend> frontend = MakeFrontend();
+  ASSERT_TRUE(frontend.ok());
+  LineServer server(&*frontend, ServerOptions());
+  int a[2];
+  int b[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, a), 0);
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, b), 0);
+  ASSERT_TRUE(server.AddClient(a[1], a[1]).ok());
+  ASSERT_TRUE(server.AddClient(b[1], b[1]).ok());
+  const std::string burst = "topk 5\ntopk 10\nstats\n";
+  ASSERT_EQ(write(a[0], burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+  close(a[0]);  // gone entirely: no shutdown(SHUT_WR), no draining
+  const std::string polite = "topk 5\nquality 10\n";
+  ASSERT_EQ(write(b[0], polite.data(), polite.size()),
+            static_cast<ssize_t>(polite.size()));
+  shutdown(b[0], SHUT_WR);
+  const Status run = server.Run();
+  EXPECT_TRUE(run.ok()) << run.ToString();
+  std::string all;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = read(b[0], chunk, sizeof(chunk));
+    if (n <= 0) break;
+    all.append(chunk, static_cast<size_t>(n));
+  }
+  close(b[0]);
+  EXPECT_NE(all.find("ok verb=topk k=5 "), std::string::npos) << all;
+  EXPECT_NE(all.find("ok verb=quality k=10 "), std::string::npos) << all;
+}
+
 TEST(LineServerTest, RejectsNegativeFds) {
   Result<Frontend> frontend = MakeFrontend();
   ASSERT_TRUE(frontend.ok());
